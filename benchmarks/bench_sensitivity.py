@@ -1,0 +1,46 @@
+"""Device-sensitivity ablation of the simulated substrate.
+
+Not a paper figure — an ablation of the design choices DESIGN.md calls
+out.  It perturbs one device axis at a time (DRAM bandwidth, tensor-core
+throughput, SM count, L2 bandwidth) and checks Jigsaw's advantage reacts
+in the physically expected direction:
+
+* more TC throughput helps the compute-bound cuBLAS more than the
+  memory-lean Jigsaw (speedup grows);
+* more DRAM/L2 bandwidth helps Jigsaw's gathers (speedup does not
+  collapse);
+* fewer SMs hurt both roughly equally (speedup roughly stable).
+"""
+
+from repro.analysis import render_sensitivity, run_sensitivity
+
+from conftest import emit, full_grid
+
+
+def _run():
+    # 2048^3 keeps cuBLAS in its compute-bound regime, where the
+    # tensor-core axis is visible.
+    return run_sensitivity(m=2048, k=2048, n=2048)
+
+
+def test_device_sensitivity(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("Device sensitivity: Jigsaw vs cuBLAS (95% sparsity, v=8)", render_sensitivity(points))
+
+    by = {(p.axis, p.scale): p for p in points}
+    baseline = by[("dram_bandwidth", 1.0)].speedup
+    assert baseline > 1.0  # Jigsaw wins on the stock A100 at 95%/v=8
+
+    # Doubling TC throughput speeds the dense baseline; halving slows it.
+    assert by[("tensor_core_throughput", 2.0)].cublas_us < by[
+        ("tensor_core_throughput", 0.5)
+    ].cublas_us
+    # Halving DRAM bandwidth must not flip the result (Jigsaw moves less).
+    assert by[("dram_bandwidth", 0.5)].speedup > 0.8
+    # SM count scales both sides; the ratio stays within 2x of baseline.
+    for scale in (0.5, 2.0):
+        ratio = by[("sm_count", scale)].speedup / baseline
+        assert 0.4 < ratio < 2.5
+
+    # Every configuration still simulates successfully.
+    assert all(p.jigsaw_us > 0 and p.cublas_us > 0 for p in points)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Pruning-method comparison: what sparsity structure buys you.
+
+The paper's premise (Section 1): among pruning granularities, 1-D vector
+pruning trades accuracy against *exploitable* structure best.  This
+example prunes the same dense layer three ways at equal sparsity —
+element-wise magnitude, vector (v=4), vector (v=8) — and shows what each
+structure means downstream:
+
+* how many all-zero columns Jigsaw's BLOCK_TILE reorder can skip,
+* whether the multi-granularity reorder succeeds without K growth,
+* the end-to-end simulated speedup over cuBLAS.
+
+Run:  python examples/pruning_pipeline.py
+"""
+
+import numpy as np
+
+from repro.baselines import cublas_hgemm
+from repro.core import JigsawPlan
+from repro.data import magnitude_prune, vector_prune
+
+M = K = 1024
+N = 1024
+SPARSITY = 0.90
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    dense = (rng.standard_normal((M, K)) * 0.02).astype(np.float16)
+    b = rng.standard_normal((K, N)).astype(np.float16)
+
+    variants = {
+        "magnitude (element)": magnitude_prune(dense, SPARSITY).astype(np.float16),
+        "vector v=4": vector_prune(dense, v=4, sparsity=SPARSITY).astype(np.float16),
+        "vector v=8": vector_prune(dense, v=8, sparsity=SPARSITY).astype(np.float16),
+    }
+
+    cub = cublas_hgemm(dense, b, want_output=False).profile.duration_us
+    print(f"layer {M}x{K}, target sparsity {SPARSITY:.0%}, N={N}")
+    print(f"dense cuBLAS reference: {cub:.2f} us\n")
+    print(f"{'pruning':>20} {'zero-col skip':>14} {'reorder ok':>10} {'jigsaw us':>10} {'speedup':>8}")
+    for name, pruned in variants.items():
+        plan = JigsawPlan(pruned)
+        jm = plan.format_for(64)
+        res = plan.run(b, want_output=False)
+        ref = pruned.astype(np.float32) @ b.astype(np.float32)
+        out = plan.run(b)
+        assert np.allclose(out.c, ref, rtol=1e-3, atol=1e-1)
+        print(
+            f"{name:>20} {jm.reorder.skipped_column_fraction:>13.1%} "
+            f"{str(plan.reorder_success):>10} {res.profile.duration_us:>10.2f} "
+            f"{cub / res.profile.duration_us:>7.2f}x"
+        )
+
+    print(
+        "\nVector pruning concentrates zeros into whole slab columns, which"
+        "\nis exactly the structure the BLOCK_TILE reorder skips — the wider"
+        "\nthe vector, the more work disappears before SpTC even runs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Dynamic sparse attention with SpTC — the DFSS scenario.
+
+The paper cites DFSS [Chen et al., PPoPP'23] as prior SpTC work that
+co-designs pruning for the 2:4 pattern: attention scores are pruned
+*dynamically*, per forward pass, keeping the 2 largest of every 4.  This
+example contrasts the two SpTC routes on attention:
+
+* **DFSS route**: prune scores to 2:4 (``decompose_2to4`` keeps the top
+  2 per quad) and feed the conforming half to a cuSparseLt-style kernel
+  — no reorder needed, but half the scores are simply dropped;
+* **Jigsaw route**: threshold-prune the scores (keep the top ~25% —
+  unstructured!), and let the multi-granularity reorder make the result
+  SpTC-compatible without a co-designed pattern.
+
+Both compute ``scores @ V``; the example reports what each keeps and
+what it costs.
+
+Run:  python examples/sparse_attention.py
+"""
+
+import numpy as np
+
+from repro.baselines import cublas_hgemm, cusparselt_spmm, sparta_spmm
+from repro.core import JigsawPlan
+
+SEQ = 1024
+HEAD_DIM = 64
+KEEP_FRACTION = 0.25
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    e = np.exp(x - x.max(axis=-1, keepdims=True))
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def main() -> None:
+    rng = np.random.default_rng(19)
+    q = rng.standard_normal((SEQ, HEAD_DIM)).astype(np.float16) * 0.3
+    k = rng.standard_normal((SEQ, HEAD_DIM)).astype(np.float16) * 0.3
+    v = rng.standard_normal((SEQ, HEAD_DIM)).astype(np.float16)
+
+    scores = softmax(
+        (q.astype(np.float32) @ k.astype(np.float32).T) / np.sqrt(HEAD_DIM)
+    ).astype(np.float16)
+    dense_out = scores.astype(np.float32) @ v.astype(np.float32)
+    cu = cublas_hgemm(scores, v, want_output=False).profile.duration_us
+    print(f"attention: seq={SEQ}, head_dim={HEAD_DIM}")
+    print(f"dense scores @ V on cuBLAS: {cu:.2f} us\n")
+
+    # --- DFSS route: structural 2:4 top-2-of-4 pruning -----------------------
+    from repro.baselines import decompose_2to4
+
+    kept24, dropped = decompose_2to4(scores)
+    mass24 = np.abs(kept24).sum() / np.abs(scores).sum()
+    r24 = cusparselt_spmm(kept24, v, want_output=False, assume_conformant=True)
+    out24 = kept24.astype(np.float32) @ v.astype(np.float32)
+    err24 = np.abs(out24 - dense_out).max()
+    print(
+        f"DFSS-style 2:4 : keeps 50% of entries ({mass24:.1%} of attention mass), "
+        f"{r24.profile.duration_us:.2f} us, max |err| vs dense {err24:.4f}"
+    )
+
+    # --- Jigsaw route: unstructured top-k threshold pruning -------------------
+    thresh = np.quantile(scores.astype(np.float32), 1 - KEEP_FRACTION)
+    pruned = np.where(scores >= thresh, scores, np.float16(0))
+    mass = np.abs(pruned).sum() / np.abs(scores).sum()
+    plan = JigsawPlan(pruned)
+    rj = plan.run(v)
+    outj = pruned.astype(np.float32) @ v.astype(np.float32)
+    np.testing.assert_allclose(rj.c, outj, rtol=1e-2, atol=1e-2)
+    errj = np.abs(outj - dense_out).max()
+    print(
+        f"Jigsaw top-25% : keeps 25% of entries ({mass:.1%} of attention mass), "
+        f"{rj.profile.duration_us:.2f} us, max |err| vs dense {errj:.4f}"
+    )
+    print(f"                 reorder success: {plan.reorder_success}")
+
+    # --- SparTA route on the same unstructured scores -------------------------
+    rs = sparta_spmm(pruned, v, want_output=False)
+    print(f"SparTA (split) : same 25% kept, {rs.profile.duration_us:.2f} us")
+
+    print(
+        "\nTakeaway: the co-designed 2:4 route must keep a rigid half of "
+        "every quad,\nwhile Jigsaw accepts whatever the accuracy-driven "
+        "pruning keeps and reorders it\nonto the SpTC — the paper's core "
+        "argument, on a dynamic-attention workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Jigsaw reproduction: SpMM with vector sparsity on Sparse Tensor Core.
+
+A full-system reproduction of *Jigsaw: Accelerating SpMM with Vector
+Sparsity on Sparse Tensor Core* (ICPP 2024) on a simulated Ampere-class
+GPU.  Public entry points:
+
+* :class:`repro.core.JigsawPlan` / :func:`repro.core.jigsaw_spmm` — the
+  paper's contribution;
+* :mod:`repro.baselines` — cuBLAS, Sputnik, CLASP, Magicube, SparTA,
+  cuSparseLt, VENOM comparison systems;
+* :mod:`repro.analysis` — builders for every table and figure in the
+  paper's evaluation;
+* :mod:`repro.gpu` — the simulated device;
+* :mod:`repro.data` — synthetic DLMC workloads;
+* :mod:`repro.formats` — sparse storage formats.
+"""
+
+from .core import JigsawMatrix, JigsawPlan, jigsaw_spmm
+
+__version__ = "1.0.0"
+
+__all__ = ["JigsawMatrix", "JigsawPlan", "jigsaw_spmm", "__version__"]

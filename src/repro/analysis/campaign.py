@@ -1,0 +1,138 @@
+"""Whole-collection reorder campaigns (the paper's Section 4.3 analysis).
+
+The paper studies the reorder across the entire DLMC random-pruning
+subset: success rates, what drives failures (small K, low sparsity,
+narrow vectors), and how much work the zero-column extraction removes.
+``run_campaign`` performs that study over any
+:class:`~repro.data.dlmc.DlmcDataset` and returns per-matrix records
+plus aggregations; the summary renderer prints a §4.3-style digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.format import JigsawMatrix
+from repro.core.tiles import TileConfig
+from repro.data.dlmc import DlmcDataset, DlmcEntry
+from repro.data.vector_sparse import expand_to_vector_sparse
+
+
+@dataclass
+class CampaignRecord:
+    """Reorder outcome for one (matrix, v, BLOCK_TILE) combination."""
+
+    entry: DlmcEntry
+    v: int
+    block_tile: int
+    success: bool
+    evictions: int
+    skipped_fraction: float
+    storage_ratio: float  # measured bytes / dense bytes
+
+    @property
+    def k(self) -> int:
+        return self.entry.cols
+
+
+@dataclass
+class CampaignResult:
+    records: list[CampaignRecord] = field(default_factory=list)
+
+    def success_rate(
+        self,
+        sparsity: float | None = None,
+        v: int | None = None,
+        block_tile: int | None = None,
+    ) -> float:
+        """Success rate over the records matching the given filters."""
+        sel = [
+            r
+            for r in self.records
+            if (sparsity is None or r.entry.sparsity == sparsity)
+            and (v is None or r.v == v)
+            and (block_tile is None or r.block_tile == block_tile)
+        ]
+        if not sel:
+            raise ValueError("no records match the filter")
+        return sum(r.success for r in sel) / len(sel)
+
+    def failures(self) -> list[CampaignRecord]:
+        return [r for r in self.records if not r.success]
+
+    def failure_k_ceiling(self) -> int | None:
+        """The largest K among failures (paper: K <= 128 at 80%/v=2/BT=16)."""
+        fails = self.failures()
+        return max((r.k for r in fails), default=None)
+
+    def mean_skip(self, v: int, block_tile: int) -> float:
+        sel = [r for r in self.records if r.v == v and r.block_tile == block_tile]
+        if not sel:
+            raise ValueError("no records match the filter")
+        return float(np.mean([r.skipped_fraction for r in sel]))
+
+    def mean_storage_ratio(self) -> float:
+        return float(np.mean([r.storage_ratio for r in self.records]))
+
+
+def run_campaign(
+    dataset: DlmcDataset,
+    vector_widths: tuple[int, ...] = (2, 4, 8),
+    block_tiles: tuple[int, ...] = (16, 64),
+    max_matrices: int | None = None,
+    seed: int = 33,
+) -> CampaignResult:
+    """Reorder every collection matrix at every (v, BLOCK_TILE) combination."""
+    rng = np.random.default_rng(seed)
+    entries = list(dataset.entries())
+    if max_matrices is not None:
+        entries = entries[:max_matrices]
+    result = CampaignResult()
+    for entry in entries:
+        mask = dataset.materialize_mask(entry)
+        for v in vector_widths:
+            base = mask[: max(1, mask.shape[0] // v)]
+            mat = expand_to_vector_sparse(base, v, rng)
+            for bt in block_tiles:
+                jm = JigsawMatrix.build(mat, TileConfig(block_tile=bt))
+                result.records.append(
+                    CampaignRecord(
+                        entry=entry,
+                        v=v,
+                        block_tile=bt,
+                        success=jm.reorder.success,
+                        evictions=jm.reorder.total_evictions,
+                        skipped_fraction=jm.reorder.skipped_column_fraction,
+                        storage_ratio=jm.storage_bytes()["total"] / jm.dense_bytes(),
+                    )
+                )
+    return result
+
+
+def render_campaign(result: CampaignResult) -> str:
+    """A Section-4.3-style digest."""
+    from .report import render_table
+
+    sparsities = sorted({r.entry.sparsity for r in result.records})
+    vs = sorted({r.v for r in result.records})
+    bts = sorted({r.block_tile for r in result.records})
+    rows = []
+    for sp in sparsities:
+        for v in vs:
+            cells = [f"{sp:.0%}", str(v)]
+            for bt in bts:
+                cells.append(f"{result.success_rate(sparsity=sp, v=v, block_tile=bt):.0%}")
+            rows.append(cells)
+    table = render_table(
+        ["sparsity", "v"] + [f"success BT={bt}" for bt in bts], rows
+    )
+    lines = [table, ""]
+    fails = result.failures()
+    lines.append(f"failures: {len(fails)} / {len(result.records)} combinations")
+    ceiling = result.failure_k_ceiling()
+    if ceiling is not None:
+        lines.append(f"largest failing K: {ceiling}")
+    lines.append(f"mean storage ratio vs dense: {result.mean_storage_ratio():.1%}")
+    return "\n".join(lines)

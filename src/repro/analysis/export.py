@@ -1,0 +1,123 @@
+"""CSV/JSON exporters for experiment results.
+
+The benches print paper-style text; downstream users usually want the
+series machine-readable for plotting.  Every builder result type gets a
+``rows()``-style flattening here plus CSV and JSON writers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from .figures import Fig1Point, Fig10Series, Fig11Point, Fig12Result
+from .sensitivity import SensitivityPoint
+from .tables import Table2Row, Table3Cell
+
+
+def _rows_fig1(points: list[Fig1Point]) -> tuple[list[str], list[list[Any]]]:
+    return (
+        ["sparsity", "v", "proportion"],
+        [[p.sparsity, p.v, p.proportion] for p in points],
+    )
+
+
+def _rows_fig10(series: list[Fig10Series]) -> tuple[list[str], list[list[Any]]]:
+    header = ["sparsity", "v", "m", "k", "n", "system", "speedup_vs_cublas"]
+    rows = []
+    for fig in series:
+        for system, values in fig.series.items():
+            for n, val in zip(fig.n_values, values):
+                rows.append(
+                    [fig.sparsity, fig.v, fig.shape[0], fig.shape[1], n, system, val]
+                )
+    return header, rows
+
+
+def _rows_fig11(points: list[Fig11Point]) -> tuple[list[str], list[list[Any]]]:
+    return (
+        ["sparsity", "v", "block_tile", "success_rate"],
+        [[p.sparsity, p.v, p.block_tile, p.success_rate] for p in points],
+    )
+
+
+def _rows_fig12(result: Fig12Result) -> tuple[list[str], list[list[Any]]]:
+    header = ["version", "avg_speedup_vs_cublas"] + sorted(
+        next(iter(result.probe_metrics.values()))
+    )
+    rows = []
+    for ver, speed in result.avg_speedup.items():
+        metrics = result.probe_metrics[ver]
+        rows.append([ver, speed] + [metrics[k] for k in sorted(metrics)])
+    return header, rows
+
+
+def _rows_table2(rows_in: list[Table2Row]) -> tuple[list[str], list[list[Any]]]:
+    header = ["sparsity", "v", "baseline", "avg_speedup", "max_speedup"]
+    rows = []
+    for row in rows_in:
+        for baseline, (avg, mx) in row.speedups.items():
+            rows.append([row.sparsity, row.v, baseline, avg, mx])
+    return header, rows
+
+
+def _rows_table3(cells: list[Table3Cell]) -> tuple[list[str], list[list[Any]]]:
+    return (
+        ["sparsity", "v", "speedup_vs_venom", "speedup_vs_cusparselt"],
+        [[c.sparsity, c.v, c.vs_venom, c.vs_cusparselt] for c in cells],
+    )
+
+
+def _rows_sensitivity(points: list[SensitivityPoint]) -> tuple[list[str], list[list[Any]]]:
+    return (
+        ["axis", "scale", "jigsaw_us", "cublas_us", "speedup"],
+        [[p.axis, p.scale, p.jigsaw_us, p.cublas_us, p.speedup] for p in points],
+    )
+
+
+def result_rows(result: Any) -> tuple[list[str], list[list[Any]]]:
+    """Flatten any builder result into (header, rows)."""
+    if isinstance(result, Fig12Result):
+        return _rows_fig12(result)
+    if isinstance(result, list) and result:
+        first = result[0]
+        dispatch = {
+            Fig1Point: _rows_fig1,
+            Fig10Series: _rows_fig10,
+            Fig11Point: _rows_fig11,
+            Table2Row: _rows_table2,
+            Table3Cell: _rows_table3,
+            SensitivityPoint: _rows_sensitivity,
+        }
+        for cls, fn in dispatch.items():
+            if isinstance(first, cls):
+                return fn(result)
+    raise TypeError(f"no exporter for {type(result).__name__}")
+
+
+def to_csv(result: Any, path: str | Path | io.TextIOBase | None = None) -> str:
+    """Export a builder result as CSV; returns the text."""
+    header, rows = result_rows(result)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    writer.writerows(rows)
+    text = buf.getvalue()
+    if isinstance(path, io.TextIOBase):
+        path.write(text)
+    elif path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def to_json(result: Any, path: str | Path | None = None) -> str:
+    """Export a builder result as JSON records; returns the text."""
+    header, rows = result_rows(result)
+    records = [dict(zip(header, row)) for row in rows]
+    text = json.dumps(records, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

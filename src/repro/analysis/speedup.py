@@ -1,0 +1,106 @@
+"""Speedup sweeps across the evaluated systems.
+
+``run_workload`` executes one SpMM problem on every requested system and
+returns the Nsight-style Durations; speedups are always reported as
+``duration(baseline) / duration(jigsaw)`` or normalized to cuBLAS,
+matching the paper's conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import (
+    clasp_spmm,
+    cublas_hgemm,
+    magicube_spmm,
+    sparta_spmm,
+    sputnik_spmm,
+)
+from repro.core import JigsawPlan
+from repro.data.workloads import Workload
+from repro.gpu.device import A100, DeviceSpec
+
+#: Systems of the Figure-10 / Table-2 comparison.
+SYSTEM_NAMES: tuple[str, ...] = (
+    "cublas",
+    "jigsaw",
+    "clasp",
+    "magicube",
+    "sputnik",
+    "sparta",
+)
+
+
+@dataclass
+class WorkloadTiming:
+    """Durations (us) of every system on one workload."""
+
+    workload: Workload
+    durations_us: dict[str, float] = field(default_factory=dict)
+
+    def speedup_vs(self, baseline: str, system: str = "jigsaw") -> float:
+        """How much faster ``system`` is than ``baseline`` (>1 = faster)."""
+        return self.durations_us[baseline] / self.durations_us[system]
+
+    def normalized_to_cublas(self) -> dict[str, float]:
+        """Figure-10 convention: speedup of each system over cuBLAS."""
+        cu = self.durations_us["cublas"]
+        return {name: cu / us for name, us in self.durations_us.items()}
+
+
+def run_workload(
+    workload: Workload,
+    systems: tuple[str, ...] = SYSTEM_NAMES,
+    device: DeviceSpec = A100,
+    plan_cache: dict | None = None,
+) -> WorkloadTiming:
+    """Time one workload on the requested systems (no functional output).
+
+    ``plan_cache`` maps (m, k, sparsity, v, seed) -> JigsawPlan so sweeps
+    over N reuse the one-time reorder, the way inference amortizes it.
+    """
+    a = workload.materialize_lhs()
+    b = workload.materialize_rhs()
+    timing = WorkloadTiming(workload=workload)
+
+    runners: dict[str, Callable[[], float]] = {
+        "cublas": lambda: cublas_hgemm(a, b, device, want_output=False).profile.duration_us,
+        "clasp": lambda: clasp_spmm(a, b, device=device, want_output=False).profile.duration_us,
+        "magicube": lambda: magicube_spmm(
+            a, b, v=workload.v, device=device, want_output=False
+        ).profile.duration_us,
+        "sputnik": lambda: sputnik_spmm(a, b, device, want_output=False).profile.duration_us,
+        "sparta": lambda: sparta_spmm(a, b, device, want_output=False).profile.duration_us,
+    }
+
+    def run_jigsaw() -> float:
+        key = (workload.m, workload.k, workload.sparsity, workload.v, workload.seed)
+        if plan_cache is not None and key in plan_cache:
+            plan = plan_cache[key]
+        else:
+            plan = JigsawPlan(a)
+            if plan_cache is not None:
+                plan_cache[key] = plan
+        return plan.run(b, device=device, want_output=False).profile.duration_us
+
+    runners["jigsaw"] = run_jigsaw
+
+    for name in systems:
+        if name not in runners:
+            raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
+        timing.durations_us[name] = runners[name]()
+    return timing
+
+
+def avg_and_max_speedup(
+    timings: list[WorkloadTiming], baseline: str
+) -> tuple[float, float]:
+    """Table-2 statistic: (average, maximum) Jigsaw speedup vs a baseline."""
+    if not timings:
+        raise ValueError("no timings to aggregate")
+    speedups = np.array([t.speedup_vs(baseline) for t in timings])
+    return float(speedups.mean()), float(speedups.max())

@@ -1,0 +1,117 @@
+"""Builders for the paper's tables (Table 2 and Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import cusparselt_spmm, venom_spmm
+from repro.core import JigsawPlan
+from repro.data.workloads import Workload, enumerate_workloads
+from repro.formats.venom import VenomMatrix, venom_prune
+from repro.gpu.device import A100, DeviceSpec
+
+from .speedup import WorkloadTiming, avg_and_max_speedup, run_workload
+
+#: Baselines reported in Table 2, column order.
+TABLE2_BASELINES: tuple[str, ...] = ("cublas", "clasp", "magicube", "sputnik", "sparta")
+
+
+@dataclass
+class Table2Row:
+    sparsity: float
+    v: int
+    #: baseline -> (avg speedup, max speedup) of Jigsaw.
+    speedups: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+def build_table2(
+    sparsities: tuple[float, ...] = (0.80, 0.90, 0.95, 0.98),
+    vector_widths: tuple[int, ...] = (2, 4, 8),
+    n_values: tuple[int, ...] = (256, 512, 1024, 2048, 4096),
+    shapes: tuple[tuple[int, int], ...] = ((512, 512), (1024, 1024), (2048, 2048)),
+    device: DeviceSpec = A100,
+) -> list[Table2Row]:
+    """Average/maximum Jigsaw speedups per (sparsity, v) cell.
+
+    Matches Table 2's construction: for each cell, sweep the (shape, N)
+    grid, time every system, and aggregate Jigsaw's speedup against each
+    baseline.
+    """
+    rows = []
+    plan_cache: dict = {}
+    for sparsity in sparsities:
+        for v in vector_widths:
+            timings: list[WorkloadTiming] = []
+            for w in enumerate_workloads(
+                sparsities=(sparsity,),
+                vector_widths=(v,),
+                n_values=n_values,
+                shapes=shapes,
+            ):
+                timings.append(run_workload(w, device=device, plan_cache=plan_cache))
+            row = Table2Row(sparsity=sparsity, v=v)
+            for baseline in TABLE2_BASELINES:
+                row.speedups[baseline] = avg_and_max_speedup(timings, baseline)
+            rows.append(row)
+    return rows
+
+
+@dataclass
+class Table3Cell:
+    sparsity: float
+    v: int  # VENOM's vector length V
+    vs_venom: float
+    vs_cusparselt: float
+
+
+def build_table3(
+    sparsities: tuple[float, ...] = (0.80, 0.90, 0.95, 0.98),
+    v_values: tuple[int, ...] = (32, 64, 128),
+    shape: tuple[int, int] = (1024, 1024),
+    n: int = 1024,
+    device: DeviceSpec = A100,
+    seed: int = 321,
+) -> list[Table3Cell]:
+    """Jigsaw vs VENOM vs cuSparseLt on VENOM-pruned matrices.
+
+    Section 4.5 protocol: prune dense weights with VENOM's V:N:M method
+    (so SpTC's requirement holds *without* reordering), then run all
+    three systems on the same matrices.  For a target sparsity ``s`` the
+    V:2:M pattern uses M = round(2 / (1 - s)).
+    """
+    rng = np.random.default_rng(seed)
+    m_rows, k = shape
+    cells = []
+    for sparsity in sparsities:
+        m_group = max(4, round(2.0 / (1.0 - sparsity)))
+        # K must tile by the group size.
+        k_pad = -(-k // m_group) * m_group
+        for v in v_values:
+            dense = rng.standard_normal((m_rows, k_pad)).astype(np.float16)
+            pruned = venom_prune(dense, v=v, n=2, m=m_group)
+            b = rng.standard_normal((k_pad, n)).astype(np.float16)
+
+            jig = (
+                JigsawPlan(pruned)
+                .run(b, device=device, want_output=False)
+                .profile.duration_us
+            )
+            vm = VenomMatrix.from_dense(pruned, v=v, n=2, m=m_group)
+            ven = venom_spmm(vm, b, device, want_output=False).profile.duration_us
+            # cuSparseLt needs strict 2:4: split the V:2:M data down to a
+            # 2:4-conformant representative (the library pads to 2:4 when
+            # the pattern is coarser); model as computing the full K/2.
+            lt = cusparselt_spmm(
+                pruned, b, device, want_output=False, assume_conformant=True
+            ).profile.duration_us
+            cells.append(
+                Table3Cell(
+                    sparsity=sparsity,
+                    v=v,
+                    vs_venom=ven / jig,
+                    vs_cusparselt=lt / jig,
+                )
+            )
+    return cells

@@ -1,0 +1,117 @@
+"""Functional-correctness campaign across all systems.
+
+Every simulated system claims its output equals ``A @ B``; this module
+verifies the claim over a workload grid and reports per-system maximum
+errors — the release-gating check a downstream user runs after touching
+any kernel or format code (also exposed as ``python -m repro verify``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import (
+    blocked_ell_spmm,
+    clasp_spmm,
+    cublas_hgemm,
+    cusparse_spmm,
+    magicube_spmm,
+    sparta_spmm,
+    sputnik_spmm,
+    vectorsparse_spmm,
+)
+from repro.core import JigsawPlan, TileConfig
+from repro.core.kernels import hybrid_spmm
+from repro.data.workloads import Workload
+
+#: Absolute tolerance for fp16-operand products accumulated in fp32.
+DEFAULT_ATOL = 0.15
+
+
+@dataclass
+class VerificationRecord:
+    workload: str
+    system: str
+    max_abs_err: float
+    passed: bool
+
+
+@dataclass
+class VerificationReport:
+    records: list[VerificationRecord] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.records)
+
+    def failures(self) -> list[VerificationRecord]:
+        return [r for r in self.records if not r.passed]
+
+    def worst_by_system(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.system] = max(out.get(r.system, 0.0), r.max_abs_err)
+        return out
+
+
+def default_workloads() -> list[Workload]:
+    """A small grid covering the regimes that exercise distinct paths."""
+    return [
+        Workload("even", m=64, k=128, n=64, sparsity=0.9, v=4, seed=1),
+        Workload("dense-ish", m=64, k=64, n=32, sparsity=0.6, v=2, seed=2),
+        Workload("very-sparse", m=128, k=256, n=64, sparsity=0.98, v=8, seed=3),
+        Workload("ragged", m=48, k=80, n=40, sparsity=0.85, v=4, seed=4),
+    ]
+
+
+def run_verification(
+    workloads: list[Workload] | None = None,
+    atol: float = DEFAULT_ATOL,
+) -> VerificationReport:
+    """Run every system on every workload; compare against fp32 numpy."""
+    report = VerificationReport()
+    for w in workloads or default_workloads():
+        a, b = w.materialize()
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+
+        outputs: dict[str, np.ndarray] = {}
+        outputs["cublas"] = cublas_hgemm(a, b).c
+        outputs["jigsaw"] = JigsawPlan(a).run(b).c
+        outputs["hybrid"] = hybrid_spmm(a, b, TileConfig(block_tile=32)).c
+        outputs["clasp"] = clasp_spmm(a, b).c
+        outputs["magicube"] = magicube_spmm(a, b, v=w.v).c
+        outputs["sputnik"] = sputnik_spmm(a, b).c
+        outputs["sparta"] = sparta_spmm(a, b).c
+        outputs["cusparse"] = cusparse_spmm(a, b).c
+        outputs["vectorsparse"] = vectorsparse_spmm(a, b, pv=w.v).c
+        if a.shape[0] % 32 == 0 and a.shape[1] % 32 == 0:
+            outputs["blocked_ell"] = blocked_ell_spmm(a, b, bs=32).c
+
+        scale = max(1.0, float(np.abs(ref).max()))
+        for system, c in outputs.items():
+            err = float(np.abs(np.asarray(c) - ref).max())
+            report.records.append(
+                VerificationRecord(
+                    workload=w.name,
+                    system=system,
+                    max_abs_err=err,
+                    passed=err <= atol * scale,
+                )
+            )
+    return report
+
+
+def render_verification(report: VerificationReport) -> str:
+    from .report import render_table
+
+    rows = [
+        [r.workload, r.system, f"{r.max_abs_err:.4f}", "ok" if r.passed else "FAIL"]
+        for r in report.records
+    ]
+    table = render_table(["workload", "system", "max |err|", "status"], rows)
+    verdict = "ALL SYSTEMS AGREE" if report.all_passed else (
+        f"{len(report.failures())} FAILURES"
+    )
+    return table + f"\n\n{verdict}"

@@ -1,0 +1,34 @@
+"""Baseline SpMM/GEMM implementations the paper compares against."""
+
+from .blocked_ell import blocked_ell_spmm
+from .clasp import clasp_spmm
+from .common import BaselineResult
+from .cublas import cublas_hgemm, select_tile
+from .cusparse import cusparse_spmm
+from .cusparselt import cusparselt_spmm
+from .magicube import magicube_spmm
+from .row_swizzle import balanced_block_cost, imbalance, row_swizzle_order, snake_assign
+from .sparta import decompose_2to4, sparta_spmm
+from .sputnik import sputnik_spmm
+from .vectorsparse import vectorsparse_spmm
+from .venom import venom_spmm
+
+__all__ = [
+    "BaselineResult",
+    "blocked_ell_spmm",
+    "clasp_spmm",
+    "cublas_hgemm",
+    "cusparse_spmm",
+    "cusparselt_spmm",
+    "decompose_2to4",
+    "magicube_spmm",
+    "select_tile",
+    "balanced_block_cost",
+    "imbalance",
+    "row_swizzle_order",
+    "snake_assign",
+    "sparta_spmm",
+    "sputnik_spmm",
+    "vectorsparse_spmm",
+    "venom_spmm",
+]

@@ -1,0 +1,88 @@
+"""cuSPARSE Blocked-ELL SpMM on dense tensor cores.
+
+The library's Ampere tensor-core SpMM path (``cusparseSpMM`` with
+``CUSPARSE_FORMAT_BLOCKED_ELL``): every stored ``bs x bs`` block — real
+or padding — runs through dense MMAs.  On clustered sparsity the format
+shines; on the unstructured vector sparsity Jigsaw targets, the padding
+overhead (see :class:`~repro.formats.blocked_ell.BlockedEllMatrix`) makes
+it compute work proportional to the *longest* block-row, which is why it
+never appears in the paper's DL comparisons despite being the obvious
+library route to tensor cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.blocked_ell import BlockedEllMatrix
+from repro.gpu.asynccopy import PipelineConfig, estimate_block_stalls
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.instructions import Op
+from repro.gpu.scheduler import BlockWork, KernelTrace, simulate_launch
+
+from .common import BaselineResult, check_dims, gemm_footprint_bytes
+
+N_TILE = 64
+
+
+def blocked_ell_spmm(
+    a: BlockedEllMatrix | np.ndarray,
+    b: np.ndarray,
+    bs: int = 32,
+    device: DeviceSpec = A100,
+    want_output: bool = True,
+) -> BaselineResult:
+    """Simulate the Blocked-ELL SpMM ``C = A @ B``."""
+    ell = a if isinstance(a, BlockedEllMatrix) else BlockedEllMatrix.from_dense(a, bs)
+    m, n, k = check_dims(ell.shape, b)
+    bs = ell.bs
+
+    # One thread block per block-row x N tile.
+    n_blocks = ell.block_rows * (-(-n // N_TILE))
+    ntile = min(N_TILE, n)
+
+    trace = KernelTrace(
+        kernel_name=f"cusparse_blocked_ell_bs{bs}",
+        threads_per_block=128,
+        smem_bytes_per_block=2 * (bs * bs + bs * N_TILE) * 2,
+        regs_per_thread=96,
+        footprint_bytes=gemm_footprint_bytes(m, n, k, a_bytes=float(ell.storage_bytes())),
+    )
+    work = BlockWork(weight=n_blocks)
+    mix = work.mix
+
+    # Dense MMA per stored block slot — padding included.
+    mma_per_slot = (bs // 16) * (ntile / 8) * (bs // 16)
+    mix.emit(Op.MMA_M16N8K16_F16, max(1.0, ell.ell_cols * mma_per_slot))
+    mix.emit(Op.LDMATRIX_X4, max(1.0, ell.ell_cols * mma_per_slot / 2))
+    work.smem.accesses = int(ell.ell_cols * mma_per_slot * 2)
+    work.smem.transactions = int(ell.ell_cols * mma_per_slot * 2)
+
+    # Block values + gathered B block-rows.
+    a_bytes = ell.ell_cols * bs * bs * 2
+    b_bytes = ell.ell_cols * bs * ntile * 2
+    work.gmem.load_sectors = (a_bytes + b_bytes) // 32 + 1
+    work.gmem.load_requests = ell.ell_cols + 1
+    work.gmem.useful_load_bytes = a_bytes + b_bytes
+    mix.emit(Op.CP_ASYNC, (a_bytes + b_bytes) / (16 * 32))
+
+    c_bytes = bs * ntile * 2
+    mix.emit(Op.STG, c_bytes / (16 * 32))
+    work.gmem.store_sectors = c_bytes // 32
+    work.gmem.store_requests = bs
+    work.gmem.useful_store_bytes = c_bytes
+    mix.emit(Op.IADD, ell.ell_cols * 4 + 8)
+
+    work.stalls = estimate_block_stalls(
+        PipelineConfig(stages=2, uses_async_copy=True, indirect_dependency_exposed=True),
+        max(1, ell.ell_cols),
+        2.0,
+        device,
+    )
+    work.critical_path_cycles = 2 * device.dram_latency_cycles + min(
+        float(ell.ell_cols), 8.0
+    ) * device.dram_latency_cycles * 0.4
+    trace.add_block(work)
+    profile = simulate_launch(trace, device)
+    c = ell.spmm_reference(b) if want_output else None
+    return BaselineResult(c=c, profile=profile)

@@ -1,0 +1,137 @@
+"""CLASP-like column-vector-sparse SpMM on dense tensor cores.
+
+CLASP [Castro et al., PACT'22] extends vectorSparse to Ampere: the sparse
+matrix is stored as pv-tall column vectors (the CVS format) and computed
+with dense ``mma.m8n8k16``.  The pv/MMA interaction the paper analyzes
+(Section 4.2) falls out of the fragment geometry:
+
+* an m8 fragment holds 8 matrix rows = ``8 / pv`` vector rows;
+* each vector row gathers its own B rows, so only ``pv`` of the 8
+  fragment rows share one gather — MMA utilization is pv/8
+  (25% at pv=2, 50% at pv=4, 100% at pv=8);
+* blocks are smaller than Jigsaw's, so CLASP launches more blocks
+  (better at tiny grids, worse data reuse at scale).
+
+``clasp_spmm`` runs all requested pv values and keeps the best, exactly
+like the paper's evaluation protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.cvs import CVSMatrix
+from repro.gpu.asynccopy import PipelineConfig, estimate_block_stalls
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.instructions import Op
+from repro.gpu.scheduler import BlockWork, KernelTrace, simulate_launch
+
+from .common import BaselineResult, check_dims, gemm_footprint_bytes
+
+#: Rows of C per thread block (one m8 fragment row-strip x 32 N).
+ROWS_PER_BLOCK = 32
+N_TILE = 32
+
+
+def _clasp_once(
+    cvs: CVSMatrix, b: np.ndarray, device: DeviceSpec
+) -> tuple[float, KernelTrace]:
+    m, n, k = check_dims(cvs.shape, b)
+    pv = cvs.pv
+    panels_per_block = ROWS_PER_BLOCK // pv
+    n_row_blocks = -(-cvs.num_panels // panels_per_block)
+    n_blocks = n_row_blocks * (-(-n // N_TILE))
+    avg_vectors_per_block = cvs.num_vectors / max(1, n_row_blocks)
+
+    trace = KernelTrace(
+        kernel_name=f"clasp_pv{pv}",
+        threads_per_block=128,
+        smem_bytes_per_block=12 * 1024,
+        regs_per_thread=96,
+        footprint_bytes=gemm_footprint_bytes(m, n, k, a_bytes=cvs.storage_bytes()),
+    )
+    work = BlockWork(weight=n_blocks)
+    mix = work.mix
+    ntile = min(N_TILE, n)
+
+    # Each m8n8k16 covers 8 matrix rows x 16 gathered columns; the naive
+    # utilization penalty is 8/pv, but CLASP's octet tiling recovers part
+    # of it by packing several vector rows per fragment, leaving an
+    # effective (8/pv)^0.3 penalty; the 1.9 factor is the kernel's
+    # overall overhead versus a library GEMM (both calibrated against the
+    # paper's Table 2 — see DESIGN.md).
+    utilization_penalty = (8.0 / pv) ** 0.3
+    vectors_per_mma_k = 16  # k=16 gathered vector-columns per MMA
+    mma = (
+        (avg_vectors_per_block / vectors_per_mma_k)
+        * (ntile / 8)
+        * utilization_penalty
+        * 1.9
+    )
+    mix.emit(Op.MMA_M8N8K16_F16, max(1.0, mma))
+    # Fragment loads for A values and gathered B rows.
+    mix.emit(Op.LDMATRIX_X2, max(1.0, mma / 2))
+    work.smem.accesses = int(mma)
+    work.smem.transactions = int(mma)
+    # Sparse operand + B-row gathers (vector loads, L1-friendly but less
+    # reused than Jigsaw's block-wide shared tile).
+    a_bytes = avg_vectors_per_block * (pv * 2 + 4)
+    work.gmem.load_sectors = int(a_bytes // 32) + 1
+    work.gmem.load_requests = int(avg_vectors_per_block // 32) + 1
+    work.gmem.useful_load_bytes = int(a_bytes)
+    mix.emit(Op.LDG, a_bytes / (16 * 32) + 1)
+    # Each panel re-gathers its own B rows and the pv-tall accesses only
+    # partially fill their 32 B sectors — twice the effective gather
+    # traffic of Jigsaw's block-wide shared B tile.
+    work.l1_gather_bytes = avg_vectors_per_block * ntile * 2 * 2
+    mix.emit(Op.LDG, avg_vectors_per_block * ntile * 2 / (16 * 32))
+    # C write-back.
+    c_bytes = ROWS_PER_BLOCK * ntile * 2
+    mix.emit(Op.STG, c_bytes / (16 * 32))
+    work.gmem.store_sectors = c_bytes // 32
+    work.gmem.store_requests = ROWS_PER_BLOCK
+    work.gmem.useful_store_bytes = c_bytes
+    mix.emit(Op.IADD, avg_vectors_per_block / 8 + 8)
+
+    iters = max(1.0, avg_vectors_per_block / 16)
+    work.stalls = estimate_block_stalls(
+        PipelineConfig(stages=2, uses_async_copy=True, indirect_dependency_exposed=True),
+        int(iters),
+        2.0,
+        device,
+    )
+    # Column-index pointer chase before each gather can issue.
+    work.critical_path_cycles = 2 * device.dram_latency_cycles + min(
+        iters, 8.0
+    ) * device.dram_latency_cycles * 0.5
+    trace.add_block(work)
+    profile = simulate_launch(trace, device)
+    return profile.duration_us, trace
+
+
+def clasp_spmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    pv_candidates: tuple[int, ...] = (2, 4, 8),
+    device: DeviceSpec = A100,
+    want_output: bool = True,
+) -> BaselineResult:
+    """Simulate CLASP, auto-tuning pv over ``pv_candidates`` (best kept).
+
+    Matches the paper's protocol: "we execute CLASP with pv=2, 4, and 8
+    and select the best result as its performance".
+    """
+    m, _ = a.shape
+    best_profile = None
+    for pv in pv_candidates:
+        if m % pv:
+            continue
+        cvs = CVSMatrix.from_dense(a, pv)
+        _, trace = _clasp_once(cvs, b, device)
+        profile = simulate_launch(trace, device)
+        if best_profile is None or profile.duration_us < best_profile.duration_us:
+            best_profile = profile
+    if best_profile is None:
+        raise ValueError(f"no pv candidate divides M={m}")
+    c = a.astype(np.float32) @ b.astype(np.float32) if want_output else None
+    return BaselineResult(c=c, profile=best_profile)

@@ -1,0 +1,100 @@
+"""cuSparseLt-like 2:4 SpTC GEMM.
+
+NVIDIA's library kernel for hardware 2:4 sparsity: the LHS must already
+satisfy (or be padded to) the 2:4 pattern; the kernel then computes the
+*full* M x N x K/2 compressed product.  Crucially there is no
+zero-column skipping and no sparsity adaptivity — at 98% input sparsity
+it does exactly the work it does at 50%, which is why SparTA's
+cuSparseLt half decays with sparsity (paper Section 4.2) and why Jigsaw
+beats it even on pre-pruned conforming matrices (Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.nm import NMCompressedMatrix, satisfies_nm
+from repro.gpu.asynccopy import PipelineConfig, estimate_block_stalls
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.instructions import Op
+from repro.gpu.scheduler import BlockWork, KernelTrace, simulate_launch
+
+from .common import BaselineResult, check_dims, gemm_footprint_bytes
+
+TILE_M, TILE_N, TILE_K = 128, 128, 64
+
+
+def cusparselt_spmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    device: DeviceSpec = A100,
+    want_output: bool = True,
+    assume_conformant: bool = False,
+) -> BaselineResult:
+    """Simulate cuSparseLt's 2:4 SpMM.
+
+    ``a`` must satisfy 2:4 unless ``assume_conformant`` is set by a caller
+    that already pruned/split it (SparTA passes its 2:4 half directly).
+    """
+    m, n, k = check_dims(a.shape, b)
+    if not assume_conformant and not satisfies_nm(a, 2, 4):
+        raise ValueError(
+            "matrix violates 2:4; cuSparseLt requires a conforming LHS "
+            "(prune with venom_prune or reorder with Jigsaw)"
+        )
+    comp_bytes = m * k + m * k // 8  # values (fp16, K/2) + metadata
+
+    n_blocks = (-(-m // TILE_M)) * (-(-n // TILE_N))
+    k_iters = -(-k // TILE_K)
+
+    trace = KernelTrace(
+        kernel_name="cusparselt_24",
+        threads_per_block=256,
+        smem_bytes_per_block=2 * (TILE_M * TILE_K // 2 + TILE_K * TILE_N) * 2,
+        regs_per_thread=128,
+        footprint_bytes=gemm_footprint_bytes(m, n, k, a_bytes=float(comp_bytes)),
+    )
+    work = BlockWork(weight=n_blocks)
+    mix = work.mix
+
+    # Full compressed product: one mma.sp.m16n8k32 per 16x8x32 slice.
+    mma_per_iter = (TILE_M // 16) * (TILE_N // 8) * (TILE_K // 32)
+    mix.emit(Op.MMA_SP_M16N8K32_F16, mma_per_iter * k_iters)
+
+    # Tile copies: compressed A (K/2 wide) + metadata + dense B.
+    tile_bytes = (TILE_M * TILE_K // 2) * 2 + TILE_M * TILE_K // 8 + TILE_K * TILE_N * 2
+    mix.emit(Op.CP_ASYNC, tile_bytes / (16 * 32) * k_iters)
+    work.gmem.load_sectors = tile_bytes // 32 * k_iters
+    work.gmem.load_requests = k_iters
+    work.gmem.useful_load_bytes = tile_bytes * k_iters
+
+    # Conflict-free fragment loads (library-tuned swizzles).
+    frag = mma_per_iter * k_iters
+    mix.emit(Op.LDMATRIX_X4, frag / 2)
+    mix.emit(Op.LDS, frag / 2)  # metadata (library's own layout)
+    work.smem.accesses = int(frag)
+    work.smem.transactions = int(frag)
+
+    c_bytes = TILE_M * TILE_N * 2
+    mix.emit(Op.STG, c_bytes / (16 * 32))
+    work.gmem.store_sectors = c_bytes // 32
+    work.gmem.store_requests = TILE_M
+    work.gmem.useful_store_bytes = c_bytes
+    mix.emit(Op.IADD, 8 * k_iters)
+    mix.emit(Op.BAR_SYNC, k_iters)
+
+    work.stalls = estimate_block_stalls(
+        PipelineConfig(stages=3, uses_async_copy=True, indirect_dependency_exposed=False),
+        k_iters,
+        mma_per_iter / 4,
+        device,
+    )
+    trace.add_block(work)
+    profile = simulate_launch(trace, device)
+    c = None
+    if want_output:
+        if satisfies_nm(a, 2, 4):
+            c = NMCompressedMatrix.from_dense(a).spmm_reference(b)
+        else:  # pragma: no cover - SparTA path computes its own sum
+            c = a.astype(np.float32) @ b.astype(np.float32)
+    return BaselineResult(c=c, profile=profile)

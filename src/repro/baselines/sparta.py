@@ -1,0 +1,102 @@
+"""SparTA-like decomposed SpMM [Zheng et al., OSDI'22].
+
+SparTA splits a sparse matrix into a 2:4-coverable part (run on SpTC via
+cuSparseLt) and a residual (run on CUDA cores via Sputnik), then sums the
+two outputs.  The paper implements exactly this half-precision
+composition (Section 4.1) and observes:
+
+* at low sparsity the cuSparseLt half is well utilized and SparTA beats
+  Sputnik;
+* as sparsity grows the 2:4 half becomes mostly padding (cuSparseLt's
+  time is sparsity-independent), so redundant computation grows and
+  SparTA falls behind — Jigsaw's edge widens from ~1.6x (80%) to ~3x
+  (98%), Table 2.
+
+The decomposition here keeps, per row and per aligned quad, the two
+largest-magnitude entries in the 2:4 part; everything else is residual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.profiler import KernelProfile
+
+from .common import BaselineResult, check_dims, reference_spmm
+from .cusparselt import cusparselt_spmm
+from .sputnik import sputnik_spmm
+
+#: Kernel-decomposition overhead: the second kernel's launch plus the
+#: read-modify-write accumulation of the two partial outputs, in us.
+SPLIT_OVERHEAD_US = 3.0
+
+
+def decompose_2to4(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``a`` into (2:4-conformant part, residual).
+
+    Per row and aligned group of four columns, the two largest-magnitude
+    entries stay in the 2:4 part; the rest spill to the residual.
+    """
+    m, k = a.shape
+    if k % 4:
+        pad = 4 - k % 4
+        a_padded = np.pad(a, ((0, 0), (0, pad)))
+    else:
+        pad = 0
+        a_padded = a
+    kp = a_padded.shape[1]
+    seg = a_padded.reshape(m, kp // 4, 4)
+    order = np.argsort(-np.abs(seg.astype(np.float32)), axis=2, kind="stable")
+    keep = np.zeros_like(seg, dtype=bool)
+    r = np.arange(m)[:, None]
+    g = np.arange(kp // 4)[None, :]
+    keep[r, g, order[:, :, 0]] = True
+    keep[r, g, order[:, :, 1]] = True
+    part24 = np.where(keep, seg, 0).reshape(m, kp)[:, : kp - pad if pad else kp]
+    residual = np.where(~keep, seg, 0).reshape(m, kp)[:, : kp - pad if pad else kp]
+    return part24.astype(a.dtype), residual.astype(a.dtype)
+
+
+def sparta_spmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    device: DeviceSpec = A100,
+    want_output: bool = True,
+) -> BaselineResult:
+    """Simulate SparTA: cuSparseLt on the 2:4 part + Sputnik on the rest."""
+    m, n, k = check_dims(a.shape, b)
+    part24, residual = decompose_2to4(a)
+
+    r1 = cusparselt_spmm(part24, b, device, want_output=False, assume_conformant=True)
+    residual_nnz = int(np.count_nonzero(residual))
+    if residual_nnz:
+        r2 = sputnik_spmm(residual, b, device, want_output=False)
+        combined_us = r1.profile.duration_us + r2.profile.duration_us + SPLIT_OVERHEAD_US
+        r2_profile: KernelProfile | None = r2.profile
+    else:
+        combined_us = r1.profile.duration_us
+        r2_profile = None
+
+    profile = KernelProfile(
+        kernel_name="sparta_split",
+        duration_cycles=combined_us * device.cycles_per_us,
+        duration_us=combined_us,
+        grid_blocks=r1.profile.grid_blocks
+        + (r2_profile.grid_blocks if r2_profile else 0),
+        threads_per_block=r1.profile.threads_per_block,
+        blocks_per_sm=r1.profile.blocks_per_sm,
+        waves=r1.profile.waves + (r2_profile.waves if r2_profile else 0.0),
+        instruction_mix=r1.profile.instruction_mix,
+        smem=r1.profile.smem,
+        gmem=r1.profile.gmem,
+        warp_long_scoreboard=r1.profile.warp_long_scoreboard,
+        warp_short_scoreboard=r1.profile.warp_short_scoreboard,
+        compute_limited_cycles=r1.profile.compute_limited_cycles,
+        memory_limited_cycles=r1.profile.memory_limited_cycles,
+        smem_limited_cycles=r1.profile.smem_limited_cycles,
+        issue_limited_cycles=r1.profile.issue_limited_cycles,
+        exposed_stall_cycles=r1.profile.exposed_stall_cycles,
+    )
+    c = reference_spmm(a, b) if want_output else None
+    return BaselineResult(c=c, profile=profile)

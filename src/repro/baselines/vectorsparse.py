@@ -1,0 +1,96 @@
+"""vectorSparse-like SpMM [Chen et al., SC'21] — CLASP's V100 ancestor.
+
+vectorSparse introduced the TCU-based 1-D octet tiling for vector-sparse
+matrices on dense tensor cores.  It targets Volta: no ``cp.async`` (all
+copies stage through registers) and pre-Ampere tensor-core throughput
+assumptions.  The paper explains that this is why it "outperformed
+cuBLAS on the A100 architecture only at a high sparsity level", which is
+exactly what running its model on the A100 spec reproduces — and why
+CLASP (its Ampere port) supersedes it in the main comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.cvs import CVSMatrix
+from repro.gpu.asynccopy import PipelineConfig, estimate_block_stalls
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.instructions import Op
+from repro.gpu.scheduler import BlockWork, KernelTrace, simulate_launch
+
+from .common import BaselineResult, check_dims, gemm_footprint_bytes
+
+ROWS_PER_BLOCK = 32
+N_TILE = 32
+
+
+def vectorsparse_spmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    pv: int = 8,
+    device: DeviceSpec = A100,
+    want_output: bool = True,
+) -> BaselineResult:
+    """Simulate vectorSparse with octet tiles of vector length ``pv``."""
+    m, n, k = check_dims(a.shape, b)
+    if m % pv:
+        raise ValueError(f"M={m} not divisible by pv={pv}")
+    cvs = CVSMatrix.from_dense(a, pv)
+
+    panels_per_block = ROWS_PER_BLOCK // pv
+    n_row_blocks = -(-cvs.num_panels // panels_per_block)
+    n_blocks = n_row_blocks * (-(-n // N_TILE))
+    avg_vectors_per_block = cvs.num_vectors / max(1, n_row_blocks)
+    ntile = min(N_TILE, n)
+
+    trace = KernelTrace(
+        kernel_name=f"vectorsparse_pv{pv}",
+        threads_per_block=128,
+        smem_bytes_per_block=12 * 1024,
+        regs_per_thread=128,  # register-staged copies need more registers
+        footprint_bytes=gemm_footprint_bytes(m, n, k, a_bytes=cvs.storage_bytes()),
+    )
+    work = BlockWork(weight=n_blocks)
+    mix = work.mix
+
+    # Same fragment geometry as CLASP but with Volta-era overheads: the
+    # wmma-path issues more instructions per MMA and the utilization
+    # penalty is the full 8/pv (no Ampere octet refinements).
+    mma = (avg_vectors_per_block / 16) * (ntile / 8) * (8.0 / pv) * 2.0
+    mix.emit(Op.MMA_M8N8K16_F16, max(1.0, mma))
+    mix.emit(Op.LDMATRIX_X2, max(1.0, mma))
+    work.smem.accesses = int(mma)
+    work.smem.transactions = int(mma * 2)  # no Ampere swizzle tuning
+    work.smem.conflicts = int(mma)
+
+    a_bytes = avg_vectors_per_block * (pv * 2 + 4)
+    work.gmem.load_sectors = int(a_bytes // 32) + 1
+    work.gmem.load_requests = int(avg_vectors_per_block // 32) + 1
+    work.gmem.useful_load_bytes = int(a_bytes)
+    mix.emit(Op.LDG, a_bytes / (16 * 32) + 1)
+    work.l1_gather_bytes = avg_vectors_per_block * ntile * 2 * 2
+    mix.emit(Op.LDG, avg_vectors_per_block * ntile * 2 / (16 * 32))
+
+    c_bytes = ROWS_PER_BLOCK * ntile * 2
+    mix.emit(Op.STG, c_bytes / (16 * 32))
+    work.gmem.store_sectors = c_bytes // 32
+    work.gmem.store_requests = ROWS_PER_BLOCK
+    work.gmem.useful_store_bytes = c_bytes
+    mix.emit(Op.IADD, mma * 2)
+
+    # Volta-style register-staged double buffering: no async copy.
+    iters = max(1.0, avg_vectors_per_block / 16)
+    work.stalls = estimate_block_stalls(
+        PipelineConfig(stages=2, uses_async_copy=False, indirect_dependency_exposed=True),
+        int(iters),
+        2.0,
+        device,
+    )
+    work.critical_path_cycles = 2 * device.dram_latency_cycles + min(
+        iters, 8.0
+    ) * device.dram_latency_cycles * 0.6
+    trace.add_block(work)
+    profile = simulate_launch(trace, device)
+    c = a.astype(np.float32) @ b.astype(np.float32) if want_output else None
+    return BaselineResult(c=c, profile=profile)

@@ -1,0 +1,132 @@
+"""VENOM-like V:N:M SpTC SpMM [Castro et al., SC'23].
+
+VENOM prunes weights into the V:N:M pattern (see
+:mod:`repro.formats.venom`) so that the kept data maps onto the 2:4
+SpTC directly; V amortizes the column metadata over V rows.  Its kernel
+is SpTC-based like Jigsaw's but:
+
+* the column gather for B is resolved per V-row panel through the
+  format's column choices (an in-stage indirection, like Jigsaw v0/v1's
+  exposed dependency);
+* there is no multi-size BLOCK_TILE tuning and no metadata interleaving;
+* the B tile is re-gathered per panel rather than shared block-wide, so
+  reuse is lower (the paper credits Jigsaw's win to "better data reuse
+  and more conducive parallel processing", Section 4.5).
+
+Larger V narrows the gap (Table 3: Jigsaw/VENOM falls from 1.91x at
+V=32 to ~1.15x at V=128) because metadata traffic and gather overhead
+amortize over more rows — which the model reproduces mechanically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.venom import VenomMatrix
+from repro.gpu.asynccopy import PipelineConfig, estimate_block_stalls
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.instructions import Op
+from repro.gpu.scheduler import BlockWork, KernelTrace, simulate_launch
+
+from .common import BaselineResult, check_dims, gemm_footprint_bytes
+
+TILE_N = 64
+
+#: Rows of C per thread block (independent of V; a block spans several
+#: panels when V < 128, paying the per-panel decode for each).
+ROWS_PER_BLOCK = 128
+
+
+def venom_spmm(
+    vm: VenomMatrix,
+    b: np.ndarray,
+    device: DeviceSpec = A100,
+    want_output: bool = True,
+) -> BaselineResult:
+    """Simulate VENOM's Spatha kernel on a V:N:M matrix."""
+    m, n, k = check_dims(vm.shape, b)
+    v = vm.v
+    groups = k // vm.m
+    kept_cols = groups * vm.n  # kept columns per row
+
+    # Fixed-size thread blocks; each covers ROWS_PER_BLOCK / V panels and
+    # pays the column-choice decode once per panel it spans.
+    rows_per_block = min(ROWS_PER_BLOCK, m)
+    panels_per_block = max(1, rows_per_block // v)
+    n_blocks = (-(-m // rows_per_block)) * (-(-n // TILE_N))
+    ntile = min(TILE_N, n)
+
+    trace = KernelTrace(
+        kernel_name=f"venom_v{v}_{vm.n}to{vm.m}",
+        threads_per_block=128,
+        smem_bytes_per_block=24 * 1024,
+        regs_per_thread=96,
+        footprint_bytes=gemm_footprint_bytes(m, n, k, a_bytes=float(vm.storage_bytes())),
+    )
+    work = BlockWork(weight=n_blocks)
+    mix = work.mix
+
+    # The kept columns compress 2:4 -> mma.sp over k = 2 * kept.
+    k_eff = 2 * kept_cols
+    mma = (rows_per_block / 16) * (ntile / 8) * max(1.0, k_eff / 32)
+    mix.emit(Op.MMA_SP_M16N8K32_F16, mma)
+
+    # Column-choice metadata: one index vector per group per panel, and
+    # the two-level decode arithmetic it gates (column choice -> gather
+    # address -> in-quad metadata).
+    meta_bytes = groups * 4 * panels_per_block
+    mix.emit(Op.LDG, meta_bytes / (16 * 32) + panels_per_block)
+    mix.emit(Op.IADD, groups * 8 * panels_per_block + mma * 4)
+    # A values + B gather tiles.  VENOM gathers B per column-choice at
+    # sector granularity rather than through Jigsaw's block-wide shared
+    # row tile, halving its effective gather efficiency (the "better data
+    # reuse" Jigsaw's format provides, paper Section 4.5).
+    a_bytes = rows_per_block * kept_cols * 2
+    # Every panel re-gathers its own B rows (panel column choices differ),
+    # so B traffic scales with the panels a block spans.
+    b_bytes = kept_cols * ntile * 2 * panels_per_block
+    work.gmem.load_sectors = (a_bytes + 2 * b_bytes + meta_bytes) // 32 + 1
+    work.gmem.load_requests = kept_cols // 8 + 1
+    work.gmem.useful_load_bytes = a_bytes + b_bytes + meta_bytes
+    mix.emit(Op.CP_ASYNC, (a_bytes + b_bytes) / (16 * 32))
+
+    # Fragment loads + per-op metadata (naive pattern); the two-level
+    # gather defeats a clean swizzle — fragment rows land in whatever
+    # banks the column choices dictate, leaving ~5-way average conflicts
+    # (Jigsaw's reorder preference removes exactly this class of
+    # conflict, Section 3.4.1; degree calibrated against Table 3).
+    mix.emit(Op.LDMATRIX_X4, mma)
+    mix.emit(Op.LDS, mma)
+    mix.emit(Op.BRANCH, mma)
+    work.smem.accesses = int(mma * 2)
+    work.smem.transactions = int(mma * 10)
+    work.smem.conflicts = int(mma * 8)
+
+    c_bytes = rows_per_block * ntile * 2
+    mix.emit(Op.STG, c_bytes / (16 * 32))
+    work.gmem.store_sectors = c_bytes // 32
+    work.gmem.store_requests = rows_per_block
+    work.gmem.useful_store_bytes = c_bytes
+    mix.emit(Op.IADD, mma * 2)
+
+    # Gather indirection exposed in-stage (no deepened pipeline); the
+    # per-panel column-choice chase repeats every V rows, so smaller V
+    # pays it more often per unit of output.
+    iters = max(1, int(k_eff // 32))
+    work.stalls = estimate_block_stalls(
+        PipelineConfig(stages=2, uses_async_copy=True, indirect_dependency_exposed=True),
+        iters,
+        3.0,
+        device,
+    )
+    work.critical_path_cycles = (
+        2 * device.dram_latency_cycles
+        # The column-choice chase repeats per panel the block spans and is
+        # only partially overlapped — this is the metadata cost V amortizes.
+        + device.dram_latency_cycles * panels_per_block * 0.75
+        + iters * 120.0
+    )
+    trace.add_block(work)
+    profile = simulate_launch(trace, device)
+    c = vm.spmm_reference(b) if want_output else None
+    return BaselineResult(c=c, profile=profile)

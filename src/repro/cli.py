@@ -1,0 +1,309 @@
+"""Command-line interface: run SpMMs, inspect reorders, regenerate figures.
+
+Examples::
+
+    python -m repro spmm --m 1024 --k 1024 --n 512 --sparsity 0.95 --v 8
+    python -m repro reorder --m 512 --k 512 --sparsity 0.9 --v 4 --block-tile 32
+    python -m repro figure fig1
+    python -m repro figure table3 --size 512
+    python -m repro device
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _make_matrix(m: int, k: int, sparsity: float, v: int, seed: int) -> np.ndarray:
+    from repro.data import expand_to_vector_sparse
+
+    rng = np.random.default_rng(seed)
+    base = rng.random((m // v, k)) >= sparsity
+    return expand_to_vector_sparse(base, v, rng)
+
+
+def cmd_spmm(args: argparse.Namespace) -> int:
+    """Time one SpMM on the requested systems."""
+    from repro.analysis import render_table
+    from repro.baselines import (
+        clasp_spmm,
+        cublas_hgemm,
+        cusparse_spmm,
+        magicube_spmm,
+        sparta_spmm,
+        sputnik_spmm,
+        vectorsparse_spmm,
+    )
+    from repro.core import JigsawPlan
+
+    a = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    b = rng.standard_normal((args.k, args.n)).astype(np.float16)
+
+    runners = {
+        "jigsaw": lambda: JigsawPlan(a).run(b, want_output=False).profile,
+        "cublas": lambda: cublas_hgemm(a, b, want_output=False).profile,
+        "clasp": lambda: clasp_spmm(a, b, want_output=False).profile,
+        "magicube": lambda: magicube_spmm(a, b, v=args.v, want_output=False).profile,
+        "sputnik": lambda: sputnik_spmm(a, b, want_output=False).profile,
+        "sparta": lambda: sparta_spmm(a, b, want_output=False).profile,
+        "cusparse": lambda: cusparse_spmm(a, b, want_output=False).profile,
+        "vectorsparse": lambda: vectorsparse_spmm(a, b, want_output=False).profile,
+    }
+    wanted = args.systems.split(",") if args.systems else ["jigsaw", "cublas"]
+    unknown = [s for s in wanted if s not in runners]
+    if unknown:
+        print(f"unknown systems: {unknown}; choose from {sorted(runners)}", file=sys.stderr)
+        return 2
+
+    profiles = {name: runners[name]() for name in wanted}
+    base = profiles.get("cublas")
+    rows = []
+    for name, p in sorted(profiles.items(), key=lambda kv: kv[1].duration_us):
+        speed = f"{base.duration_us / p.duration_us:.2f}x" if base else "-"
+        rows.append([name, f"{p.duration_us:.2f}", speed, p.bound, str(p.smem_bank_conflicts)])
+    print(
+        render_table(["system", "duration_us", "vs cuBLAS", "bound", "bank_conflicts"], rows)
+    )
+    return 0
+
+
+def cmd_reorder(args: argparse.Namespace) -> int:
+    """Inspect the multi-granularity reorder of one matrix."""
+    from repro.analysis import render_table
+    from repro.core import JigsawMatrix, TileConfig
+
+    a = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed)
+    jm = JigsawMatrix.build(a, TileConfig(block_tile=args.block_tile))
+    r = jm.reorder
+    print(f"matrix {args.m}x{args.k}, sparsity {args.sparsity:.0%}, v={args.v}")
+    print(f"BLOCK_TILE={args.block_tile}: {len(r.slabs)} slabs")
+    print(f"reorder success (K not grown): {r.success}")
+    print(f"zero-column work skipped: {r.skipped_column_fraction:.1%}")
+    print(f"retry evictions: {r.total_evictions}")
+    sizes = jm.storage_bytes()
+    rows = [[key, str(val)] for key, val in sizes.items()]
+    rows.append(["dense equivalent", str(jm.dense_bytes())])
+    print(render_table(["component", "bytes"], rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one of the paper's figures/tables (reduced grids)."""
+    from repro import analysis as an
+    from repro.data import DlmcDataset
+
+    name = args.name
+    size = args.size
+    if name == "fig1":
+        ds = DlmcDataset(methods=("random",))
+        print(an.render_fig1(an.build_fig1(dataset=ds)))
+    elif name == "fig10":
+        series = an.build_fig10(
+            sparsities=(0.8, 0.95),
+            vector_widths=(2, 8),
+            n_values=(256, 512, 1024),
+            shapes=((size, size),),
+        )
+        print(an.render_fig10(series))
+    elif name == "fig11":
+        print(an.render_fig11(an.build_fig11(max_matrices=args.max_matrices)))
+    elif name == "fig12":
+        print(an.render_fig12(an.build_fig12(shapes=((size, size),), n_values=(256, 512))))
+    elif name == "table2":
+        rows = an.build_table2(
+            n_values=(256, 1024), shapes=((size, size),)
+        )
+        print(an.render_table2(rows))
+    elif name == "table3":
+        print(an.render_table3(an.build_table3(shape=(size, size), n=size)))
+    elif name == "overhead":
+        print(
+            an.render_overhead(
+                {bt: an.paper_overhead_model(bt) for bt in (16, 32, 64)}
+            )
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        return 2
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Speed-of-light style report of one Jigsaw launch."""
+    from repro.core import JigsawPlan
+    from repro.gpu import render_timeline
+
+    a = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    b = rng.standard_normal((args.k, args.n)).astype(np.float16)
+    res = JigsawPlan(a).run(b, version=args.version, want_output=False)
+    print(render_timeline(res.profile))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate every paper artifact in one run (reduced grids)."""
+    import io
+
+    from repro import analysis as an
+    from repro.data import DlmcDataset
+
+    out = io.StringIO()
+
+    def block(title, body):
+        bar = "=" * max(len(title), 20)
+        out.write(f"{bar}\n{title}\n{bar}\n{body}\n\n")
+
+    size = args.size
+    block(
+        "Figure 1: native 2:4 support",
+        an.render_fig1(an.build_fig1(dataset=DlmcDataset(methods=("random",)))),
+    )
+    block(
+        "Figure 10: speedup over cuBLAS",
+        an.render_fig10(
+            an.build_fig10(
+                sparsities=(0.8, 0.95),
+                vector_widths=(2, 8),
+                n_values=(256, 1024),
+                shapes=((size, size),),
+            )
+        ),
+    )
+    block(
+        "Figure 11: reorder success",
+        an.render_fig11(an.build_fig11(max_matrices=args.max_matrices)),
+    )
+    block(
+        "Figure 12: ablation v0..v4",
+        an.render_fig12(an.build_fig12(shapes=((size, size),), n_values=(256, 1024))),
+    )
+    block(
+        "Table 2: avg/max speedups",
+        an.render_table2(
+            an.build_table2(n_values=(256, 1024), shapes=((size, size),))
+        ),
+    )
+    block(
+        "Table 3: vs VENOM / cuSparseLt",
+        an.render_table3(an.build_table3(shape=(1024, 1024), n=1024)),
+    )
+    block(
+        "Section 4.6: memory overhead (paper model)",
+        an.render_overhead({bt: an.paper_overhead_model(bt) for bt in (16, 32, 64)}),
+    )
+    text = out.getvalue()
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Cross-check every system's output against fp32 numpy."""
+    from repro.analysis import render_verification, run_verification
+
+    report = run_verification()
+    print(render_verification(report))
+    return 0 if report.all_passed else 1
+
+
+def cmd_device(args: argparse.Namespace) -> int:
+    """Print the simulated device's key constants."""
+    from repro.analysis import render_table
+    from repro.gpu import A100
+
+    d = A100
+    rows = [
+        ["name", d.name],
+        ["SMs", str(d.num_sms)],
+        ["SM clock", f"{d.sm_clock_ghz:.2f} GHz"],
+        ["dense TC fp16 peak", f"{d.peak_tc_fp16_tflops:.0f} TFLOP/s"],
+        ["CUDA-core fp16 peak", f"{d.peak_cuda_fp16_tflops:.0f} TFLOP/s"],
+        ["DRAM bandwidth", f"{d.dram_bandwidth_gbps:.0f} GB/s"],
+        ["L2", f"{d.l2_bytes // (1024 * 1024)} MiB"],
+        ["shared memory / block", f"{d.smem_per_sm_bytes // 1024} KiB"],
+        ["smem banks", f"{d.smem_banks} x {d.smem_bank_bytes} B"],
+    ]
+    print(render_table(["property", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Jigsaw (ICPP'24) reproduction on a simulated A100",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("spmm", help="time one SpMM across systems")
+    p.add_argument("--m", type=int, default=1024)
+    p.add_argument("--k", type=int, default=1024)
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--sparsity", type=float, default=0.95)
+    p.add_argument("--v", type=int, default=8, choices=(2, 4, 8))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--systems",
+        default="jigsaw,cublas,clasp,magicube,sputnik,sparta",
+        help="comma-separated list",
+    )
+    p.set_defaults(func=cmd_spmm)
+
+    p = sub.add_parser("reorder", help="inspect a matrix's reorder")
+    p.add_argument("--m", type=int, default=512)
+    p.add_argument("--k", type=int, default=512)
+    p.add_argument("--sparsity", type=float, default=0.9)
+    p.add_argument("--v", type=int, default=4, choices=(2, 4, 8))
+    p.add_argument("--block-tile", type=int, default=64, choices=(16, 32, 64))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_reorder)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p.add_argument(
+        "name",
+        choices=("fig1", "fig10", "fig11", "fig12", "table2", "table3", "overhead"),
+    )
+    p.add_argument("--size", type=int, default=512, help="square shape edge")
+    p.add_argument("--max-matrices", type=int, default=8)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("inspect", help="speed-of-light report of one launch")
+    p.add_argument("--m", type=int, default=1024)
+    p.add_argument("--k", type=int, default=1024)
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--sparsity", type=float, default=0.95)
+    p.add_argument("--v", type=int, default=8, choices=(2, 4, 8))
+    p.add_argument("--version", default="v4", choices=("v0", "v1", "v2", "v3", "v4"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("reproduce", help="regenerate every paper artifact")
+    p.add_argument("--size", type=int, default=512, help="square shape edge")
+    p.add_argument("--max-matrices", type=int, default=6)
+    p.add_argument("--out", default=None, help="write the report to a file")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("verify", help="functional cross-check of every system")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("device", help="show the simulated device spec")
+    p.set_defaults(func=cmd_device)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

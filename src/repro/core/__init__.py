@@ -1,0 +1,87 @@
+"""Jigsaw core: multi-granularity reorder, reorder-aware format, kernels."""
+
+from .api import JigsawPlan, jigsaw_spmm
+from .compatibility import (
+    CoverSolution,
+    find_compatible_quads,
+    find_cover,
+    least_compatible_column,
+    quads_to_masks,
+)
+from .format import JigsawMatrix, JigsawSlab
+from .kernels import (
+    ABLATION_VERSIONS,
+    ALL_VERSIONS,
+    JigsawKernelSpec,
+    JigsawRunResult,
+    run_jigsaw_kernel,
+)
+from .model import LayerRun, SparseLinear, SparseModel
+from .serialization import load_jigsaw, roundtrip_equal, save_jigsaw
+from .tuning import TuningTable, estimate_vector_width, matrix_features
+from .metadata import (
+    deinterleave_metadata,
+    interleave_metadata,
+    naive_layout,
+    tile_metadata_words,
+)
+from .reorder import (
+    ReorderResult,
+    SlabReorder,
+    reorder_matrix,
+    reorder_slab,
+    validate_reorder,
+)
+from .swizzle import swizzle_block, unswizzle_block, z_swizzle_order
+from .tiles import (
+    BLOCK_TILE_N,
+    BLOCK_TILE_SIZES,
+    MMA_TILE,
+    SMEM_BYTES_PER_BLOCK,
+    TileConfig,
+    num_column_groups,
+)
+
+__all__ = [
+    "JigsawPlan",
+    "jigsaw_spmm",
+    "CoverSolution",
+    "find_compatible_quads",
+    "find_cover",
+    "least_compatible_column",
+    "quads_to_masks",
+    "JigsawMatrix",
+    "JigsawSlab",
+    "ABLATION_VERSIONS",
+    "ALL_VERSIONS",
+    "JigsawKernelSpec",
+    "JigsawRunResult",
+    "run_jigsaw_kernel",
+    "LayerRun",
+    "SparseLinear",
+    "SparseModel",
+    "load_jigsaw",
+    "roundtrip_equal",
+    "save_jigsaw",
+    "TuningTable",
+    "estimate_vector_width",
+    "matrix_features",
+    "deinterleave_metadata",
+    "interleave_metadata",
+    "naive_layout",
+    "tile_metadata_words",
+    "ReorderResult",
+    "SlabReorder",
+    "reorder_matrix",
+    "reorder_slab",
+    "validate_reorder",
+    "swizzle_block",
+    "unswizzle_block",
+    "z_swizzle_order",
+    "BLOCK_TILE_N",
+    "BLOCK_TILE_SIZES",
+    "MMA_TILE",
+    "SMEM_BYTES_PER_BLOCK",
+    "TileConfig",
+    "num_column_groups",
+]

@@ -1,0 +1,122 @@
+"""Public Jigsaw API: plan once, run many.
+
+The sparse weight matrix is stationary across inference runs, so the
+reorder + compression preprocessing is done once by :class:`JigsawPlan`
+and amortized (paper Section 3.1).  ``jigsaw_spmm`` is the one-shot
+convenience wrapper.
+
+Typical use::
+
+    plan = JigsawPlan(a)                      # one-time preprocessing
+    result = plan.run(b)                      # v4 kernel, autotuned tiles
+    c, time_us = result.c, result.profile.duration_us
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import A100, DeviceSpec
+
+from .format import JigsawMatrix
+from .kernels import ALL_VERSIONS, JigsawRunResult, run_jigsaw_kernel
+from .tiles import BLOCK_TILE_SIZES, TileConfig
+
+
+class JigsawPlan:
+    """Reorder + compression plan for one sparse matrix.
+
+    ``block_tiles`` are the BLOCK_TILE sizes v4 may tune over; formats are
+    built lazily, so a plan used only with v0–v3 builds just BLOCK_TILE=64.
+    """
+
+    #: BLOCK_TILE used by the fixed-tile kernel versions v0..v3
+    #: (paper Section 4.4: "kernels for v0..v3 only support BLOCK_TILE=64").
+    FIXED_BLOCK_TILE = 64
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES,
+        avoid_bank_conflicts: bool = True,
+    ) -> None:
+        if a.ndim != 2:
+            raise ValueError("A must be a 2-D matrix")
+        for bt in block_tiles:
+            if bt not in BLOCK_TILE_SIZES:
+                raise ValueError(f"unsupported BLOCK_TILE {bt}")
+        self._a = np.ascontiguousarray(a, dtype=np.float16)
+        self.block_tiles = tuple(block_tiles)
+        self.avoid_bank_conflicts = avoid_bank_conflicts
+        self._formats: dict[tuple[int, bool], JigsawMatrix] = {}
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._a.shape
+
+    def format_for(self, block_tile: int, avoid_bank_conflicts: bool | None = None) -> JigsawMatrix:
+        """The (cached) reorder-aware format for one BLOCK_TILE."""
+        avoid = self.avoid_bank_conflicts if avoid_bank_conflicts is None else avoid_bank_conflicts
+        key = (block_tile, avoid)
+        if key not in self._formats:
+            self._formats[key] = JigsawMatrix.build(
+                self._a,
+                TileConfig(block_tile=block_tile),
+                avoid_bank_conflicts=avoid,
+            )
+        return self._formats[key]
+
+    @property
+    def reorder_success(self) -> bool:
+        """Paper's Section 4.3 criterion on the fixed-tile format."""
+        return self.format_for(self.FIXED_BLOCK_TILE).reorder_success
+
+    def run(
+        self,
+        b: np.ndarray,
+        version: str = "v4",
+        device: DeviceSpec = A100,
+        want_output: bool = True,
+        exact: bool = False,
+    ) -> JigsawRunResult:
+        """Simulate one SpMM launch ``C = A @ B`` with a kernel version.
+
+        v0–v3 run on BLOCK_TILE=64; v4 times every size in
+        ``block_tiles`` and keeps the fastest (the paper's Section 4.2
+        configuration).
+        """
+        if version not in ALL_VERSIONS:
+            raise ValueError(f"unknown kernel version {version!r}")
+        spec = ALL_VERSIONS[version]
+        if version != "v4":
+            # v0 predates the conflict-avoiding reorder preference.
+            avoid = version != "v0"
+            jm = self.format_for(self.FIXED_BLOCK_TILE, avoid_bank_conflicts=avoid)
+            return run_jigsaw_kernel(
+                jm, b, spec, device, want_output=want_output, exact=exact
+            )
+        best: JigsawRunResult | None = None
+        best_bt = None
+        for bt in self.block_tiles:
+            jm = self.format_for(bt)
+            res = run_jigsaw_kernel(jm, b, spec, device, want_output=False)
+            if best is None or res.profile.duration_us < best.profile.duration_us:
+                best, best_bt = res, bt
+        assert best is not None and best_bt is not None
+        if want_output:
+            jm = self.format_for(best_bt)
+            out = run_jigsaw_kernel(jm, b, spec, device, want_output=True, exact=exact)
+            return out
+        return best
+
+
+def jigsaw_spmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    version: str = "v4",
+    device: DeviceSpec = A100,
+    block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES,
+) -> JigsawRunResult:
+    """One-shot SpMM: build a plan, run once, return output + profile."""
+    plan = JigsawPlan(a, block_tiles=block_tiles)
+    return plan.run(b, version=version, device=device)

@@ -1,0 +1,272 @@
+"""The reorder-aware storage format (paper Section 3.3).
+
+A :class:`JigsawMatrix` stores the three index levels plus compressed
+values:
+
+* ``col_idx_array`` — per slab, the original column id of every reordered
+  slot (zero columns dropped; ``-1`` marks padding slots);
+* ``block_col_idx_array`` — per (strip, group), the within-group column
+  permutation chosen by the MMA_TILE reorder;
+* ``sptc_col_idx_array`` — the 2-bit SpTC metadata, stored both naively
+  (one mma.sp's 16 words back to back) and in the v3 interleaved layout
+  (two ops' 32 words permuted for one ldmatrix);
+* compressed values per (strip, group): a 16x8 fp16 block, stored
+  contiguously in the Z-shaped swizzle order.
+
+One ``mma.sp.m16n8k32`` consumes two adjacent 16-column groups, so the
+format pairs groups into *ops*; an odd trailing group pairs with a
+virtual all-zero group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.nm import compress_nm
+from .metadata import interleave_metadata, tile_metadata_words
+from .reorder import ReorderResult, SlabReorder, reorder_matrix
+from .swizzle import swizzle_block, unswizzle_block
+from .tiles import MMA_TILE, TileConfig
+
+
+@dataclass
+class JigsawSlab:
+    """Compressed data of one BLOCK_TILE row slab."""
+
+    reorder: SlabReorder
+    # (strips, groups, 16, 8) fp16 — kept values per strip x group tile.
+    values: np.ndarray
+    # (strips, groups, 16, 8) uint8 — in-group positions of kept values.
+    positions: np.ndarray
+    # (strips, ops, 16) uint32 — naive per-op metadata words.
+    meta_words: np.ndarray
+    # (strips, ceil(ops/2), 32) uint32 — v3 interleaved layout.
+    meta_interleaved: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def n_strips(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_ops(self) -> int:
+        """mma.sp operations per strip per 8-wide N tile."""
+        return self.meta_words.shape[1]
+
+    def swizzled_values(self, strip: int, group: int) -> np.ndarray:
+        """The (128,) Z-swizzled contiguous storage of one value block."""
+        return swizzle_block(self.values[strip, group])
+
+
+@dataclass
+class JigsawMatrix:
+    """A sparse matrix in the reorder-aware storage format."""
+
+    shape: tuple[int, int]
+    config: TileConfig
+    reorder: ReorderResult
+    slabs: list[JigsawSlab] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        a: np.ndarray,
+        config: TileConfig | None = None,
+        avoid_bank_conflicts: bool = True,
+    ) -> "JigsawMatrix":
+        """Reorder and compress a sparse fp16 matrix.
+
+        This is the one-time preprocessing the paper amortizes over
+        inference runs (Section 3.1); the returned object is reusable
+        across any number of SpMMs.
+        """
+        config = config or TileConfig()
+        reorder = reorder_matrix(a, config, avoid_bank_conflicts=avoid_bank_conflicts)
+        mat = cls(shape=a.shape, config=config, reorder=reorder)
+        h = config.block_tile
+        m, k = a.shape
+        for slab_r in reorder.slabs:
+            r0 = slab_r.slab_index * h
+            slab = a[r0 : min(r0 + h, m)]
+            if slab.shape[0] % MMA_TILE:
+                pad = MMA_TILE - slab.shape[0] % MMA_TILE
+                slab = np.vstack([slab, np.zeros((pad, k), dtype=a.dtype)])
+            mat.slabs.append(_compress_slab(slab, slab_r))
+        return mat
+
+    # -- reconstruction -----------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Exact reconstruction of the original matrix."""
+        m, k = self.shape
+        out = np.zeros((m, k), dtype=np.float16)
+        h = self.config.block_tile
+        from repro.formats.nm import expand_nm
+
+        for slab in self.slabs:
+            r0 = slab.reorder.slab_index * h
+            for s in range(slab.n_strips):
+                sr0 = r0 + s * MMA_TILE
+                if sr0 >= m:
+                    break
+                rows_in_strip = min(MMA_TILE, m - sr0)
+                for g in range(slab.n_groups):
+                    tile = expand_nm(
+                        slab.values[s, g], slab.positions[s, g], MMA_TILE
+                    )
+                    ordered = slab.reorder.reordered_group_col_ids(s, g)
+                    for j, c in enumerate(ordered):
+                        if c >= 0:
+                            out[sr0 : sr0 + rows_in_strip, c] = tile[:rows_in_strip, j]
+        return out
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def sptc_conformant(self) -> bool:
+        """Whether every stored tile satisfies 2:4 (true by construction)."""
+        return True
+
+    @property
+    def reorder_success(self) -> bool:
+        return self.reorder.success
+
+    def storage_bytes(self) -> dict[str, int]:
+        """Measured bytes per component of the format."""
+        values = sum(s.values.nbytes for s in self.slabs)
+        col_idx = sum(s.reorder.col_ids.nbytes for s in self.slabs)
+        block_col_idx = sum(
+            s.reorder.tile_perms.shape[0]
+            * s.reorder.tile_perms.shape[1]
+            * MMA_TILE
+            * 4  # stored as 4-byte indices, matching the paper's model
+            for s in self.slabs
+        )
+        sptc = sum(s.meta_words.nbytes for s in self.slabs)
+        return {
+            "values": values,
+            "col_idx_array": col_idx,
+            "block_col_idx_array": block_col_idx,
+            "sptc_col_idx_array": sptc,
+            "total": values + col_idx + block_col_idx + sptc,
+        }
+
+    def dense_bytes(self) -> int:
+        """Bytes of the dense fp16 representation cuBLAS would use."""
+        return self.shape[0] * self.shape[1] * 2
+
+    def validate(self) -> None:
+        """Check the format's structural invariants; raise ValueError on
+        corruption.
+
+        Covers what a loader should verify before trusting serialized
+        data: metadata positions legal (2-bit, strictly increasing per
+        quad), permutations actual permutations, column ids in range and
+        unique per slab, and interleaved metadata consistent with the
+        naive words.
+        """
+        m, k = self.shape
+        from .metadata import deinterleave_metadata
+
+        for slab in self.slabs:
+            r = slab.reorder
+            used = [c for c in r.col_ids.tolist() if c >= 0]
+            if len(used) != len(set(used)):
+                raise ValueError(f"slab {r.slab_index}: duplicate column ids")
+            if used and (min(used) < 0 or max(used) >= k):
+                raise ValueError(f"slab {r.slab_index}: column id out of range")
+            perms = r.tile_perms
+            if perms.size and (
+                not np.all(np.sort(perms, axis=-1) == np.arange(MMA_TILE))
+            ):
+                raise ValueError(f"slab {r.slab_index}: tile_perms not permutations")
+            if np.any(slab.positions > 3):
+                raise ValueError(f"slab {r.slab_index}: metadata positions exceed 2 bits")
+            pairs = slab.positions.reshape(*slab.positions.shape[:-1], 4, 2)
+            if not np.all(pairs[..., 0] < pairs[..., 1]):
+                raise ValueError(
+                    f"slab {r.slab_index}: metadata positions not strictly increasing"
+                )
+            for s in range(slab.n_strips):
+                for p in range(slab.meta_interleaved.shape[1]):
+                    w0, w1 = deinterleave_metadata(slab.meta_interleaved[s, p])
+                    o0, o1 = 2 * p, 2 * p + 1
+                    if not np.array_equal(w0, slab.meta_words[s, o0]):
+                        raise ValueError(
+                            f"slab {r.slab_index}: interleaved metadata mismatch"
+                        )
+                    if o1 < slab.n_ops and not np.array_equal(
+                        w1, slab.meta_words[s, o1]
+                    ):
+                        raise ValueError(
+                            f"slab {r.slab_index}: interleaved metadata mismatch"
+                        )
+
+
+def _compress_slab(slab: np.ndarray, slab_r: SlabReorder) -> JigsawSlab:
+    """Compress one slab against its reorder decision."""
+    strips = slab_r.n_strips
+    groups = slab_r.n_groups
+    values = np.zeros((strips, groups, MMA_TILE, 8), dtype=np.float16)
+    positions = np.zeros((strips, groups, MMA_TILE, 8), dtype=np.uint8)
+    # Default positions must be hardware-legal (strictly increasing per
+    # quad): fill with the 0,1 pattern.
+    positions[..., 0::2] = 0
+    positions[..., 1::2] = 1
+
+    for s in range(strips):
+        strip = slab[s * MMA_TILE : (s + 1) * MMA_TILE]
+        for g in range(groups):
+            ordered = slab_r.reordered_group_col_ids(s, g)
+            tile = np.zeros((MMA_TILE, MMA_TILE), dtype=slab.dtype)
+            for j, c in enumerate(ordered):
+                if c >= 0:
+                    tile[:, j] = strip[:, c]
+            vals, pos = compress_nm(tile, 2, 4)
+            values[s, g] = vals
+            positions[s, g] = pos
+
+    # Pair groups into mma.sp ops (k=32 each).
+    n_ops = max(1, -(-groups // 2))
+    meta_words = np.zeros((strips, n_ops, 16), dtype=np.uint32)
+    for s in range(strips):
+        for op in range(n_ops):
+            g0, g1 = 2 * op, 2 * op + 1
+            p0 = positions[s, g0] if g0 < groups else _legal_zero_positions()
+            p1 = positions[s, g1] if g1 < groups else _legal_zero_positions()
+            meta_words[s, op] = tile_metadata_words(np.concatenate([p0, p1], axis=1))
+
+    n_pairs = max(1, -(-n_ops // 2))
+    meta_interleaved = np.zeros((strips, n_pairs, 32), dtype=np.uint32)
+    for s in range(strips):
+        for p in range(n_pairs):
+            o0, o1 = 2 * p, 2 * p + 1
+            w0 = meta_words[s, o0]
+            w1 = meta_words[s, o1] if o1 < n_ops else np.zeros(16, np.uint32)
+            meta_interleaved[s, p] = interleave_metadata(w0, w1)
+
+    return JigsawSlab(
+        reorder=slab_r,
+        values=values,
+        positions=positions,
+        meta_words=meta_words,
+        meta_interleaved=meta_interleaved,
+    )
+
+
+def _legal_zero_positions() -> np.ndarray:
+    """All-zero-value metadata with hardware-legal increasing positions."""
+    pos = np.zeros((MMA_TILE, 8), dtype=np.uint8)
+    pos[:, 0::2] = 0
+    pos[:, 1::2] = 1
+    return pos
+
+
+__all__ = ["JigsawMatrix", "JigsawSlab", "unswizzle_block"]

@@ -1,0 +1,74 @@
+"""The five kernel versions of the ablation study (paper Section 4.4).
+
+* **v0** — base kernel, async copy, *no* bank-conflict padding.
+* **v1** — + shared-memory bank-conflict elimination (B-tile padding and
+  the conflict-avoiding reorder preference).
+* **v2** — + deepened pipeline breaking the ``col_idx_array`` -> B-tile
+  dependency.
+* **v3** — + interleaved metadata loading.
+* **v4** — + multi-size BLOCK_TILE {16, 32, 64} autotuning (the full
+  Jigsaw kernel used in Section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.asynccopy import PipelineConfig
+
+from .base import JigsawKernelSpec
+
+V0 = JigsawKernelSpec(
+    name="v0",
+    pad_b_tile=False,
+    pipeline=PipelineConfig(stages=2, uses_async_copy=True, indirect_dependency_exposed=True),
+    interleaved_metadata=False,
+)
+
+V1 = JigsawKernelSpec(
+    name="v1",
+    pad_b_tile=True,
+    pipeline=PipelineConfig(stages=2, uses_async_copy=True, indirect_dependency_exposed=True),
+    interleaved_metadata=False,
+)
+
+V2 = JigsawKernelSpec(
+    name="v2",
+    pad_b_tile=True,
+    pipeline=PipelineConfig(stages=3, uses_async_copy=True, indirect_dependency_exposed=False),
+    interleaved_metadata=False,
+)
+
+V3 = JigsawKernelSpec(
+    name="v3",
+    pad_b_tile=True,
+    pipeline=PipelineConfig(stages=3, uses_async_copy=True, indirect_dependency_exposed=False),
+    interleaved_metadata=True,
+)
+
+#: v4 = v3's spec run over multiple BLOCK_TILE sizes; the tuning itself
+#: lives in :mod:`repro.core.api`.
+V4 = JigsawKernelSpec(
+    name="v4",
+    pad_b_tile=True,
+    pipeline=PipelineConfig(stages=3, uses_async_copy=True, indirect_dependency_exposed=False),
+    interleaved_metadata=True,
+)
+
+#: v3 built on the low-throughput m16n8k16 SpTC shape — the alternative
+#: the paper's Section 2.2 microbenchmark argument rules out.
+V3_K16 = JigsawKernelSpec(
+    name="v3_k16",
+    pad_b_tile=True,
+    pipeline=PipelineConfig(stages=3, uses_async_copy=True, indirect_dependency_exposed=False),
+    interleaved_metadata=True,
+    sptc_shape="k16",
+)
+
+ABLATION_VERSIONS: tuple[JigsawKernelSpec, ...] = (V0, V1, V2, V3)
+
+ALL_VERSIONS: dict[str, JigsawKernelSpec] = {
+    "v0": V0,
+    "v1": V1,
+    "v2": V2,
+    "v3": V3,
+    "v4": V4,
+}

@@ -1,0 +1,140 @@
+"""Model-level inference API: sparse linear layers with cached plans.
+
+The paper's end use-case is pruned DNN inference: every linear layer's
+weight is a stationary vector-sparse matrix, preprocessed once and run
+many times.  :class:`SparseLinear` wraps one weight with its
+:class:`~repro.core.api.JigsawPlan`; :class:`SparseModel` chains layers
+and aggregates the simulated Durations, giving examples and downstream
+users a model-shaped entry point instead of raw SpMM calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.device import A100, DeviceSpec
+
+from .api import JigsawPlan
+from .tiles import BLOCK_TILE_SIZES
+
+
+@dataclass
+class LayerRun:
+    """Result of one layer's forward: activations + simulated timing."""
+
+    name: str
+    output: np.ndarray
+    duration_us: float
+
+
+class SparseLinear:
+    """One pruned linear layer: ``y = W @ x`` with W vector-sparse.
+
+    ``W`` is (out_features, in_features); activations are column-major
+    batches (in_features, batch).  The Jigsaw plan builds lazily on first
+    forward and persists for the layer's lifetime.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        name: str = "linear",
+        block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES,
+    ) -> None:
+        if weight.ndim != 2:
+            raise ValueError("weight must be 2-D (out_features, in_features)")
+        self.name = name
+        self.weight = np.ascontiguousarray(weight, dtype=np.float16)
+        self._plan = JigsawPlan(self.weight, block_tiles=block_tiles)
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def plan(self) -> JigsawPlan:
+        return self._plan
+
+    def forward(
+        self,
+        x: np.ndarray,
+        device: DeviceSpec = A100,
+        version: str = "v4",
+    ) -> LayerRun:
+        """Run the layer; returns fp16 activations plus the Duration."""
+        if x.shape[0] != self.in_features:
+            raise ValueError(
+                f"{self.name}: input has {x.shape[0]} features, "
+                f"weight expects {self.in_features}"
+            )
+        res = self._plan.run(x.astype(np.float16), version=version, device=device)
+        assert res.c is not None
+        return LayerRun(
+            name=self.name,
+            output=res.c.astype(np.float16),
+            duration_us=res.profile.duration_us,
+        )
+
+
+@dataclass
+class SparseModel:
+    """A chain of sparse linear layers with optional activations."""
+
+    layers: list[SparseLinear] = field(default_factory=list)
+    activation: str = "relu"  # "relu" | "none"
+
+    def __post_init__(self) -> None:
+        if self.activation not in ("relu", "none"):
+            raise ValueError(f"unknown activation {self.activation!r}")
+        for prev, nxt in zip(self.layers, self.layers[1:]):
+            if prev.out_features != nxt.in_features:
+                raise ValueError(
+                    f"layer {prev.name} outputs {prev.out_features} features but "
+                    f"{nxt.name} expects {nxt.in_features}"
+                )
+
+    def forward(
+        self, x: np.ndarray, device: DeviceSpec = A100, version: str = "v4"
+    ) -> tuple[np.ndarray, list[LayerRun]]:
+        """Forward through all layers; returns (output, per-layer runs)."""
+        runs: list[LayerRun] = []
+        act = x.astype(np.float16)
+        for layer in self.layers:
+            run = layer.forward(act, device=device, version=version)
+            out = run.output
+            if self.activation == "relu" and layer is not self.layers[-1]:
+                out = np.maximum(out, np.float16(0))
+            runs.append(run)
+            act = out
+        return act, runs
+
+    def total_duration_us(self, runs: list[LayerRun]) -> float:
+        return float(sum(r.duration_us for r in runs))
+
+    @classmethod
+    def from_pruned_mlp(
+        cls,
+        layer_sizes: tuple[int, ...],
+        v: int,
+        sparsity: float,
+        rng: np.random.Generator | None = None,
+        activation: str = "relu",
+    ) -> "SparseModel":
+        """Build a vector-pruned MLP with the given layer sizes."""
+        from repro.data.pruning import vector_prune
+
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        rng = rng or np.random.default_rng(0)
+        layers = []
+        for i, (n_in, n_out) in enumerate(zip(layer_sizes, layer_sizes[1:])):
+            dense = (rng.standard_normal((n_out, n_in)) * 0.05).astype(np.float16)
+            pruned = vector_prune(dense, v=v, sparsity=sparsity).astype(np.float16)
+            layers.append(SparseLinear(pruned, name=f"fc{i}"))
+        return cls(layers=layers, activation=activation)

@@ -1,0 +1,278 @@
+"""Multi-granularity sparsity reorder (paper Section 3.2, Algorithm 1).
+
+The reorder works per *slab* — a BLOCK_TILE-tall row strip of the sparse
+matrix A:
+
+1. **BLOCK_TILE granularity**: columns that are all-zero across the slab
+   move to the end and are never computed (the SpTC skips them wholesale).
+2. **MMA_TILE granularity**: the surviving columns are processed in groups
+   of 16; within each group, each 16-row strip of the slab searches for a
+   column permutation making every aligned quad 2:4-compatible
+   (Algorithm 1's bilateral search over compatible column groups).
+3. **Reorder retry**: when some strip of a group has no valid cover, the
+   column participating in the fewest compatible quads is *evicted* —
+   appended to the end of the slab's work list, where the growing pool of
+   padding slots gives it another chance (paper Figure 5 c-d).
+4. **Guaranteed fallback**: a column evicted too many times forces *split
+   mode* — its group is emitted at 50% occupancy (two real columns per
+   quad), which satisfies 2:4 unconditionally.  Split mode preserves
+   correctness but inflates K; the paper's *success* criterion is exactly
+   that K does not grow ("without severe reorder retry", Section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .compatibility import CoverSolution, find_cover, least_compatible_column
+from .tiles import MMA_TILE, TileConfig
+
+#: Retry budget per column before split mode engages.
+MAX_EVICTIONS_PER_COLUMN = 3
+
+#: Slot layout used by split mode: two real columns per quad.
+_SPLIT_SLOTS = (0, 1, 4, 5, 8, 9, 12, 13)
+
+_IDENTITY_PERM = np.arange(MMA_TILE, dtype=np.int8)
+
+
+@dataclass
+class SlabReorder:
+    """Reorder outcome for one BLOCK_TILE row slab.
+
+    ``col_ids``: original column id per reordered slot, ``-1`` marking the
+    zero-padding slots; length ``n_groups * 16``.  This array *is* the
+    top-level ``col_idx_array`` of the storage format.
+
+    ``tile_perms``: per strip and group, the within-group permutation
+    (``block_col_idx_array``): slot ``j`` of the reordered tile holds the
+    group's pre-reorder slot ``tile_perms[s, g, j]``.
+    """
+
+    slab_index: int
+    num_rows: int
+    col_ids: np.ndarray
+    tile_perms: np.ndarray
+    evictions: int = 0
+    split_groups: int = 0
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.col_ids) // MMA_TILE
+
+    @property
+    def n_strips(self) -> int:
+        return self.tile_perms.shape[0]
+
+    def group_col_ids(self, g: int) -> np.ndarray:
+        """Original column ids of group ``g``'s slots (pre-permutation)."""
+        return self.col_ids[g * MMA_TILE : (g + 1) * MMA_TILE]
+
+    def reordered_group_col_ids(self, strip: int, g: int) -> np.ndarray:
+        """Original column ids in the order strip ``strip`` computes them."""
+        return self.group_col_ids(g)[self.tile_perms[strip, g]]
+
+
+@dataclass
+class ReorderResult:
+    """Reorder outcome for a whole matrix."""
+
+    shape: tuple[int, int]
+    config: TileConfig
+    slabs: list[SlabReorder] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """Paper's success criterion: reordered K within the original K."""
+        max_groups = -(-self.shape[1] // MMA_TILE)
+        return all(s.n_groups <= max_groups for s in self.slabs)
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(s.evictions for s in self.slabs)
+
+    @property
+    def total_groups(self) -> int:
+        return sum(s.n_groups for s in self.slabs)
+
+    @property
+    def skipped_column_fraction(self) -> float:
+        """Fraction of (slab, column) work eliminated by the reorder."""
+        m, k = self.shape
+        total_slab_cols = len(self.slabs) * k
+        if total_slab_cols == 0:
+            return 0.0
+        used = sum(int((s.col_ids >= 0).sum()) for s in self.slabs)
+        return 1.0 - used / total_slab_cols
+
+
+def _group_nz(slab_nz: np.ndarray, cols: list[int]) -> np.ndarray:
+    """(rows, 16) nonzero mask of a group, -1 slots zero-padded."""
+    rows = slab_nz.shape[0]
+    out = np.zeros((rows, MMA_TILE), dtype=bool)
+    for j, c in enumerate(cols):
+        if c >= 0:
+            out[:, j] = slab_nz[:, c]
+    return out
+
+
+def _pad_group(cols: list[int]) -> list[int]:
+    return cols + [-1] * (MMA_TILE - len(cols))
+
+
+def reorder_slab(
+    slab: np.ndarray,
+    slab_index: int,
+    avoid_bank_conflicts: bool = True,
+    max_evictions_per_column: int = MAX_EVICTIONS_PER_COLUMN,
+) -> SlabReorder:
+    """Apply the multi-granularity reorder to one slab.
+
+    ``slab`` is the (H, K) dense view of the slab; H must be a multiple of
+    16.  Returns a :class:`SlabReorder` that always yields a valid 2:4
+    layout (split-mode fallback guarantees it).
+    """
+    rows, k = slab.shape
+    if rows % MMA_TILE:
+        raise ValueError(f"slab height {rows} not a multiple of {MMA_TILE}")
+    strips = rows // MMA_TILE
+    slab_nz = slab != 0
+
+    # --- BLOCK_TILE granularity: drop all-zero columns -----------------------
+    nonzero_cols = np.flatnonzero(np.any(slab_nz, axis=0))
+    work: deque[int] = deque(int(c) for c in nonzero_cols)
+
+    eviction_counts: dict[int, int] = {}
+    col_ids: list[int] = []
+    perms: list[np.ndarray] = []  # each (strips, 16)
+    evictions = 0
+    split_groups = 0
+
+    # --- MMA_TILE granularity with retry -------------------------------------
+    while work:
+        group: list[int] = []
+        while work and len(group) < MMA_TILE:
+            group.append(work.popleft())
+
+        force_split = any(
+            eviction_counts.get(c, 0) >= max_evictions_per_column for c in group
+        )
+        while not force_split:
+            padded = _pad_group(group)
+            strip_perms = np.empty((strips, MMA_TILE), dtype=np.int8)
+            failing: tuple[int, np.ndarray] | None = None
+            for s in range(strips):
+                tile_nz = _group_nz(slab_nz[s * MMA_TILE : (s + 1) * MMA_TILE], padded)
+                cover = find_cover(tile_nz, prefer_conflict_free=avoid_bank_conflicts)
+                if cover is None:
+                    failing = (s, tile_nz)
+                    break
+                strip_perms[s] = np.asarray(cover.order, dtype=np.int8)
+            if failing is None:
+                col_ids.extend(padded)
+                perms.append(strip_perms)
+                break
+            # Reorder retry: evict the least compatible column of the
+            # failing strip's tile and push it to the end of the slab.
+            _, tile_nz = failing
+            victim_slot = least_compatible_column(tile_nz)
+            victim = group.pop(victim_slot)
+            work.append(victim)
+            evictions += 1
+            eviction_counts[victim] = eviction_counts.get(victim, 0) + 1
+            if eviction_counts[victim] >= max_evictions_per_column:
+                # The victim will force split mode when dequeued again.
+                pass
+            if not group:
+                break  # everything evicted; group dissolves
+        else:
+            # Split mode: place up to 8 columns, two per quad; push the rest back.
+            placed, rest = group[:8], group[8:]
+            for c in reversed(rest):
+                work.appendleft(c)
+            padded = [-1] * MMA_TILE
+            for j, c in zip(_SPLIT_SLOTS, placed):
+                padded[j] = c
+            col_ids.extend(padded)
+            perms.append(np.tile(_IDENTITY_PERM, (strips, 1)))
+            split_groups += 1
+
+    if perms:
+        tile_perms = np.stack(perms, axis=1)  # (strips, groups, 16)
+    else:
+        tile_perms = np.zeros((strips, 0, MMA_TILE), dtype=np.int8)
+    return SlabReorder(
+        slab_index=slab_index,
+        num_rows=rows,
+        col_ids=np.asarray(col_ids, dtype=np.int32),
+        tile_perms=tile_perms,
+        evictions=evictions,
+        split_groups=split_groups,
+    )
+
+
+def reorder_matrix(
+    a: np.ndarray,
+    config: TileConfig | None = None,
+    avoid_bank_conflicts: bool = True,
+) -> ReorderResult:
+    """Multi-granularity reorder of a full (M, K) sparse matrix.
+
+    Rows are padded (virtually) to a multiple of BLOCK_TILE: a trailing
+    partial slab is reordered as a shorter slab.
+    """
+    config = config or TileConfig()
+    m, k = a.shape
+    result = ReorderResult(shape=(m, k), config=config)
+    h = config.block_tile
+    for si, r0 in enumerate(range(0, m, h)):
+        slab = a[r0 : min(r0 + h, m)]
+        if slab.shape[0] % MMA_TILE:
+            pad = MMA_TILE - slab.shape[0] % MMA_TILE
+            slab = np.vstack([slab, np.zeros((pad, k), dtype=a.dtype)])
+        result.slabs.append(
+            reorder_slab(slab, si, avoid_bank_conflicts=avoid_bank_conflicts)
+        )
+    return result
+
+
+def validate_reorder(a: np.ndarray, result: ReorderResult) -> None:
+    """Assert the reorder invariants on a concrete matrix.
+
+    * every slot's column id refers to a real column (or -1 padding);
+    * each nonzero column of each slab appears in exactly one slot;
+    * every strip x group tile, with its permutation applied, satisfies 2:4.
+
+    Raises AssertionError with a diagnostic on violation.
+    """
+    h = result.config.block_tile
+    m, k = a.shape
+    for slab_r in result.slabs:
+        r0 = slab_r.slab_index * h
+        slab = a[r0 : min(r0 + h, m)]
+        if slab.shape[0] % MMA_TILE:
+            pad = MMA_TILE - slab.shape[0] % MMA_TILE
+            slab = np.vstack([slab, np.zeros((pad, k), dtype=a.dtype)])
+        nz = slab != 0
+        nonzero_cols = set(np.flatnonzero(np.any(nz, axis=0)).tolist())
+        used = [c for c in slab_r.col_ids.tolist() if c >= 0]
+        assert len(used) == len(set(used)), f"slab {slab_r.slab_index}: duplicate slots"
+        assert set(used) == nonzero_cols, (
+            f"slab {slab_r.slab_index}: slots cover {len(set(used))} columns, "
+            f"expected {len(nonzero_cols)}"
+        )
+        for s in range(slab_r.n_strips):
+            strip = nz[s * MMA_TILE : (s + 1) * MMA_TILE]
+            for g in range(slab_r.n_groups):
+                ordered = slab_r.reordered_group_col_ids(s, g)
+                tile = np.zeros((MMA_TILE, MMA_TILE), dtype=bool)
+                for j, c in enumerate(ordered):
+                    if c >= 0:
+                        tile[:, j] = strip[:, c]
+                counts = tile.reshape(MMA_TILE, 4, 4).sum(axis=2)
+                assert np.all(counts <= 2), (
+                    f"slab {slab_r.slab_index} strip {s} group {g}: 2:4 violated"
+                )

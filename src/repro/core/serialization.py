@@ -1,0 +1,112 @@
+"""Save/load the reorder-aware storage format.
+
+The reorder is one-time preprocessing (paper Section 3.1); a deployment
+wants to run it offline and ship the compressed artifact next to the
+model weights.  ``save_jigsaw``/``load_jigsaw`` persist a
+:class:`~repro.core.format.JigsawMatrix` as a single ``.npz`` with all
+three index levels, the compressed values, and enough header metadata to
+rebuild the object bit-exactly.  Loading validates the structural
+invariants before returning (corrupt artifacts fail loudly).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .format import JigsawMatrix, JigsawSlab
+from .reorder import ReorderResult, SlabReorder
+from .tiles import TileConfig
+
+#: Format version written into every artifact.
+FORMAT_VERSION = 1
+
+
+def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
+    """Persist a JigsawMatrix as a compressed ``.npz`` artifact."""
+    arrays: dict[str, np.ndarray] = {
+        "header": np.array(
+            [
+                FORMAT_VERSION,
+                jm.shape[0],
+                jm.shape[1],
+                jm.config.block_tile,
+                jm.config.block_tile_n,
+                len(jm.slabs),
+            ],
+            dtype=np.int64,
+        )
+    }
+    for i, slab in enumerate(jm.slabs):
+        r = slab.reorder
+        arrays[f"s{i}_meta"] = np.array(
+            [r.slab_index, r.num_rows, r.evictions, r.split_groups], dtype=np.int64
+        )
+        arrays[f"s{i}_col_ids"] = r.col_ids
+        arrays[f"s{i}_tile_perms"] = r.tile_perms
+        arrays[f"s{i}_values"] = slab.values
+        arrays[f"s{i}_positions"] = slab.positions
+        arrays[f"s{i}_meta_words"] = slab.meta_words
+        arrays[f"s{i}_meta_interleaved"] = slab.meta_interleaved
+    np.savez_compressed(path, **arrays)
+
+
+def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
+    """Load a JigsawMatrix artifact; validates before returning."""
+    with np.load(path) as data:
+        header = data["header"]
+        version = int(header[0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"artifact format version {version} unsupported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        shape = (int(header[1]), int(header[2]))
+        config = TileConfig(block_tile=int(header[3]), block_tile_n=int(header[4]))
+        n_slabs = int(header[5])
+
+        reorder = ReorderResult(shape=shape, config=config)
+        jm = JigsawMatrix(shape=shape, config=config, reorder=reorder)
+        for i in range(n_slabs):
+            meta = data[f"s{i}_meta"]
+            slab_r = SlabReorder(
+                slab_index=int(meta[0]),
+                num_rows=int(meta[1]),
+                col_ids=data[f"s{i}_col_ids"],
+                tile_perms=data[f"s{i}_tile_perms"],
+                evictions=int(meta[2]),
+                split_groups=int(meta[3]),
+            )
+            reorder.slabs.append(slab_r)
+            jm.slabs.append(
+                JigsawSlab(
+                    reorder=slab_r,
+                    values=data[f"s{i}_values"],
+                    positions=data[f"s{i}_positions"],
+                    meta_words=data[f"s{i}_meta_words"],
+                    meta_interleaved=data[f"s{i}_meta_interleaved"],
+                )
+            )
+    jm.validate()
+    return jm
+
+
+def roundtrip_equal(a: JigsawMatrix, b: JigsawMatrix) -> bool:
+    """Structural equality of two JigsawMatrix objects."""
+    if a.shape != b.shape or a.config.block_tile != b.config.block_tile:
+        return False
+    if len(a.slabs) != len(b.slabs):
+        return False
+    for sa, sb in zip(a.slabs, b.slabs):
+        if not (
+            np.array_equal(sa.reorder.col_ids, sb.reorder.col_ids)
+            and np.array_equal(sa.reorder.tile_perms, sb.reorder.tile_perms)
+            and np.array_equal(sa.values, sb.values)
+            and np.array_equal(sa.positions, sb.positions)
+            and np.array_equal(sa.meta_words, sb.meta_words)
+            and np.array_equal(sa.meta_interleaved, sb.meta_interleaved)
+        ):
+            return False
+    return True

@@ -1,0 +1,46 @@
+"""Z-shaped swizzle layout for compressed value blocks.
+
+The reorder-aware storage format stores each compressed 16x8 fp16 block
+contiguously in a Z-shaped (Morton-like) order (paper Section 3.3,
+Figure 6c), so that the ldmatrix stages feeding one mma.sp read
+consecutive memory.  The swizzle visits 8x4 sub-quadrants in Z order:
+top-left, top-right, bottom-left, bottom-right, each sub-quadrant
+row-major — matching the four 8x8 fp16 (8x4 value-pair) fragments of an
+``ldmatrix.x4``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def z_swizzle_order(rows: int = 16, cols: int = 8) -> np.ndarray:
+    """Flat storage order: position p holds element (order[p] // cols, order[p] % cols).
+
+    ``rows`` and ``cols`` must be even; the block splits into 2x2
+    sub-quadrants visited in Z order.
+    """
+    if rows % 2 or cols % 2:
+        raise ValueError("swizzle block must have even dimensions")
+    hr, hc = rows // 2, cols // 2
+    order = []
+    for qr, qc in ((0, 0), (0, 1), (1, 0), (1, 1)):  # Z: TL, TR, BL, BR
+        for r in range(hr):
+            for c in range(hc):
+                order.append((qr * hr + r) * cols + (qc * hc + c))
+    return np.asarray(order, dtype=np.int64)
+
+
+def swizzle_block(block: np.ndarray) -> np.ndarray:
+    """Flatten a (rows, cols) block into its Z-swizzled 1-D storage."""
+    rows, cols = block.shape
+    return block.reshape(-1)[z_swizzle_order(rows, cols)]
+
+
+def unswizzle_block(flat: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Inverse of :func:`swizzle_block`."""
+    if flat.shape != (rows * cols,):
+        raise ValueError(f"flat storage must hold {rows * cols} elements")
+    out = np.empty(rows * cols, dtype=flat.dtype)
+    out[z_swizzle_order(rows, cols)] = flat
+    return out.reshape(rows, cols)

@@ -1,0 +1,117 @@
+"""BLOCK_TILE autotuning tables.
+
+The v4 kernel tunes BLOCK_TILE per matrix by timing all three sizes
+(paper Section 4.1: "we empirically tune the size of BLOCK_TILE (16, 32,
+and 64) to achieve the best performance").  Re-timing per matrix is
+cheap on the simulator but wasteful in production: the winning size is
+largely a function of (sparsity, v, K) because those determine how many
+zero columns each slab height can harvest.  This module builds reusable
+tuning tables over that feature space and serves predictions for new
+matrices, falling back to measurement on cache miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.device import A100, DeviceSpec
+
+from .api import JigsawPlan
+from .tiles import BLOCK_TILE_SIZES
+
+
+def _bucket_sparsity(sparsity: float) -> float:
+    """Quantize sparsity to the grid the table is keyed on."""
+    grid = np.array([0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98])
+    return float(grid[np.argmin(np.abs(grid - sparsity))])
+
+
+def _bucket_k(k: int) -> int:
+    """Quantize K to powers of two."""
+    return int(2 ** round(np.log2(max(16, k))))
+
+
+def matrix_features(a: np.ndarray, v_hint: int | None = None) -> tuple[float, int, int]:
+    """(sparsity bucket, v estimate, K bucket) of a vector-sparse matrix."""
+    m, k = a.shape
+    sparsity = 1.0 - np.count_nonzero(a) / max(1, a.size)
+    v = v_hint or estimate_vector_width(a)
+    return _bucket_sparsity(sparsity), v, _bucket_k(k)
+
+
+def estimate_vector_width(a: np.ndarray) -> int:
+    """Infer the vector width of a vector-sparse matrix (largest v in
+    {8, 4, 2} whose structure holds; 1 when none does)."""
+    from repro.data.vector_sparse import is_vector_sparse
+
+    for v in (8, 4, 2):
+        if a.shape[0] % v == 0 and is_vector_sparse(a, v):
+            return v
+    return 1
+
+
+@dataclass
+class TuningTable:
+    """Feature-keyed BLOCK_TILE choices with measure-on-miss."""
+
+    device: DeviceSpec = A100
+    block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES
+    entries: dict[tuple[float, int, int], int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def best_block_tile(
+        self, a: np.ndarray, n: int = 1024, v_hint: int | None = None
+    ) -> int:
+        """The predicted-or-measured best BLOCK_TILE for matrix ``a``."""
+        key = matrix_features(a, v_hint)
+        if key in self.entries:
+            self.hits += 1
+            return self.entries[key]
+        self.misses += 1
+        best = self._measure(a, n)
+        self.entries[key] = best
+        return best
+
+    def _measure(self, a: np.ndarray, n: int) -> int:
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal((a.shape[1], n)).astype(np.float16)
+        plan = JigsawPlan(a, block_tiles=self.block_tiles)
+        best_bt, best_us = None, float("inf")
+        for bt in self.block_tiles:
+            jm = plan.format_for(bt)
+            from .kernels import V4, run_jigsaw_kernel
+
+            us = run_jigsaw_kernel(
+                jm, b, V4, self.device, want_output=False
+            ).profile.duration_us
+            if us < best_us:
+                best_bt, best_us = bt, us
+        assert best_bt is not None
+        return best_bt
+
+    def prepopulate(
+        self,
+        sparsities: tuple[float, ...] = (0.8, 0.9, 0.95, 0.98),
+        vector_widths: tuple[int, ...] = (2, 4, 8),
+        k_values: tuple[int, ...] = (256, 1024),
+        m: int = 256,
+        seed: int = 9,
+    ) -> None:
+        """Fill the table from synthetic probes (offline tuning pass)."""
+        from repro.data.vector_sparse import expand_to_vector_sparse
+
+        rng = np.random.default_rng(seed)
+        for sparsity in sparsities:
+            for v in vector_widths:
+                for k in k_values:
+                    base = rng.random((m // v, k)) >= sparsity
+                    a = expand_to_vector_sparse(base, v, rng)
+                    self.best_block_tile(a, v_hint=v)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,57 @@
+"""Workload substrate: synthetic DLMC, pruning, vector-sparse expansion."""
+
+from .dlmc import (
+    PRUNING_METHODS,
+    SHAPE_CATALOGUE,
+    SPARSITY_GRID,
+    DlmcDataset,
+    DlmcEntry,
+)
+from .pruning import (
+    achieved_sparsity,
+    magnitude_prune,
+    random_prune_mask,
+    vector_prune,
+)
+from .smtx import load_smtx_as_vector_sparse, read_smtx, write_smtx
+from .vector_sparse import (
+    VECTOR_WIDTHS,
+    expand_to_vector_sparse,
+    is_vector_sparse,
+    vector_sparsity,
+    zero_column_fraction,
+)
+from .workloads import (
+    EVAL_N_VALUES,
+    EVAL_SHAPES,
+    EVAL_SPARSITIES,
+    Workload,
+    catalogue_shapes_max_k,
+    enumerate_workloads,
+)
+
+__all__ = [
+    "PRUNING_METHODS",
+    "SHAPE_CATALOGUE",
+    "SPARSITY_GRID",
+    "DlmcDataset",
+    "DlmcEntry",
+    "achieved_sparsity",
+    "load_smtx_as_vector_sparse",
+    "read_smtx",
+    "write_smtx",
+    "magnitude_prune",
+    "random_prune_mask",
+    "vector_prune",
+    "VECTOR_WIDTHS",
+    "expand_to_vector_sparse",
+    "is_vector_sparse",
+    "vector_sparsity",
+    "zero_column_fraction",
+    "EVAL_N_VALUES",
+    "EVAL_SHAPES",
+    "EVAL_SPARSITIES",
+    "Workload",
+    "catalogue_shapes_max_k",
+    "enumerate_workloads",
+]

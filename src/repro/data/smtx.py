@@ -1,0 +1,90 @@
+"""SMTX file I/O — the on-disk format of the real DLMC dataset.
+
+Google's Deep Learning Matrix Collection ships each matrix as an
+``.smtx`` file::
+
+    nrows, ncols, nnz
+    <row_ptr: nrows+1 whitespace-separated ints>
+    <col_indices: nnz whitespace-separated ints>
+
+(The collection stores structure only — values are re-randomized by
+consumers, exactly as this repo's synthetic generator does.)  These
+readers/writers let users who have the real dataset run every
+experiment on it instead of the synthetic substitute: load with
+:func:`read_smtx`, expand with
+:func:`repro.data.expand_to_vector_sparse`, and feed any system.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+
+def read_smtx(path: str | Path | io.TextIOBase) -> CSRMatrix:
+    """Read an ``.smtx`` structure file into a CSR matrix of unit values."""
+    if isinstance(path, io.TextIOBase):
+        text = path.read()
+    else:
+        text = Path(path).read_text()
+    tokens = text.replace(",", " ").split()
+    if len(tokens) < 3:
+        raise ValueError("smtx header must hold nrows, ncols, nnz")
+    nrows, ncols, nnz = (int(t) for t in tokens[:3])
+    if nrows < 0 or ncols < 0 or nnz < 0:
+        raise ValueError(f"negative dimensions in smtx header: {nrows}, {ncols}, {nnz}")
+    body = tokens[3:]
+    expected = (nrows + 1) + nnz
+    if len(body) != expected:
+        raise ValueError(
+            f"smtx body holds {len(body)} integers; expected "
+            f"{nrows + 1} row pointers + {nnz} column indices = {expected}"
+        )
+    row_ptr = np.asarray(body[: nrows + 1], dtype=np.int32)
+    col_indices = np.asarray(body[nrows + 1 :], dtype=np.int32)
+    if row_ptr[0] != 0 or row_ptr[-1] != nnz:
+        raise ValueError("smtx row pointers must start at 0 and end at nnz")
+    return CSRMatrix(
+        shape=(nrows, ncols),
+        values=np.ones(nnz, dtype=np.float16),
+        col_indices=col_indices,
+        row_ptr=row_ptr,
+    )
+
+
+def write_smtx(mat: CSRMatrix | np.ndarray, path: str | Path | io.TextIOBase) -> None:
+    """Write a matrix's structure as ``.smtx`` (values are dropped)."""
+    csr = mat if isinstance(mat, CSRMatrix) else CSRMatrix.from_dense(np.asarray(mat))
+    nrows, ncols = csr.shape
+    lines = [
+        f"{nrows}, {ncols}, {csr.nnz}",
+        " ".join(str(int(x)) for x in csr.row_ptr),
+        " ".join(str(int(x)) for x in csr.col_indices),
+    ]
+    text = "\n".join(lines) + "\n"
+    if isinstance(path, io.TextIOBase):
+        path.write(text)
+    else:
+        Path(path).write_text(text)
+
+
+def load_smtx_as_vector_sparse(
+    path: str | Path,
+    v: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Read an ``.smtx`` base structure and expand it to vector sparsity.
+
+    This is the paper's Section 4.1 workload construction applied to a
+    real DLMC file: the structure becomes the (M/v, K) base pattern and
+    each nonzero turns into a dense v-tall column vector with fresh
+    values.
+    """
+    from .vector_sparse import expand_to_vector_sparse
+
+    base = read_smtx(path).to_dense() != 0
+    return expand_to_vector_sparse(base, v, rng)

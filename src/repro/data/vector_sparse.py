@@ -1,0 +1,62 @@
+"""Vector-sparsity expansion.
+
+The paper's benchmark construction (Section 4.1): "we construct benchmarks
+from the DLMC sparse dataset, replacing each nonzero element with a 1-D
+vector with different width".  A base (m, k) sparse matrix becomes an
+(m * v, k) matrix whose nonzeros are dense v-tall column vectors — the
+structure 1-D block (vector) pruning produces, and the sparsity Jigsaw
+targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Vector widths the paper evaluates.
+VECTOR_WIDTHS: tuple[int, ...] = (2, 4, 8)
+
+
+def expand_to_vector_sparse(
+    base: np.ndarray, v: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Replace each nonzero of ``base`` with a v-tall column vector.
+
+    ``base`` may be a boolean mask or a value matrix; output values are
+    fresh Gaussian fp16 draws (bounded away from zero) so the vector
+    interior is fully dense, matching vector pruning's output.
+    """
+    if v <= 0:
+        raise ValueError("vector width must be positive")
+    rng = rng or np.random.default_rng(0)
+    mask = np.repeat(base != 0, v, axis=0)
+    vals = rng.standard_normal(mask.shape).astype(np.float16)
+    vals = np.where(np.abs(vals) < 0.05, np.float16(0.5), vals)
+    return np.where(mask, vals, np.float16(0))
+
+
+def vector_sparsity(dense: np.ndarray, v: int) -> float:
+    """Sparsity measured at vector granularity."""
+    rows, cols = dense.shape
+    if rows % v:
+        raise ValueError(f"rows={rows} not divisible by v={v}")
+    vectors = np.any(dense.reshape(rows // v, v, cols) != 0, axis=1)
+    return 1.0 - float(vectors.mean())
+
+
+def is_vector_sparse(dense: np.ndarray, v: int) -> bool:
+    """True iff every nonzero sits inside a fully-dense v-tall vector."""
+    rows, cols = dense.shape
+    if rows % v:
+        return False
+    tiles = dense.reshape(rows // v, v, cols) != 0
+    any_nz = np.any(tiles, axis=1)
+    all_nz = np.all(tiles, axis=1)
+    return bool(np.all(any_nz == all_nz))
+
+
+def zero_column_fraction(dense: np.ndarray) -> float:
+    """Fraction of all-zero columns — the workload Jigsaw's BLOCK_TILE
+    reorder skips entirely."""
+    if dense.size == 0:
+        return 0.0
+    return float(np.mean(~np.any(dense != 0, axis=0)))

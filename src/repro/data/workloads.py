@@ -1,0 +1,105 @@
+"""Benchmark workload enumeration, mirroring the paper's Section 4.1 setup.
+
+A workload is one SpMM problem ``C[MxN] = A[MxK] @ B[KxN]`` where A is a
+vector-sparse matrix (DLMC structure expanded with vector width v) and B
+is dense.  The evaluation grid:
+
+* sparsity in {80, 90, 95, 98}%,
+* vector width v in {2, 4, 8},
+* N (columns of the output) swept per Figure 10,
+* (M, K) from the DLMC shape catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .dlmc import SHAPE_CATALOGUE
+from .vector_sparse import VECTOR_WIDTHS, expand_to_vector_sparse
+
+#: Figure 10's evaluation sparsities.
+EVAL_SPARSITIES: tuple[float, ...] = (0.80, 0.90, 0.95, 0.98)
+
+#: Output widths swept in Figure 10.
+EVAL_N_VALUES: tuple[int, ...] = (256, 512, 1024, 2048, 4096)
+
+#: A compact (M, K) subset used by benches that cannot afford the full
+#: catalogue; includes the M=K=2048 shape behind the cuBLAS anomaly.
+EVAL_SHAPES: tuple[tuple[int, int], ...] = (
+    (512, 512),
+    (1024, 1024),
+    (2048, 2048),
+    (2048, 512),
+    (512, 2048),
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One SpMM problem instance."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    sparsity: float
+    v: int
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.m % self.v:
+            raise ValueError(f"M={self.m} not divisible by v={self.v}")
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError(f"sparsity {self.sparsity} outside [0, 1)")
+
+    def materialize_lhs(self) -> np.ndarray:
+        """The vector-sparse A matrix (M, K) fp16."""
+        rng = np.random.default_rng(self.seed)
+        base = rng.random((self.m // self.v, self.k)) >= self.sparsity
+        return expand_to_vector_sparse(base, self.v, rng)
+
+    def materialize_rhs(self) -> np.ndarray:
+        """The dense B matrix (K, N) fp16."""
+        rng = np.random.default_rng(self.seed + 1)
+        return rng.standard_normal((self.k, self.n)).astype(np.float16)
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.materialize_lhs(), self.materialize_rhs()
+
+    @property
+    def flops_dense(self) -> int:
+        """FLOPs of the dense GEMM this SpMM replaces."""
+        return 2 * self.m * self.n * self.k
+
+
+def enumerate_workloads(
+    sparsities: tuple[float, ...] = EVAL_SPARSITIES,
+    vector_widths: tuple[int, ...] = VECTOR_WIDTHS,
+    n_values: tuple[int, ...] = EVAL_N_VALUES,
+    shapes: tuple[tuple[int, int], ...] = EVAL_SHAPES,
+    base_seed: int = 77,
+) -> Iterator[Workload]:
+    """The full evaluation grid, deterministic order and seeds."""
+    idx = 0
+    for sparsity in sparsities:
+        for v in vector_widths:
+            for m, k in shapes:
+                for n in n_values:
+                    yield Workload(
+                        name=f"s{sparsity:g}_v{v}_{m}x{k}x{n}",
+                        m=m,
+                        k=k,
+                        n=n,
+                        sparsity=sparsity,
+                        v=v,
+                        seed=base_seed + idx,
+                    )
+                    idx += 1
+
+
+def catalogue_shapes_max_k() -> int:
+    """The largest K in the DLMC catalogue (paper: K ranges 64..4608)."""
+    return max(k for _, k in SHAPE_CATALOGUE)

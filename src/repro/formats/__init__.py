@@ -1,0 +1,48 @@
+"""Sparse storage formats used by Jigsaw's baselines and substrates."""
+
+from .bcsr import BCSRMatrix
+from .blocked_ell import BlockedEllMatrix
+from .convert import (
+    csr_to_bcsr,
+    csr_to_cvs,
+    dense_to_nm,
+    formats_agree,
+    to_dense,
+    vector_nnz_structure,
+)
+from .csr import CSRMatrix
+from .cvs import CVSMatrix, CVSPanel
+from .nm import (
+    NMCompressedMatrix,
+    compress_nm,
+    expand_nm,
+    nm_violation_fraction,
+    pack_metadata,
+    satisfies_nm,
+    unpack_metadata,
+)
+from .venom import VenomMatrix, venom_prune, venom_satisfies_sptc
+
+__all__ = [
+    "BCSRMatrix",
+    "BlockedEllMatrix",
+    "CSRMatrix",
+    "CVSMatrix",
+    "CVSPanel",
+    "NMCompressedMatrix",
+    "VenomMatrix",
+    "compress_nm",
+    "csr_to_bcsr",
+    "csr_to_cvs",
+    "dense_to_nm",
+    "expand_nm",
+    "formats_agree",
+    "nm_violation_fraction",
+    "pack_metadata",
+    "satisfies_nm",
+    "to_dense",
+    "unpack_metadata",
+    "vector_nnz_structure",
+    "venom_prune",
+    "venom_satisfies_sptc",
+]

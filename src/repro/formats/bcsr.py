@@ -1,0 +1,105 @@
+"""Block CSR (strided row-major blocks) — Magicube's input layout.
+
+Magicube [Li, Osawa, Hoefler, SC'22] stores vector-sparse matrices as
+column vectors in a strided BCSR ("SR-BCRS") layout so tensor-core
+fragments can be fed with aligned loads.  We implement a general
+(block_rows x block_cols) BCSR; Magicube's usage is (v x 1) column-vector
+blocks, and the Jigsaw paper evaluates its L16-R16 (16-bit LHS and RHS)
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BCSRMatrix:
+    """Block-CSR with dense (bh, bw) blocks.
+
+    ``block_cols[k]`` is the block-column of the k-th stored block;
+    ``block_ptr[i]`` delimits the blocks of block-row i;
+    ``values`` stacks the stored blocks: (nblocks, bh, bw).
+    """
+
+    shape: tuple[int, int]
+    bh: int
+    bw: int
+    values: np.ndarray
+    block_cols: np.ndarray
+    block_ptr: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        if rows % self.bh or cols % self.bw:
+            raise ValueError(
+                f"shape {self.shape} not tileable by {self.bh}x{self.bw} blocks"
+            )
+        if len(self.block_ptr) != rows // self.bh + 1:
+            raise ValueError("block_ptr length must be block-rows + 1")
+        if self.values.shape[1:] != (self.bh, self.bw):
+            raise ValueError("values must be (nblocks, bh, bw)")
+        if self.block_ptr[-1] != len(self.values):
+            raise ValueError("block_ptr must end at the block count")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, bh: int, bw: int = 1) -> "BCSRMatrix":
+        rows, cols = dense.shape
+        if rows % bh or cols % bw:
+            raise ValueError(f"shape {dense.shape} not tileable by {bh}x{bw}")
+        nbr, nbc = rows // bh, cols // bw
+        blocks4d = dense.reshape(nbr, bh, nbc, bw).transpose(0, 2, 1, 3)
+        nz = np.any(blocks4d != 0, axis=(2, 3))
+        counts = nz.sum(axis=1).astype(np.int32)
+        block_ptr = np.zeros(nbr + 1, dtype=np.int32)
+        np.cumsum(counts, out=block_ptr[1:])
+        br, bc = np.nonzero(nz)
+        return cls(
+            shape=dense.shape,
+            bh=bh,
+            bw=bw,
+            values=blocks4d[br, bc].astype(np.float16),
+            block_cols=bc.astype(np.int32),
+            block_ptr=block_ptr,
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.values)
+
+    @property
+    def nnz(self) -> int:
+        return self.num_blocks * self.bh * self.bw
+
+    def block_row_counts(self) -> np.ndarray:
+        return np.diff(self.block_ptr)
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        out = np.zeros((rows, cols), dtype=np.float16)
+        for i in range(rows // self.bh):
+            lo, hi = self.block_ptr[i], self.block_ptr[i + 1]
+            for k in range(lo, hi):
+                c = self.block_cols[k]
+                out[i * self.bh : (i + 1) * self.bh, c * self.bw : (c + 1) * self.bw] = (
+                    self.values[k]
+                )
+        return out
+
+    def storage_bytes(self) -> int:
+        return self.values.nbytes + self.block_cols.nbytes + self.block_ptr.nbytes
+
+    def spmm_reference(self, b: np.ndarray) -> np.ndarray:
+        if b.shape[0] != self.shape[1]:
+            raise ValueError("inner dimensions do not match")
+        out = np.zeros((self.shape[0], b.shape[1]), dtype=np.float32)
+        bf = b.astype(np.float32)
+        for i in range(self.shape[0] // self.bh):
+            lo, hi = self.block_ptr[i], self.block_ptr[i + 1]
+            acc = out[i * self.bh : (i + 1) * self.bh]
+            for k in range(lo, hi):
+                c = self.block_cols[k]
+                acc += self.values[k].astype(np.float32) @ bf[c * self.bw : (c + 1) * self.bw]
+        return out

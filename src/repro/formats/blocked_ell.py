@@ -1,0 +1,119 @@
+"""Blocked-ELL storage — cuSPARSE's tensor-core SpMM input format.
+
+Ampere-era cuSPARSE exposes a second SpMM path besides CSR:
+``cusparseSpMM`` over **Blocked-ELL**, where the matrix is tiled into
+``bs x bs`` dense blocks and every block-row stores the same number of
+column blocks (``ell_cols``), padding short rows with explicit zero
+blocks.  The format maps straight onto dense tensor cores but pays for
+its rigidity twice:
+
+* blocks holding a single nonzero vector still store ``bs^2`` values;
+* every block-row is padded to the *longest* row's block count.
+
+For unstructured vector sparsity both costs explode — the quantitative
+contrast with Jigsaw's reorder-aware format is measured by
+``padding_overhead`` and exercised in the baselines and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BlockedEllMatrix:
+    """Blocked-ELL storage with square ``bs x bs`` blocks.
+
+    ``col_blocks[i, j]`` is the block-column of slot ``j`` in block-row
+    ``i`` (-1 for padding slots); ``values[i, j]`` the dense block.
+    """
+
+    shape: tuple[int, int]
+    bs: int
+    ell_cols: int                # stored block-columns per block-row
+    col_blocks: np.ndarray       # (block_rows, ell_cols) int32
+    values: np.ndarray           # (block_rows, ell_cols, bs, bs) fp16
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        if rows % self.bs or cols % self.bs:
+            raise ValueError(f"shape {self.shape} not tileable by bs={self.bs}")
+        br = rows // self.bs
+        if self.col_blocks.shape != (br, self.ell_cols):
+            raise ValueError("col_blocks shape inconsistent with ell geometry")
+        if self.values.shape != (br, self.ell_cols, self.bs, self.bs):
+            raise ValueError("values shape inconsistent with ell geometry")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, bs: int) -> "BlockedEllMatrix":
+        rows, cols = dense.shape
+        if rows % bs or cols % bs:
+            raise ValueError(f"shape {dense.shape} not tileable by bs={bs}")
+        br, bc = rows // bs, cols // bs
+        blocks = dense.reshape(br, bs, bc, bs).transpose(0, 2, 1, 3)
+        nz = np.any(blocks != 0, axis=(2, 3))  # (br, bc)
+        ell_cols = int(nz.sum(axis=1).max(initial=0))
+        ell_cols = max(1, ell_cols)
+        col_blocks = np.full((br, ell_cols), -1, dtype=np.int32)
+        values = np.zeros((br, ell_cols, bs, bs), dtype=np.float16)
+        for i in range(br):
+            cols_i = np.flatnonzero(nz[i])
+            col_blocks[i, : len(cols_i)] = cols_i
+            values[i, : len(cols_i)] = blocks[i, cols_i]
+        return cls(
+            shape=dense.shape, bs=bs, ell_cols=ell_cols,
+            col_blocks=col_blocks, values=values,
+        )
+
+    @property
+    def block_rows(self) -> int:
+        return self.shape[0] // self.bs
+
+    @property
+    def stored_blocks(self) -> int:
+        """All slots, padding included — what the kernel computes."""
+        return self.block_rows * self.ell_cols
+
+    @property
+    def real_blocks(self) -> int:
+        return int((self.col_blocks >= 0).sum())
+
+    def padding_overhead(self) -> float:
+        """Stored values per true nonzero (>= 1; the format's rigidity tax)."""
+        nnz = int(np.count_nonzero(self.values))
+        if nnz == 0:
+            return 1.0
+        return self.stored_blocks * self.bs * self.bs / nnz
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        out = np.zeros((rows, cols), dtype=np.float16)
+        for i in range(self.block_rows):
+            for j in range(self.ell_cols):
+                c = int(self.col_blocks[i, j])
+                if c >= 0:
+                    out[
+                        i * self.bs : (i + 1) * self.bs,
+                        c * self.bs : (c + 1) * self.bs,
+                    ] = self.values[i, j]
+        return out
+
+    def storage_bytes(self) -> int:
+        return self.values.nbytes + self.col_blocks.nbytes
+
+    def spmm_reference(self, b: np.ndarray) -> np.ndarray:
+        if b.shape[0] != self.shape[1]:
+            raise ValueError("inner dimensions do not match")
+        out = np.zeros((self.shape[0], b.shape[1]), dtype=np.float32)
+        bf = b.astype(np.float32)
+        for i in range(self.block_rows):
+            acc = out[i * self.bs : (i + 1) * self.bs]
+            for j in range(self.ell_cols):
+                c = int(self.col_blocks[i, j])
+                if c >= 0:
+                    acc += self.values[i, j].astype(np.float32) @ bf[
+                        c * self.bs : (c + 1) * self.bs
+                    ]
+        return out

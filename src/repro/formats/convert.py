@@ -1,0 +1,55 @@
+"""Cross-format conversion and validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bcsr import BCSRMatrix
+from .csr import CSRMatrix
+from .cvs import CVSMatrix
+from .nm import NMCompressedMatrix, satisfies_nm
+from .venom import VenomMatrix
+
+AnySparse = CSRMatrix | CVSMatrix | BCSRMatrix | NMCompressedMatrix | VenomMatrix
+
+
+def to_dense(mat: AnySparse | np.ndarray) -> np.ndarray:
+    """Densify any supported sparse container (dense passes through)."""
+    if isinstance(mat, np.ndarray):
+        return mat
+    return mat.to_dense()
+
+
+def csr_to_cvs(csr: CSRMatrix, pv: int) -> CVSMatrix:
+    return CVSMatrix.from_dense(csr.to_dense(), pv)
+
+
+def csr_to_bcsr(csr: CSRMatrix, bh: int, bw: int = 1) -> BCSRMatrix:
+    return BCSRMatrix.from_dense(csr.to_dense(), bh, bw)
+
+
+def dense_to_nm(dense: np.ndarray, n: int = 2, m: int = 4) -> NMCompressedMatrix:
+    if not satisfies_nm(dense, n, m):
+        raise ValueError(f"matrix violates the {n}:{m} pattern; prune or reorder first")
+    return NMCompressedMatrix.from_dense(dense, n, m)
+
+
+def formats_agree(*mats: AnySparse | np.ndarray) -> bool:
+    """True iff all containers densify to the same matrix."""
+    if len(mats) < 2:
+        return True
+    ref = to_dense(mats[0])
+    return all(np.array_equal(to_dense(m), ref) for m in mats[1:])
+
+
+def vector_nnz_structure(dense: np.ndarray, v: int) -> np.ndarray:
+    """Boolean (rows/v, cols) map of nonzero column vectors.
+
+    The paper's workloads replace each nonzero of a DLMC matrix with a
+    v-tall column vector; this recovers that base structure and is used by
+    analyses that reason at vector granularity.
+    """
+    rows, cols = dense.shape
+    if rows % v:
+        raise ValueError(f"rows={rows} not divisible by v={v}")
+    return np.any(dense.reshape(rows // v, v, cols) != 0, axis=1)

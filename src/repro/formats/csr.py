@@ -1,0 +1,106 @@
+"""Compressed Sparse Row storage.
+
+CSR is the input format of Sputnik (paper Section 4.1: "the sparse matrix
+is converted to CSR format") and the lingua franca the other formats
+convert through.  The implementation is vectorized numpy throughout; the
+scipy CSR type is deliberately not used so the storage layout (and its
+byte cost, needed by the overhead analysis) is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CSRMatrix:
+    """A CSR sparse matrix with explicit fp16 values and int32 indices."""
+
+    shape: tuple[int, int]
+    values: np.ndarray      # (nnz,) fp16
+    col_indices: np.ndarray  # (nnz,) int32
+    row_ptr: np.ndarray      # (rows + 1,) int32
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        if rows < 0 or cols < 0:
+            raise ValueError(f"invalid shape {self.shape}")
+        if len(self.row_ptr) != rows + 1:
+            raise ValueError("row_ptr length must be rows + 1")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.values):
+            raise ValueError("row_ptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if len(self.values) != len(self.col_indices):
+            raise ValueError("values and col_indices must align")
+        if len(self.col_indices) and (
+            self.col_indices.min() < 0 or self.col_indices.max() >= cols
+        ):
+            raise ValueError("column index out of range")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a dense matrix; zeros are dropped."""
+        if dense.ndim != 2:
+            raise ValueError("dense input must be 2-D")
+        rows, cols = dense.shape
+        mask = dense != 0
+        nnz_per_row = mask.sum(axis=1).astype(np.int32)
+        row_ptr = np.zeros(rows + 1, dtype=np.int32)
+        np.cumsum(nnz_per_row, out=row_ptr[1:])
+        rr, cc = np.nonzero(mask)
+        order = np.lexsort((cc, rr))
+        return cls(
+            shape=(rows, cols),
+            values=dense[rr[order], cc[order]].astype(np.float16),
+            col_indices=cc[order].astype(np.int32),
+            row_ptr=row_ptr,
+        )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def density(self) -> float:
+        rows, cols = self.shape
+        total = rows * cols
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    def row_nnz(self) -> np.ndarray:
+        """Nonzeros per row."""
+        return np.diff(self.row_ptr)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(col_indices, values) of row ``i``."""
+        lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+        return self.col_indices[lo:hi], self.values[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        out = np.zeros((rows, cols), dtype=np.float16)
+        row_of = np.repeat(np.arange(rows), np.diff(self.row_ptr))
+        out[row_of, self.col_indices] = self.values
+        return out
+
+    def storage_bytes(self) -> int:
+        """Bytes of the stored arrays (fp16 values + int32 indices)."""
+        return self.values.nbytes + self.col_indices.nbytes + self.row_ptr.nbytes
+
+    # -- math ---------------------------------------------------------------------
+
+    def spmm_reference(self, b: np.ndarray) -> np.ndarray:
+        """Reference fp32 SpMM used to check kernel outputs."""
+        if b.shape[0] != self.shape[1]:
+            raise ValueError(f"B has {b.shape[0]} rows; A has {self.shape[1]} cols")
+        return self.to_dense().astype(np.float32) @ b.astype(np.float32)

@@ -1,0 +1,105 @@
+"""Column-Vector-Sparse (CVS) storage — CLASP's format.
+
+CLASP [Castro et al., PACT'22] stores vector-sparse matrices as *column
+vectors*: the matrix is split into row panels of height ``pv`` (the
+"private vector" length), and each nonzero is a dense pv-tall, 1-wide
+column vector.  Per panel, the format keeps the column indices of its
+nonzero vectors plus a dense (pv, nnz_vectors) value block.
+
+The paper runs CLASP with pv in {2, 4, 8} and keeps the best, because the
+pv/MMA-shape interaction dominates performance: with mma.m8n8k16 the MMA
+utilization is pv/8 (100% at pv=8, 25% at pv=2) — Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CVSPanel:
+    """One row panel: all nonzero column vectors of ``pv`` consecutive rows."""
+
+    col_indices: np.ndarray  # (nvec,) int32, sorted
+    values: np.ndarray       # (pv, nvec) fp16
+
+
+@dataclass
+class CVSMatrix:
+    """Column-vector-sparse matrix with panel height ``pv``."""
+
+    shape: tuple[int, int]
+    pv: int
+    panels: list[CVSPanel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        rows, _ = self.shape
+        if self.pv <= 0:
+            raise ValueError("pv must be positive")
+        if rows % self.pv != 0:
+            raise ValueError(f"rows={rows} not divisible by pv={self.pv}")
+        if self.panels and len(self.panels) != rows // self.pv:
+            raise ValueError("panel count must be rows / pv")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, pv: int) -> "CVSMatrix":
+        """Build from a dense matrix.
+
+        A column vector is stored whenever *any* of its pv elements is
+        nonzero; vector-sparse inputs (every vector fully dense or fully
+        zero) therefore store no explicit zeros.
+        """
+        rows, cols = dense.shape
+        out = cls(shape=(rows, cols), pv=pv)
+        for p in range(rows // pv):
+            panel = dense[p * pv : (p + 1) * pv]
+            nz_cols = np.flatnonzero(np.any(panel != 0, axis=0)).astype(np.int32)
+            out.panels.append(
+                CVSPanel(col_indices=nz_cols, values=panel[:, nz_cols].astype(np.float16))
+            )
+        return out
+
+    @property
+    def num_panels(self) -> int:
+        return self.shape[0] // self.pv
+
+    @property
+    def num_vectors(self) -> int:
+        return int(sum(len(p.col_indices) for p in self.panels))
+
+    @property
+    def nnz(self) -> int:
+        """Stored elements (vector count x pv)."""
+        return self.num_vectors * self.pv
+
+    def panel_vector_counts(self) -> np.ndarray:
+        return np.array([len(p.col_indices) for p in self.panels], dtype=np.int64)
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        out = np.zeros((rows, cols), dtype=np.float16)
+        for p, panel in enumerate(self.panels):
+            out[p * self.pv : (p + 1) * self.pv, panel.col_indices] = panel.values
+        return out
+
+    def storage_bytes(self) -> int:
+        total = 0
+        for panel in self.panels:
+            total += panel.col_indices.nbytes + panel.values.nbytes
+        total += 4 * (self.num_panels + 1)  # panel offsets
+        return total
+
+    def spmm_reference(self, b: np.ndarray) -> np.ndarray:
+        if b.shape[0] != self.shape[1]:
+            raise ValueError("inner dimensions do not match")
+        out = np.zeros((self.shape[0], b.shape[1]), dtype=np.float32)
+        bf = b.astype(np.float32)
+        for p, panel in enumerate(self.panels):
+            if len(panel.col_indices) == 0:
+                continue
+            out[p * self.pv : (p + 1) * self.pv] = (
+                panel.values.astype(np.float32) @ bf[panel.col_indices]
+            )
+        return out

@@ -1,0 +1,155 @@
+"""N:M structured-sparse storage (2:4 being the SpTC-native instance).
+
+A matrix is N:M sparse when every aligned group of M consecutive elements
+in a row holds at most N nonzeros.  The Ampere SpTC consumes 2:4 fp16
+data: values compress to K/2 columns and each kept value carries a 2-bit
+in-group position ("metadata").  16 positions pack into one uint32, so the
+16x16 metadata of an m16n8k32 MMA occupies 16 integers (paper
+Section 3.4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def satisfies_nm(a: np.ndarray, n: int = 2, m: int = 4) -> bool:
+    """True iff every aligned group of ``m`` columns has <= ``n`` nonzeros per row."""
+    rows, cols = a.shape
+    if cols % m != 0:
+        return False
+    counts = (a.reshape(rows, cols // m, m) != 0).sum(axis=2)
+    return bool(np.all(counts <= n))
+
+
+def nm_violation_fraction(a: np.ndarray, n: int = 2, m: int = 4) -> float:
+    """Fraction of (row, group) cells violating the N:M pattern.
+
+    Used by SparTA-style decomposition and by the Figure-1 analysis of how
+    far real matrices are from SpTC's requirement.
+    """
+    rows, cols = a.shape
+    if cols % m != 0:
+        pad = m - cols % m
+        a = np.pad(a, ((0, 0), (0, pad)))
+        cols += pad
+    counts = (a.reshape(rows, cols // m, m) != 0).sum(axis=2)
+    return float(np.mean(counts > n))
+
+
+def compress_nm(a: np.ndarray, n: int = 2, m: int = 4) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized N:M compression: (values, positions).
+
+    ``values`` is (rows, cols * n / m); ``positions`` the matching in-group
+    positions.  Groups with fewer than ``n`` nonzeros are padded with
+    explicit zeros at free positions so positions stay strictly increasing
+    (the hardware constraint).  Raises on violation.
+    """
+    rows, cols = a.shape
+    if cols % m != 0:
+        raise ValueError(f"cols={cols} not a multiple of m={m}")
+    groups = cols // m
+    seg = a.reshape(rows, groups, m)
+    nz = seg != 0
+    counts = nz.sum(axis=2)
+    if np.any(counts > n):
+        bad = np.argwhere(counts > n)[0]
+        raise ValueError(
+            f"group (row={bad[0]}, group={bad[1]}) has {counts[bad[0], bad[1]]} "
+            f"nonzeros; {n}:{m} allows at most {n}"
+        )
+    # Rank positions: nonzeros first (by position), then free slots.
+    # Sorting key: (is_zero, position) ascending puts the nonzero positions
+    # first in increasing order, padded by free positions in increasing
+    # order — but the hardware wants the *selected* positions sorted, which
+    # a merge of two sorted runs does not guarantee.  Select instead the
+    # union and sort.
+    vals = np.zeros((rows, groups, n), dtype=a.dtype)
+    pos = np.zeros((rows, groups, n), dtype=np.uint8)
+    order = np.argsort(~nz, axis=2, kind="stable")  # nonzero positions first
+    chosen = order[:, :, :n]
+    chosen_sorted = np.sort(chosen, axis=2)
+    r_idx = np.arange(rows)[:, None, None]
+    g_idx = np.arange(groups)[None, :, None]
+    vals[:, :, :] = seg[r_idx, g_idx, chosen_sorted]
+    pos[:, :, :] = chosen_sorted.astype(np.uint8)
+    return vals.reshape(rows, groups * n), pos.reshape(rows, groups * n)
+
+
+def expand_nm(values: np.ndarray, positions: np.ndarray, cols: int, n: int = 2, m: int = 4) -> np.ndarray:
+    """Inverse of :func:`compress_nm`."""
+    rows, packed = values.shape
+    groups = packed // n
+    if groups * m != cols:
+        raise ValueError(f"packed width {packed} inconsistent with cols={cols}")
+    out = np.zeros((rows, cols), dtype=values.dtype)
+    r = np.repeat(np.arange(rows), packed)
+    g = np.tile(np.repeat(np.arange(groups), n), rows)
+    c = g * m + positions.reshape(-1).astype(np.int64)
+    out[r, c] = values.reshape(-1)
+    return out
+
+
+def pack_metadata(positions: np.ndarray) -> np.ndarray:
+    """Pack 2-bit positions into uint32 words, 16 per word, little-endian.
+
+    ``positions`` is (rows, kc).  Row-major packing: word j of row i covers
+    positions[i, 16j : 16j+16]; a trailing partial word is zero-padded.
+    """
+    rows, kc = positions.shape
+    if positions.max(initial=0) > 3:
+        raise ValueError("positions must fit in 2 bits")
+    if kc % 16 != 0:
+        pad = 16 - kc % 16
+        positions = np.pad(positions, ((0, 0), (0, pad)))
+        kc += pad
+    p = positions.astype(np.uint32).reshape(rows, kc // 16, 16)
+    shifts = (2 * np.arange(16, dtype=np.uint32))[None, None, :]
+    return (p << shifts).sum(axis=2, dtype=np.uint32)
+
+
+def unpack_metadata(words: np.ndarray, kc: int) -> np.ndarray:
+    """Inverse of :func:`pack_metadata` (drops any zero padding)."""
+    rows, nwords = words.shape
+    if nwords * 16 < kc:
+        raise ValueError("word count inconsistent with metadata width")
+    shifts = (2 * np.arange(16, dtype=np.uint32))[None, None, :]
+    out = (words[:, :, None] >> shifts) & 0x3
+    return out.reshape(rows, nwords * 16)[:, :kc].astype(np.uint8)
+
+
+@dataclass
+class NMCompressedMatrix:
+    """An N:M compressed matrix with packed metadata (cuSparseLt-style)."""
+
+    shape: tuple[int, int]
+    n: int
+    m: int
+    values: np.ndarray          # (rows, cols * n / m) fp16
+    metadata_words: np.ndarray  # (rows, cols * n / m / 16) uint32
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, n: int = 2, m: int = 4) -> "NMCompressedMatrix":
+        vals, pos = compress_nm(dense, n, m)
+        return cls(
+            shape=dense.shape,
+            n=n,
+            m=m,
+            values=vals.astype(np.float16),
+            metadata_words=pack_metadata(pos),
+        )
+
+    @property
+    def positions(self) -> np.ndarray:
+        return unpack_metadata(self.metadata_words, self.values.shape[1])
+
+    def to_dense(self) -> np.ndarray:
+        return expand_nm(self.values, self.positions, self.shape[1], self.n, self.m)
+
+    def storage_bytes(self) -> int:
+        return self.values.nbytes + self.metadata_words.nbytes
+
+    def spmm_reference(self, b: np.ndarray) -> np.ndarray:
+        return self.to_dense().astype(np.float32) @ b.astype(np.float32)

@@ -1,0 +1,155 @@
+"""V:N:M format and VENOM-style pruning.
+
+VENOM [Castro et al., SC'23] generalizes 2:4 to V:N:M with a two-level
+pattern: rows are grouped into vertical panels of height V; within each
+panel and each group of M columns, **four** candidate columns are
+selected (shared across the whole panel), and inside those four columns
+each row keeps at most N=2 elements — the plain 2:4 pattern.  Gathering
+the four selected columns of each group therefore yields data the SpTC
+consumes directly, at overall sparsity 1 - N/M, while V amortizes the
+column-selection metadata over V rows.
+
+Table 3 of the Jigsaw paper evaluates on VENOM-pruned matrices with
+V in {32, 64, 128}: after Jigsaw's BLOCK_TILE zero-column extraction the
+selected columns pack into aligned, already-2:4-compatible quads, so
+those matrices run on Jigsaw *without* reordering — isolating the
+kernel-quality comparison, exactly as Section 4.5 intends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .nm import compress_nm, expand_nm, satisfies_nm
+
+
+def venom_prune(dense: np.ndarray, v: int, n: int = 2, m: int = 4) -> np.ndarray:
+    """Prune ``dense`` to the V:N:M pattern (two-level, magnitude-based).
+
+    Per V-row panel and aligned group of ``m`` columns: keep the four
+    columns with the largest panel-wise L1 magnitude (all four when
+    m == 4), then keep the ``n`` largest elements of each row within
+    those four columns.  Returns a new matrix at sparsity ``1 - n/m``.
+    """
+    rows, cols = dense.shape
+    if rows % v:
+        raise ValueError(f"rows={rows} not divisible by V={v}")
+    if cols % m:
+        raise ValueError(f"cols={cols} not divisible by M={m}")
+    if m < 4:
+        raise ValueError("V:N:M needs M >= 4 (four selected columns per group)")
+    out = np.zeros_like(dense)
+    num_groups = cols // m
+    for p in range(rows // v):
+        panel = dense[p * v : (p + 1) * v].reshape(v, num_groups, m)
+        scores = np.abs(panel.astype(np.float64)).sum(axis=0)  # (groups, m)
+        keep4 = np.sort(np.argsort(-scores, axis=1, kind="stable")[:, :4], axis=1)
+        g_idx = np.arange(num_groups)[:, None]
+        selected = panel[:, g_idx, keep4]  # (v, groups, 4)
+        # Element-wise 2:4 inside the four selected columns.
+        order = np.argsort(-np.abs(selected.astype(np.float32)), axis=2, kind="stable")
+        mask = np.zeros_like(selected, dtype=bool)
+        r_idx = np.arange(v)[:, None]
+        for j in range(n):
+            mask[r_idx, g_idx.T, order[:, :, j]] = True
+        pruned_sel = np.where(mask, selected, 0)
+        rebuilt = np.zeros_like(panel)
+        rebuilt[:, g_idx, keep4] = pruned_sel
+        out[p * v : (p + 1) * v] = rebuilt.reshape(v, cols)
+    return out
+
+
+@dataclass
+class VenomMatrix:
+    """V:N:M compressed storage.
+
+    ``values``/``positions`` hold the 2:4 compression of the *gathered*
+    panel data (rows, groups * n); ``col_choices`` holds, per panel and
+    group, the four selected source columns — the metadata VENOM shares
+    across V rows (its storage advantage).
+    """
+
+    shape: tuple[int, int]
+    v: int
+    n: int
+    m: int
+    values: np.ndarray       # (rows, groups * n) fp16
+    positions: np.ndarray    # (rows, groups * n) uint8, in-quad 2-bit
+    col_choices: np.ndarray  # (rows // v, groups, 4) uint16, sorted
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, v: int, n: int = 2, m: int = 4) -> "VenomMatrix":
+        """Compress a matrix that already satisfies V:N:M (venom_prune output)."""
+        rows, cols = dense.shape
+        if rows % v or cols % m:
+            raise ValueError("shape not compatible with V:N:M tiling")
+        groups = cols // m
+        num_panels = rows // v
+        choices = np.zeros((num_panels, groups, 4), dtype=np.uint16)
+        gathered = np.zeros((rows, groups * 4), dtype=dense.dtype)
+        for p in range(num_panels):
+            panel = dense[p * v : (p + 1) * v].reshape(v, groups, m)
+            nz_any = np.any(panel != 0, axis=0)  # (groups, m)
+            for g in range(groups):
+                used = np.flatnonzero(nz_any[g])
+                if len(used) > 4:
+                    raise ValueError(
+                        f"panel {p} group {g} uses {len(used)} columns; "
+                        f"V:{n}:{m} allows 4 selected columns"
+                    )
+                free = [c for c in range(m) if c not in used]
+                sel = sorted(list(used) + free[: 4 - len(used)])
+                choices[p, g] = sel
+                gathered[p * v : (p + 1) * v, g * 4 : (g + 1) * 4] = panel[:, g, sel]
+        if not satisfies_nm(gathered, n, 4):
+            raise ValueError("gathered data violates the elementwise N:4 pattern")
+        vals, pos = compress_nm(gathered, n, 4)
+        return cls(
+            shape=dense.shape,
+            v=v,
+            n=n,
+            m=m,
+            values=vals.astype(np.float16),
+            positions=pos,
+            col_choices=choices,
+        )
+
+    def gathered_dense(self) -> np.ndarray:
+        """The (rows, groups*4) gathered view (selected columns packed)."""
+        return expand_nm(self.values, self.positions, (self.shape[1] // self.m) * 4, self.n, 4)
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        groups = cols // self.m
+        gathered = self.gathered_dense()
+        out = np.zeros((rows, cols), dtype=np.float16)
+        for p in range(rows // self.v):
+            rslice = slice(p * self.v, (p + 1) * self.v)
+            for g in range(groups):
+                sel = self.col_choices[p, g].astype(np.int64)
+                out[rslice, g * self.m + sel] = gathered[rslice, g * 4 : (g + 1) * 4]
+        return out
+
+    def storage_bytes(self) -> int:
+        # Values fp16; 2-bit in-quad positions; column choices shared
+        # across V rows (ceil(log2(m)) bits each).
+        meta_bits = self.positions.size * 2
+        col_bits = self.col_choices.size * max(2, int(np.ceil(np.log2(self.m))))
+        return self.values.nbytes + (meta_bits + 7) // 8 + (col_bits + 7) // 8
+
+    def spmm_reference(self, b: np.ndarray) -> np.ndarray:
+        return self.to_dense().astype(np.float32) @ b.astype(np.float32)
+
+
+def venom_satisfies_sptc(dense: np.ndarray, m: int = 4) -> bool:
+    """A VENOM-pruned matrix maps to SpTC after gathering its selected
+    columns; for m == 4 the raw matrix is already 2:4."""
+    if m == 4:
+        return satisfies_nm(dense, 2, 4)
+    try:
+        VenomMatrix.from_dense(dense, v=dense.shape[0], n=2, m=m)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,111 @@
+"""Async-copy and software-pipeline model.
+
+Ampere's ``cp.async`` copies global memory straight into shared memory
+without staging through registers, which lets a kernel overlap tile loads
+with tensor-core math.  How *well* the overlap works depends on the
+pipeline structure:
+
+* a naive two-stage pipeline still exposes the latency of any load whose
+  address depends on data that is itself still in flight — exactly
+  Jigsaw's situation, where the B-tile gather addresses come from
+  ``col_idx_array`` (paper Section 3.4.2);
+* Jigsaw v2 deepens the pipeline so ``col_idx_array`` for step n+2 loads
+  while tiles for step n+1 load and step n computes, breaking the
+  dependency.
+
+This module turns a pipeline description plus per-iteration load behaviour
+into exposed-stall cycles, which the scheduler adds to the overlap-limited
+duration and reports as Nsight-style scoreboard metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec, A100
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Software-pipeline structure of a kernel's main loop.
+
+    ``stages``: number of in-flight buffers (2 = classic double buffering,
+    3 = Jigsaw's deepened pipeline).
+    ``uses_async_copy``: whether tile copies use ``cp.async`` (no register
+    staging, no intra-warp stall on the copy itself).
+    ``indirect_dependency_exposed``: True when the B-tile gather must wait
+    on an index array loaded in the *same* pipeline stage — the v0/v1
+    behaviour; v2+ prefetches indices one stage earlier and clears it.
+    """
+
+    stages: int = 2
+    uses_async_copy: bool = True
+    indirect_dependency_exposed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ValueError("pipeline needs at least one stage")
+
+
+@dataclass
+class StallEstimate:
+    """Exposed stall cycles for one thread block's main loop."""
+
+    long_scoreboard_cycles: float = 0.0   # waiting on global memory
+    short_scoreboard_cycles: float = 0.0  # waiting on shared memory
+    barrier_cycles: float = 0.0           # __syncthreads / pipeline waits
+
+    @property
+    def total(self) -> float:
+        return self.long_scoreboard_cycles + self.short_scoreboard_cycles + self.barrier_cycles
+
+
+def estimate_block_stalls(
+    pipeline: PipelineConfig,
+    main_loop_iters: int,
+    smem_loads_per_iter: float,
+    device: DeviceSpec = A100,
+) -> StallEstimate:
+    """Exposed stalls of one block's main loop under a pipeline config.
+
+    The model charges, per iteration:
+
+    * the full DRAM latency once when an in-stage indirect dependency
+      exists (the gather cannot issue until the index load returns, and no
+      amount of double buffering helps because the dependency is *within*
+      the stage);
+    * a small synchronization cost per stage boundary;
+    * shared-memory latency for the fraction of fragment loads that cannot
+      be hidden — deeper pipelines give the scheduler more independent
+      work, shrinking this term.
+
+    Without async copy the copy itself also stalls: data must pass through
+    registers, so each iteration additionally exposes a DRAM round trip
+    scaled down by double buffering.
+    """
+    if main_loop_iters < 0:
+        raise ValueError("negative loop count")
+    est = StallEstimate()
+    iters = float(main_loop_iters)
+
+    if pipeline.indirect_dependency_exposed:
+        est.long_scoreboard_cycles += iters * device.dram_latency_cycles
+
+    if not pipeline.uses_async_copy:
+        # Register-staged copies expose roughly half the DRAM latency even
+        # with double buffering (the paper's pre-A100 description).
+        est.long_scoreboard_cycles += iters * device.dram_latency_cycles * 0.5
+
+    # Fragment loads from SMEM: a deeper pipeline leaves more independent
+    # instructions between the load and its use.
+    hidden_fraction = min(0.9, 0.3 * pipeline.stages)
+    est.short_scoreboard_cycles += (
+        iters * smem_loads_per_iter * device.smem_latency_cycles * (1.0 - hidden_fraction)
+    )
+
+    # One barrier per stage hand-off.
+    est.barrier_cycles += iters * 4.0
+
+    # Pipeline fill: `stages` tile loads before the first math.
+    est.long_scoreboard_cycles += pipeline.stages * device.dram_latency_cycles
+    return est

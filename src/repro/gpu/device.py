@@ -1,0 +1,108 @@
+"""Device specification for the simulated Ampere-class GPU.
+
+The paper evaluates on an NVIDIA A100-SXM4-40GB (108 SMs, Ampere).  This
+module captures the architectural constants the timing model needs.  All
+constants are taken from the Ampere whitepaper [NVIDIA 2020] and the tensor
+core microbenchmark study the paper cites (Sun et al., "Dissecting Tensor
+Cores via Microbenchmarks", TPDS 2023).
+
+The spec is a frozen dataclass so experiments can construct variants (for
+sensitivity studies) without mutating the default device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural constants of the simulated GPU.
+
+    Attributes mirror the hardware quantities the Jigsaw paper reasons
+    about: SM count and clocks set the compute roofline, the shared-memory
+    bank geometry drives the bank-conflict model, and the tensor-core issue
+    rates implement the 2x SpTC speedup over dense MMA on compressed data.
+    """
+
+    name: str = "A100-SXM4-40GB"
+
+    # --- compute hierarchy -------------------------------------------------
+    num_sms: int = 108
+    warp_size: int = 32
+    warp_schedulers_per_sm: int = 4
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    max_registers_per_thread: int = 256
+    registers_per_sm: int = 65536
+
+    # --- clocks ------------------------------------------------------------
+    sm_clock_ghz: float = 1.410  # boost clock, matches locked-frequency runs
+
+    # --- shared memory -----------------------------------------------------
+    smem_banks: int = 32
+    smem_bank_bytes: int = 4  # each bank serves 4 consecutive bytes
+    smem_per_sm_bytes: int = 164 * 1024  # max usable per thread block on A100
+    smem_ld_bandwidth_bytes_per_cycle: int = 128  # 32 banks * 4B per cycle
+
+    # --- global memory -----------------------------------------------------
+    dram_bandwidth_gbps: float = 1555.0  # HBM2e, A100-40GB
+    l2_bytes: int = 40 * 1024 * 1024
+    l2_bandwidth_bytes_per_clk: float = 4000.0  # aggregate (~5.6 TB/s measured)
+    l1_bandwidth_bytes_per_clk_per_sm: float = 128.0  # 128 B/cycle per SM
+    memory_sector_bytes: int = 32  # coalescing granularity (L2 sector)
+    cache_line_bytes: int = 128
+    dram_latency_cycles: int = 450
+    l2_latency_cycles: int = 200
+    smem_latency_cycles: int = 22
+
+    # --- tensor cores (per SM, per cycle) -----------------------------------
+    # Dense fp16 tensor-core FMA throughput per SM: 1024 fp16 FMA/clk (A100).
+    tc_fp16_fma_per_sm_per_cycle: int = 1024
+    # CUDA-core fp16 throughput per SM: 256 fp16 FMA/clk (2x fp32 via vector
+    # half2 on 128 fp32 cores).
+    cuda_fp16_fma_per_sm_per_cycle: int = 256
+
+    @property
+    def cycles_per_us(self) -> float:
+        """Simulation clock cycles per microsecond."""
+        return self.sm_clock_ghz * 1e3
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Aggregate DRAM bandwidth expressed in bytes per SM clock cycle."""
+        return self.dram_bandwidth_gbps * 1e9 / (self.sm_clock_ghz * 1e9)
+
+    @property
+    def peak_tc_fp16_tflops(self) -> float:
+        """Peak dense tensor-core fp16 throughput in TFLOP/s (2 flops/FMA)."""
+        fma = self.tc_fp16_fma_per_sm_per_cycle * self.num_sms
+        return 2.0 * fma * self.sm_clock_ghz * 1e9 / 1e12
+
+    @property
+    def peak_cuda_fp16_tflops(self) -> float:
+        """Peak CUDA-core fp16 throughput in TFLOP/s."""
+        fma = self.cuda_fp16_fma_per_sm_per_cycle * self.num_sms
+        return 2.0 * fma * self.sm_clock_ghz * 1e9 / 1e12
+
+    def with_(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default simulated device, matching the paper's evaluation platform.
+A100 = DeviceSpec()
+
+#: A V100-like device used in tests that reason about Sputnik's design point
+#: (Sputnik was developed for Volta; the paper explains its A100 gap by the
+#: missing async-copy and slower tensor cores there).
+V100 = DeviceSpec(
+    name="V100-SXM2-32GB",
+    num_sms=80,
+    sm_clock_ghz=1.530,
+    smem_per_sm_bytes=96 * 1024,
+    dram_bandwidth_gbps=900.0,
+    l2_bytes=6 * 1024 * 1024,
+    tc_fp16_fma_per_sm_per_cycle=512,
+    cuda_fp16_fma_per_sm_per_cycle=128,
+)

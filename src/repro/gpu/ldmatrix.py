@@ -1,0 +1,54 @@
+"""``ldmatrix`` model: warp-wide 8x8 fp16 tile loads from shared memory.
+
+``ldmatrix.x4`` loads a 32x8 fp16 region (or 16x16, depending on fragment
+mapping) in four 8x8 stages; each stage reads eight 16-byte rows whose
+addresses come from eight threads.  Bank conflicts are possible *between
+rows of one stage*: with a row-major 64-wide fp16 tile (128-byte row
+stride), rows r and r+8 start in the same banks, which is precisely the
+conflict Jigsaw's reorder-scheme preference avoids (paper Figure 7b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instructions import InstructionMix, Op
+from .shared import SharedMemoryModel, SmemLayout
+
+_LDMATRIX_OPS = {1: Op.LDMATRIX_X1, 2: Op.LDMATRIX_X2, 4: Op.LDMATRIX_X4}
+
+
+def ldmatrix(
+    smem: SharedMemoryModel,
+    layout: SmemLayout,
+    row_ids: np.ndarray,
+    col0: int,
+    num: int = 4,
+    mix: InstructionMix | None = None,
+) -> int:
+    """Model one ``ldmatrix.x{num}`` instruction.
+
+    ``row_ids`` holds the ``8 * num`` shared-memory rows to read (in stage
+    order); ``col0`` is the starting column of each 8-element fp16 segment.
+    Returns the total bank transactions across all stages and records them
+    in ``smem.stats``; emits the instruction event into ``mix``.
+
+    The row ids are *logical tile rows* — after Jigsaw's MMA_TILE-granularity
+    reorder these may be an arbitrary permutation, which is how reorder
+    choices become measurable bank conflicts.
+    """
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    if num not in _LDMATRIX_OPS:
+        raise ValueError(f"ldmatrix.x{num} is not a real instruction")
+    if row_ids.shape != (8 * num,):
+        raise ValueError(
+            f"ldmatrix.x{num} needs {8 * num} row addresses, got {row_ids.shape}"
+        )
+    if mix is not None:
+        mix.emit(_LDMATRIX_OPS[num])
+    total_tx = 0
+    for stage in range(num):
+        rows = row_ids[stage * 8 : (stage + 1) * 8]
+        addrs = layout.row_addresses(rows, col0)
+        total_tx += smem.ldmatrix_access(addrs)
+    return total_tx

@@ -1,0 +1,148 @@
+"""Global-memory model: sector coalescing, L2, and DRAM bandwidth.
+
+Ampere global memory is accessed in 32-byte sectors grouped into 128-byte
+cache lines.  A warp load touching N distinct sectors costs N sector
+transactions; perfectly coalesced 128-bit loads by 32 lanes touch exactly
+16 sectors per warp (512 bytes).  Jigsaw's loader "coalesces memory
+accesses to multiples of the L1/L2 cache line size to minimize cache line
+wastage" (paper Section 3.4.2); the indirect, column-gathered loads of the
+B tile are where wastage would appear, so this model derives sector counts
+from actual address streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceSpec, A100
+
+
+@dataclass
+class GmemAccessStats:
+    """Aggregate global-memory traffic statistics."""
+
+    load_requests: int = 0
+    store_requests: int = 0
+    load_sectors: int = 0
+    store_sectors: int = 0
+    useful_load_bytes: int = 0
+    useful_store_bytes: int = 0
+
+    def merge(self, other: "GmemAccessStats") -> None:
+        self.load_requests += other.load_requests
+        self.store_requests += other.store_requests
+        self.load_sectors += other.load_sectors
+        self.store_sectors += other.store_sectors
+        self.useful_load_bytes += other.useful_load_bytes
+        self.useful_store_bytes += other.useful_store_bytes
+
+    def scaled(self, factor: float) -> "GmemAccessStats":
+        out = GmemAccessStats()
+        out.load_requests = int(round(self.load_requests * factor))
+        out.store_requests = int(round(self.store_requests * factor))
+        out.load_sectors = int(round(self.load_sectors * factor))
+        out.store_sectors = int(round(self.store_sectors * factor))
+        out.useful_load_bytes = int(round(self.useful_load_bytes * factor))
+        out.useful_store_bytes = int(round(self.useful_store_bytes * factor))
+        return out
+
+    @property
+    def moved_load_bytes(self) -> int:
+        """Bytes actually moved for loads (sectors x 32B)."""
+        return self.load_sectors * 32
+
+    @property
+    def moved_store_bytes(self) -> int:
+        return self.store_sectors * 32
+
+    @property
+    def load_efficiency(self) -> float:
+        """Useful bytes / moved bytes; 1.0 = fully coalesced."""
+        moved = self.moved_load_bytes
+        return self.useful_load_bytes / moved if moved else 1.0
+
+
+class GlobalMemoryModel:
+    """Counts sector transactions for warp-level global accesses."""
+
+    def __init__(self, device: DeviceSpec = A100) -> None:
+        self.device = device
+        self.stats = GmemAccessStats()
+
+    def sectors_for(self, byte_addresses: np.ndarray, access_bytes: int) -> int:
+        """Distinct 32-byte sectors covered by one warp access."""
+        addrs = np.asarray(byte_addresses, dtype=np.int64)
+        sector = self.device.memory_sector_bytes
+        first = addrs // sector
+        last = (addrs + access_bytes - 1) // sector
+        sectors: set[int] = set()
+        for f, l in zip(first, last):
+            sectors.update(range(int(f), int(l) + 1))
+        return len(sectors)
+
+    def load(self, byte_addresses: np.ndarray, access_bytes: int) -> int:
+        """Record one warp load; returns sector count."""
+        s = self.sectors_for(byte_addresses, access_bytes)
+        self.stats.load_requests += 1
+        self.stats.load_sectors += s
+        self.stats.useful_load_bytes += int(len(np.asarray(byte_addresses)) * access_bytes)
+        return s
+
+    def store(self, byte_addresses: np.ndarray, access_bytes: int) -> int:
+        """Record one warp store; returns sector count."""
+        s = self.sectors_for(byte_addresses, access_bytes)
+        self.stats.store_requests += 1
+        self.stats.store_sectors += s
+        self.stats.useful_store_bytes += int(len(np.asarray(byte_addresses)) * access_bytes)
+        return s
+
+    # -- bulk helpers for tile transfers --------------------------------------
+
+    def load_rowmajor_tile(
+        self,
+        base: int,
+        row_ids: np.ndarray,
+        row_stride_bytes: int,
+        row_bytes: int,
+        vector_bytes: int = 16,
+    ) -> int:
+        """Record the loads for copying whole rows of a row-major matrix.
+
+        Models a tile copy where warps issue ``vector_bytes``-wide loads
+        (128-bit by default) covering ``row_bytes`` of each row in
+        ``row_ids``.  Rows need not be contiguous — Jigsaw gathers B rows
+        through ``col_idx_array`` — and the sector model naturally charges
+        extra sectors when rows are misaligned or narrower than a sector.
+        Returns total sectors.
+        """
+        total = 0
+        lanes = self.device.warp_size
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        # Lay the row segments end-to-end in lane order, one vector per lane.
+        offsets = []
+        for r in row_ids:
+            row_base = base + int(r) * row_stride_bytes
+            for off in range(0, row_bytes, vector_bytes):
+                offsets.append(row_base + off)
+        offsets_arr = np.asarray(offsets, dtype=np.int64)
+        for start in range(0, len(offsets_arr), lanes):
+            chunk = offsets_arr[start : start + lanes]
+            total += self.load(chunk, vector_bytes)
+        return total
+
+    def reset(self) -> None:
+        self.stats = GmemAccessStats()
+
+    # -- time conversion -------------------------------------------------------
+
+    def dram_cycles(self, extra_stats: GmemAccessStats | None = None) -> float:
+        """DRAM service cycles for all recorded traffic at peak bandwidth.
+
+        Duration contribution assuming the kernel saturates HBM; the
+        scheduler combines this with compute cycles via the overlap model.
+        """
+        st = extra_stats or self.stats
+        moved = st.moved_load_bytes + st.moved_store_bytes
+        return moved / self.device.dram_bytes_per_cycle

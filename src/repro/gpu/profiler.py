@@ -1,0 +1,78 @@
+"""Nsight-Compute-style kernel profile.
+
+The paper's evaluation uses the Nsight **Duration** metric for execution
+time and argues the ablation through hardware counters: shared-memory bank
+conflicts, *warp long scoreboard* (stalls waiting on global memory) and
+*warp short scoreboard* (stalls waiting on shared memory), and instruction
+counts.  :class:`KernelProfile` carries the same quantities for simulated
+kernels so benches can report them side by side with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import InstructionMix
+from .memory import GmemAccessStats
+from .shared import SmemAccessStats
+
+
+@dataclass
+class KernelProfile:
+    """The result of simulating one kernel launch."""
+
+    kernel_name: str
+    duration_cycles: float
+    duration_us: float
+    grid_blocks: int
+    threads_per_block: int
+    blocks_per_sm: int
+    waves: float
+    instruction_mix: InstructionMix = field(default_factory=InstructionMix)
+    smem: SmemAccessStats = field(default_factory=SmemAccessStats)
+    gmem: GmemAccessStats = field(default_factory=GmemAccessStats)
+    # Nsight-style stall metrics: average stall cycles per issued instruction.
+    warp_long_scoreboard: float = 0.0
+    warp_short_scoreboard: float = 0.0
+    # Breakdown of the duration bound (for analysis / debugging).
+    compute_limited_cycles: float = 0.0
+    memory_limited_cycles: float = 0.0
+    smem_limited_cycles: float = 0.0
+    issue_limited_cycles: float = 0.0
+    exposed_stall_cycles: float = 0.0
+
+    @property
+    def total_instructions(self) -> float:
+        return self.instruction_mix.total()
+
+    @property
+    def smem_bank_conflicts(self) -> int:
+        return self.smem.conflicts
+
+    @property
+    def bound(self) -> str:
+        """Which resource bound the duration: compute / memory / smem / issue."""
+        bounds = {
+            "compute": self.compute_limited_cycles,
+            "memory": self.memory_limited_cycles,
+            "smem": self.smem_limited_cycles,
+            "issue": self.issue_limited_cycles,
+        }
+        return max(bounds, key=bounds.get)  # type: ignore[arg-type]
+
+    def speedup_over(self, other: "KernelProfile") -> float:
+        """``other``'s duration divided by ours (>1 means we are faster)."""
+        if self.duration_us <= 0:
+            raise ValueError("profile has non-positive duration")
+        return other.duration_us / self.duration_us
+
+    def summary(self) -> str:
+        """One-line human-readable digest used by examples and benches."""
+        return (
+            f"{self.kernel_name}: {self.duration_us:.2f} us "
+            f"({self.grid_blocks} blocks x {self.threads_per_block} thr, "
+            f"{self.waves:.2f} waves, bound={self.bound}, "
+            f"bank_conflicts={self.smem_bank_conflicts}, "
+            f"long_sb={self.warp_long_scoreboard:.2f}, "
+            f"short_sb={self.warp_short_scoreboard:.2f})"
+        )

@@ -1,0 +1,57 @@
+"""Register-file accounting.
+
+Registers bound occupancy together with shared memory: a thread block of
+``threads`` threads each using ``regs_per_thread`` registers can co-reside
+with others only while the SM's 64K-register file lasts.  The models here
+are used by the scheduler's occupancy calculation and asserted against the
+A100 limits in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec, A100
+
+
+@dataclass(frozen=True)
+class RegisterBudget:
+    """Per-thread register demand of a kernel."""
+
+    regs_per_thread: int
+
+    def __post_init__(self) -> None:
+        if self.regs_per_thread <= 0:
+            raise ValueError("register demand must be positive")
+
+    def validate(self, device: DeviceSpec = A100) -> None:
+        """Raise if the demand exceeds the per-thread architectural cap."""
+        if self.regs_per_thread > device.max_registers_per_thread:
+            raise ValueError(
+                f"{self.regs_per_thread} registers/thread exceeds the device cap "
+                f"of {device.max_registers_per_thread}"
+            )
+
+    def blocks_limited_by_registers(self, threads_per_block: int, device: DeviceSpec = A100) -> int:
+        """Max co-resident blocks per SM given this register demand."""
+        if threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        # Allocation granularity: registers are allocated per warp in
+        # chunks of 256.
+        warps = (threads_per_block + device.warp_size - 1) // device.warp_size
+        per_warp = ((self.regs_per_thread * device.warp_size + 255) // 256) * 256
+        per_block = warps * per_warp
+        return max(0, device.registers_per_sm // per_block)
+
+
+def fragment_registers(m: int, n: int, k: int, elem_bytes: int = 2) -> int:
+    """Registers per thread to hold one warp-level MMA fragment set.
+
+    A warp distributes an (m, k) A fragment, (k, n) B fragment and (m, n)
+    fp32 accumulator across 32 lanes; each register is 4 bytes.
+    """
+    a_bytes = m * k * elem_bytes
+    b_bytes = k * n * elem_bytes
+    c_bytes = m * n * 4
+    total = a_bytes + b_bytes + c_bytes
+    return -(-total // (32 * 4))  # ceil division

@@ -1,0 +1,228 @@
+"""Shared-memory bank model.
+
+Ampere shared memory is split into 32 banks of 4 consecutive bytes.  A warp
+access that touches the same bank at *different* 4-byte words serializes
+into as many transactions as the worst bank's distinct-word count (a "bank
+conflict"); accesses to the same word broadcast for free.
+
+Jigsaw's v1 optimization eliminates conflicts by padding each row of the
+shared-memory B tile by 4 banks (16 bytes / 8 fp16), so that an 8x8
+``ldmatrix`` tile covers all 32 banks.  This module computes transaction
+counts from real address streams, so that optimization's 99.48% conflict
+reduction (paper Section 4.4) is *measured*, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import DeviceSpec, A100
+
+
+@dataclass
+class SmemAccessStats:
+    """Aggregate statistics over a sequence of warp-level accesses."""
+
+    accesses: int = 0          # warp-level access instructions
+    transactions: int = 0      # bank transactions actually performed
+    conflicts: int = 0         # extra transactions beyond the minimum
+
+    def merge(self, other: "SmemAccessStats") -> None:
+        self.accesses += other.accesses
+        self.transactions += other.transactions
+        self.conflicts += other.conflicts
+
+    def scaled(self, factor: float) -> "SmemAccessStats":
+        out = SmemAccessStats()
+        out.accesses = int(round(self.accesses * factor))
+        out.transactions = int(round(self.transactions * factor))
+        out.conflicts = int(round(self.conflicts * factor))
+        return out
+
+    @property
+    def conflict_rate(self) -> float:
+        """Average extra transactions per access (0 = conflict-free)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.conflicts / self.accesses
+
+
+class SharedMemoryModel:
+    """Counts bank transactions for warp accesses to shared memory.
+
+    The model is address-based: callers pass the byte address each thread
+    (or each ``ldmatrix`` row) accesses, and the model derives transactions
+    from the bank geometry of the device.
+    """
+
+    def __init__(self, device: DeviceSpec = A100) -> None:
+        self.device = device
+        self.stats = SmemAccessStats()
+
+    # -- core bank math ------------------------------------------------------
+
+    def transactions_for(self, byte_addresses: np.ndarray, access_bytes: int = 4) -> int:
+        """Number of bank transactions for one warp access.
+
+        ``byte_addresses`` holds the starting byte address of each lane's
+        access; ``access_bytes`` is the per-lane width.  Accesses wider than
+        4 bytes are split into 4-byte phases, as the hardware does (e.g. a
+        128-bit ``lds.128`` executes as four conflict-checked phases over
+        groups of 8 lanes).
+        """
+        addrs = np.asarray(byte_addresses, dtype=np.int64)
+        if addrs.ndim != 1:
+            raise ValueError("byte_addresses must be 1-D (one per lane)")
+        if access_bytes % 4 != 0 and access_bytes not in (1, 2):
+            raise ValueError(f"unsupported access width: {access_bytes}")
+
+        bank_bytes = self.device.smem_bank_bytes
+        nbanks = self.device.smem_banks
+
+        if access_bytes <= 4:
+            return self._phase_transactions(addrs, bank_bytes, nbanks)
+
+        # Wide accesses: hardware splits the warp so each phase moves at
+        # most 128 bytes.  A 16-byte access runs 4 phases of 8 lanes each.
+        lanes_per_phase = max(1, (nbanks * bank_bytes) // access_bytes)
+        total = 0
+        for start in range(0, len(addrs), lanes_per_phase):
+            group = addrs[start : start + lanes_per_phase]
+            # Each lane in the phase touches access_bytes/4 consecutive words.
+            words = []
+            for a in group:
+                words.extend(range(int(a) // bank_bytes, int(a) // bank_bytes + access_bytes // bank_bytes))
+            total += self._phase_transactions(
+                np.asarray(words, dtype=np.int64) * bank_bytes, bank_bytes, nbanks
+            )
+        return total
+
+    @staticmethod
+    def _phase_transactions(addrs: np.ndarray, bank_bytes: int, nbanks: int) -> int:
+        """Transactions for one phase: max distinct words in any bank."""
+        if len(addrs) == 0:
+            return 0
+        words = addrs // bank_bytes
+        banks = words % nbanks
+        worst = 1
+        for b in np.unique(banks):
+            distinct = len(np.unique(words[banks == b]))
+            worst = max(worst, distinct)
+        return worst
+
+    # -- recording accessors ---------------------------------------------------
+
+    def access(self, byte_addresses: np.ndarray, access_bytes: int = 4) -> int:
+        """Record one warp access; returns its transaction count."""
+        tx = self.transactions_for(byte_addresses, access_bytes)
+        self.stats.accesses += 1
+        self.stats.transactions += tx
+        self.stats.conflicts += tx - 1
+        return tx
+
+    def ldmatrix_access(self, row_byte_addresses: np.ndarray) -> int:
+        """Record one ``ldmatrix`` 8x8 stage.
+
+        ``ldmatrix`` loads an 8x8 fp16 tile: 8 rows of 16 bytes.  Each row
+        address comes from one thread; the hardware fetches each 16-byte row
+        as 4 consecutive 4-byte words.  Conflicts arise when two rows' words
+        collide in a bank (paper Figure 7: rows 0 and 8 of an unpadded
+        64-wide row-major tile share banks).
+        """
+        rows = np.asarray(row_byte_addresses, dtype=np.int64)
+        if rows.shape != (8,):
+            raise ValueError("ldmatrix stage needs exactly 8 row addresses")
+        words = []
+        for a in rows:
+            words.extend(range(int(a) // 4, int(a) // 4 + 4))
+        tx = self._phase_transactions(
+            np.asarray(words, dtype=np.int64) * 4, self.device.smem_bank_bytes, self.device.smem_banks
+        )
+        self.stats.accesses += 1
+        self.stats.transactions += tx
+        self.stats.conflicts += tx - 1
+        return tx
+
+    def ldmatrix_batch(
+        self,
+        layout: "SmemLayout",
+        row_ids: np.ndarray,
+        col0: int,
+    ) -> np.ndarray:
+        """Vectorized ldmatrix-stage accounting.
+
+        ``row_ids`` has shape (..., 8): each trailing-8 vector is one
+        ldmatrix stage (eight 16-byte row segments).  Returns the
+        transaction count per stage and records all stages in ``stats``.
+        Results are identical to calling :meth:`ldmatrix_access` per stage
+        (verified by tests); this path exists because kernel simulations
+        account thousands of stages.
+        """
+        rows = np.asarray(row_ids, dtype=np.int64)
+        if rows.shape[-1] != 8:
+            raise ValueError("ldmatrix stages need 8 rows each")
+        addrs = layout.address(rows, col0)  # (..., 8) byte addresses
+        words = addrs[..., None] // 4 + np.arange(4)  # (..., 8, 4)
+        banks = words % self.device.smem_banks
+        # Distinct words per bank per stage: row segments never alias, so
+        # every (row, word) pair is distinct and the per-bank count is the
+        # conflict degree.
+        onehot = banks[..., None] == np.arange(self.device.smem_banks)
+        per_bank = onehot.reshape(*banks.shape[:-2], 32, self.device.smem_banks).sum(
+            axis=-2
+        )
+        tx = per_bank.max(axis=-1)
+        n_stages = int(np.prod(tx.shape)) if tx.ndim else 1
+        total_tx = int(tx.sum())
+        self.stats.accesses += n_stages
+        self.stats.transactions += total_tx
+        self.stats.conflicts += total_tx - n_stages
+        return tx
+
+    def reset(self) -> None:
+        self.stats = SmemAccessStats()
+
+
+@dataclass
+class SmemLayout:
+    """Row-major 2-D tile layout in shared memory with optional padding.
+
+    ``pad_elems`` extra elements are appended to each row; Jigsaw's v1
+    kernel uses ``pad_elems=8`` fp16 (4 banks) on a 64-wide B tile so the
+    ldmatrix row stride becomes 144 bytes, which is coprime-ish with the
+    128-byte bank period and spreads the 8 rows of each ldmatrix stage over
+    all 32 banks.
+    """
+
+    rows: int
+    cols: int
+    elem_bytes: int = 2  # fp16
+    pad_elems: int = 0
+    base_offset: int = 0
+
+    @property
+    def row_stride_bytes(self) -> int:
+        return (self.cols + self.pad_elems) * self.elem_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return self.rows * self.row_stride_bytes
+
+    def address(self, row: int | np.ndarray, col: int | np.ndarray) -> np.ndarray:
+        """Byte address(es) of element (row, col)."""
+        return np.asarray(
+            self.base_offset
+            + np.asarray(row) * self.row_stride_bytes
+            + np.asarray(col) * self.elem_bytes,
+            dtype=np.int64,
+        )
+
+    def row_addresses(self, rows: np.ndarray, col0: int) -> np.ndarray:
+        """Byte addresses of the starts of 16-byte row segments.
+
+        Used for ``ldmatrix`` stages: each of the 8 participating threads
+        provides the address of one 8-element fp16 row segment.
+        """
+        return self.address(np.asarray(rows), col0)

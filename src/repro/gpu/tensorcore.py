@@ -1,0 +1,197 @@
+"""Tensor-core functional models: dense ``mma`` and sparse ``mma.sp``.
+
+Functional semantics are exact (numpy fp32 accumulate over fp16 operands,
+matching tensor-core behaviour), and every call can emit its instruction
+event into a kernel's :class:`~repro.gpu.instructions.InstructionMix`.
+
+``mma.sp`` implements the hardware selector described in the paper's
+Figure 3: operand A holds the 2:4-compressed nonzeros (K/2 columns), the
+metadata operand E holds each nonzero's 2-bit position within its original
+group of four, and the unit gathers the matching rows of B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .instructions import InstructionMix, Op
+
+
+@dataclass(frozen=True)
+class MmaShape:
+    """An ``mMnNkK`` tensor-core shape."""
+
+    m: int
+    n: int
+    k: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"m{self.m}n{self.n}k{self.k}"
+
+
+#: Shapes the Ampere SpTC supports, per precision (paper Table 1).
+SUPPORTED_SPTC_SHAPES: dict[str, tuple[MmaShape, ...]] = {
+    "tf32": (MmaShape(16, 8, 16), MmaShape(16, 8, 8)),
+    "f16": (MmaShape(16, 8, 16), MmaShape(16, 8, 32)),
+    "bf16": (MmaShape(16, 8, 16), MmaShape(16, 8, 32)),
+    "u8": (MmaShape(16, 8, 32), MmaShape(16, 8, 64)),
+    "s8": (MmaShape(16, 8, 32), MmaShape(16, 8, 64)),
+    "u4": (MmaShape(16, 8, 64), MmaShape(16, 8, 128)),
+    "s4": (MmaShape(16, 8, 64), MmaShape(16, 8, 128)),
+}
+
+#: The shape Jigsaw uses (paper Section 2.2): same latency/bandwidth as the
+#: dense MMA of equal size, unlike m16n8k16 which halves throughput.
+JIGSAW_SPTC_SHAPE = MmaShape(16, 8, 32)
+
+_MMA_OPS: dict[tuple[int, int, int], Op] = {
+    (16, 8, 16): Op.MMA_M16N8K16_F16,
+    (16, 8, 32): Op.MMA_M16N8K32_F16,
+    (8, 8, 16): Op.MMA_M8N8K16_F16,
+}
+
+_MMA_SP_OPS: dict[tuple[int, int, int], Op] = {
+    (16, 8, 32): Op.MMA_SP_M16N8K32_F16,
+    (16, 8, 16): Op.MMA_SP_M16N8K16_F16,
+}
+
+
+def _check(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(msg)
+
+
+def mma_dense(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    shape: MmaShape = MmaShape(16, 8, 16),
+    mix: InstructionMix | None = None,
+) -> np.ndarray:
+    """One dense tensor-core MMA: ``D = A @ B + C``.
+
+    ``a`` is (m, k) fp16, ``b`` is (k, n) fp16, ``c`` is (m, n) fp32.
+    Returns the fp32 (m, n) result.  Emits the matching MMA event if a mix
+    is supplied.
+    """
+    key = (shape.m, shape.n, shape.k)
+    _check(key in _MMA_OPS, f"unsupported dense mma shape {shape}")
+    _check(a.shape == (shape.m, shape.k), f"A must be {shape.m}x{shape.k}, got {a.shape}")
+    _check(b.shape == (shape.k, shape.n), f"B must be {shape.k}x{shape.n}, got {b.shape}")
+    _check(c.shape == (shape.m, shape.n), f"C must be {shape.m}x{shape.n}, got {c.shape}")
+    if mix is not None:
+        mix.emit(_MMA_OPS[key])
+    return (
+        a.astype(np.float32) @ b.astype(np.float32) + c.astype(np.float32)
+    ).astype(np.float32)
+
+
+def expand_2to4(a_comp: np.ndarray, metadata: np.ndarray, k: int) -> np.ndarray:
+    """Decompress a 2:4-compressed operand back to its dense (m, k) form.
+
+    ``a_comp`` is (m, k/2): the kept values, two per group of four original
+    columns.  ``metadata`` is (m, k/2) with each entry in {0,1,2,3}: the
+    kept value's position within its group.  Positions must be strictly
+    increasing within a group, as the hardware requires.
+    """
+    m, kc = a_comp.shape
+    _check(kc * 2 == k, f"compressed width {kc} inconsistent with k={k}")
+    _check(metadata.shape == (m, kc), "metadata shape must match compressed A")
+    _check(
+        bool(np.all((metadata >= 0) & (metadata <= 3))),
+        "metadata entries must be 2-bit positions in [0, 3]",
+    )
+    groups = kc // 2
+    meta_pairs = metadata.reshape(m, groups, 2)
+    _check(
+        bool(np.all(meta_pairs[:, :, 0] < meta_pairs[:, :, 1])),
+        "metadata positions must be strictly increasing within each group",
+    )
+    full = np.zeros((m, k), dtype=a_comp.dtype)
+    rows = np.repeat(np.arange(m), kc)
+    group_of = np.tile(np.repeat(np.arange(groups), 2), m)
+    cols = group_of * 4 + metadata.reshape(-1).astype(np.int64)
+    full[rows, cols] = a_comp.reshape(-1)
+    return full
+
+
+def mma_sp(
+    a_comp: np.ndarray,
+    metadata: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    shape: MmaShape = JIGSAW_SPTC_SHAPE,
+    mix: InstructionMix | None = None,
+) -> np.ndarray:
+    """One sparse tensor-core MMA (``mma.sp``): ``D = expand(A, E) @ B + C``.
+
+    ``a_comp`` is (m, k/2) fp16 compressed 2:4 data; ``metadata`` is the
+    matching (m, k/2) in-group positions (operand E); ``b`` is dense
+    (k, n) fp16; ``c`` is fp32 (m, n).  The selector gathers, for each kept
+    value, the matching row of B — doubling throughput by never touching
+    the pruned half of the product.
+    """
+    key = (shape.m, shape.n, shape.k)
+    _check(key in _MMA_SP_OPS, f"unsupported sparse mma shape {shape}")
+    m, n, k = shape.m, shape.n, shape.k
+    _check(a_comp.shape == (m, k // 2), f"A_comp must be {m}x{k // 2}, got {a_comp.shape}")
+    _check(b.shape == (k, n), f"B must be {k}x{n}, got {b.shape}")
+    _check(c.shape == (m, n), f"C must be {m}x{n}, got {c.shape}")
+    if mix is not None:
+        mix.emit(_MMA_SP_OPS[key])
+    # Selector semantics: result row i = sum_j a_comp[i,j] * b[sel(i,j), :].
+    groups = (k // 2) // 2
+    sel = (
+        np.tile(np.repeat(np.arange(groups), 2), (m, 1)) * 4
+        + metadata.astype(np.int64)
+    )
+    acc = c.astype(np.float32).copy()
+    bf = b.astype(np.float32)
+    af = a_comp.astype(np.float32)
+    for i in range(m):
+        acc[i] += af[i] @ bf[sel[i]]
+    return acc
+
+
+def compress_2to4(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Compress a dense (m, k) matrix that satisfies 2:4 into (values, metadata).
+
+    Raises ``ValueError`` if any group of four has more than two nonzeros.
+    Groups with fewer than two nonzeros are padded with explicit zeros at
+    the smallest free positions (the hardware accepts any two positions, as
+    long as they are distinct and sorted).
+    """
+    m, k = a.shape
+    _check(k % 4 == 0, f"k={k} must be a multiple of 4 for 2:4 compression")
+    groups = k // 4
+    vals = np.zeros((m, 2 * groups), dtype=a.dtype)
+    meta = np.zeros((m, 2 * groups), dtype=np.uint8)
+    for i in range(m):
+        for g in range(groups):
+            seg = a[i, g * 4 : (g + 1) * 4]
+            nz = np.flatnonzero(seg)
+            if len(nz) > 2:
+                raise ValueError(
+                    f"row {i} group {g} has {len(nz)} nonzeros; 2:4 allows at most 2"
+                )
+            pos = list(nz)
+            # Pad with free slots, keeping positions sorted & distinct.
+            free = [p for p in range(4) if p not in pos]
+            while len(pos) < 2:
+                pos.append(free.pop(0))
+            pos.sort()
+            for j, p in enumerate(pos):
+                vals[i, 2 * g + j] = seg[p]
+                meta[i, 2 * g + j] = p
+    return vals, meta
+
+
+def satisfies_2to4(a: np.ndarray) -> bool:
+    """True iff every aligned group of 4 columns has <= 2 nonzeros per row."""
+    m, k = a.shape
+    if k % 4 != 0:
+        return False
+    counts = (a.reshape(m, k // 4, 4) != 0).sum(axis=2)
+    return bool(np.all(counts <= 2))

@@ -1,0 +1,63 @@
+"""Roofline/pipe-utilization reports for simulated kernel profiles.
+
+Answers "what bound this kernel?" visually: one bar per resource pipe
+(tensor core, CUDA core, shared memory, DRAM/L2, issue slots, exposed
+stalls), scaled to the kernel's duration — the textual equivalent of
+Nsight's *Speed of Light* section.
+"""
+
+from __future__ import annotations
+
+from .profiler import KernelProfile
+
+_BAR_WIDTH = 40
+
+
+def _bar(fraction: float) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * _BAR_WIDTH))
+    return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+def pipe_utilization(profile: KernelProfile) -> dict[str, float]:
+    """Per-pipe busy time as a fraction of the kernel duration."""
+    total = max(profile.duration_cycles, 1e-9)
+    return {
+        "tensor core": profile.compute_limited_cycles / total,
+        "memory (DRAM/L2/L1)": profile.memory_limited_cycles / total,
+        "shared memory": profile.smem_limited_cycles / total,
+        "issue slots": profile.issue_limited_cycles / total,
+        "exposed stalls": profile.exposed_stall_cycles / total,
+    }
+
+
+def render_timeline(profile: KernelProfile) -> str:
+    """A speed-of-light style report for one profile."""
+    lines = [
+        f"kernel   : {profile.kernel_name}",
+        f"duration : {profile.duration_us:.2f} us "
+        f"({profile.grid_blocks} blocks x {profile.threads_per_block} threads, "
+        f"{profile.waves:.2f} waves)",
+        f"verdict  : {profile.bound}-bound",
+        "",
+    ]
+    for name, frac in pipe_utilization(profile).items():
+        lines.append(f"{name:>20} |{_bar(frac)}| {frac:6.1%}")
+    lines.append("")
+    lines.append(
+        f"{'bank conflicts':>20} : {profile.smem_bank_conflicts}"
+        f"  (conflict rate {profile.smem.conflict_rate:.2f}/access)"
+    )
+    lines.append(
+        f"{'gmem efficiency':>20} : {profile.gmem.load_efficiency:.1%} of moved bytes useful"
+    )
+    lines.append(
+        f"{'scoreboards':>20} : long {profile.warp_long_scoreboard:.2f}, "
+        f"short {profile.warp_short_scoreboard:.2f} stall-cycles/instr"
+    )
+    return "\n".join(lines)
+
+
+def compare_timelines(a: KernelProfile, b: KernelProfile) -> str:
+    """Two reports side by side (stacked), for ablation reading."""
+    return render_timeline(a) + "\n" + "-" * 64 + "\n" + render_timeline(b)

@@ -1,0 +1,63 @@
+"""Tests for the whole-collection reorder campaign."""
+
+import pytest
+
+from repro.analysis import run_campaign
+from repro.data import DlmcDataset
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    ds = DlmcDataset(
+        methods=("random",),
+        sparsities=(0.8, 0.95),
+        shapes=((64, 64), (64, 128), (128, 256)),
+    )
+    return run_campaign(ds, vector_widths=(2, 8), block_tiles=(16, 64))
+
+
+class TestCampaign:
+    def test_record_count(self, campaign):
+        # 2 sparsities x 3 shapes x 2 v x 2 block tiles.
+        assert len(campaign.records) == 2 * 3 * 2 * 2
+
+    def test_success_rate_bounds(self, campaign):
+        rate = campaign.success_rate()
+        assert 0.0 <= rate <= 1.0
+
+    def test_filters(self, campaign):
+        hi = campaign.success_rate(sparsity=0.95)
+        lo = campaign.success_rate(sparsity=0.8)
+        assert hi >= lo  # success rises with sparsity
+
+    def test_filter_without_match_raises(self, campaign):
+        with pytest.raises(ValueError):
+            campaign.success_rate(sparsity=0.123)
+
+    def test_mean_skip_ordering(self, campaign):
+        # Wider vectors skip more at fixed BLOCK_TILE.
+        assert campaign.mean_skip(8, 16) >= campaign.mean_skip(2, 16)
+
+    def test_storage_ratio_below_dense(self, campaign):
+        assert campaign.mean_storage_ratio() < 1.0
+
+    def test_failure_k_ceiling(self, campaign):
+        ceiling = campaign.failure_k_ceiling()
+        if campaign.failures():
+            assert ceiling in {64, 128, 256}
+        else:
+            assert ceiling is None
+
+    def test_max_matrices_limits_work(self):
+        ds = DlmcDataset(
+            methods=("random",), sparsities=(0.9,), shapes=((64, 64), (64, 128))
+        )
+        result = run_campaign(ds, vector_widths=(4,), block_tiles=(16,), max_matrices=1)
+        assert len(result.records) == 1
+
+    def test_render(self, campaign):
+        from repro.analysis import render_campaign
+
+        text = render_campaign(campaign)
+        assert "success BT=16" in text
+        assert "storage ratio" in text

@@ -1,0 +1,85 @@
+"""Tests for the CSV/JSON result exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis import result_rows, to_csv, to_json
+from repro.analysis.figures import Fig1Point, Fig10Series, Fig11Point, Fig12Result
+from repro.analysis.sensitivity import SensitivityPoint
+from repro.analysis.tables import Table2Row, Table3Cell
+
+
+@pytest.fixture()
+def fig1_points():
+    return [Fig1Point(0.9, 4, 0.05), Fig1Point(0.98, 4, 0.2)]
+
+
+class TestRowFlattening:
+    def test_fig1(self, fig1_points):
+        header, rows = result_rows(fig1_points)
+        assert header == ["sparsity", "v", "proportion"]
+        assert rows == [[0.9, 4, 0.05], [0.98, 4, 0.2]]
+
+    def test_fig10(self):
+        fig = Fig10Series(0.95, 8, (1024, 1024), (256, 512))
+        fig.series = {"jigsaw": [2.0, 2.5], "cublas": [1.0, 1.0]}
+        header, rows = result_rows([fig])
+        assert len(rows) == 4
+        assert ["system" in header]
+        assert [0.95, 8, 1024, 1024, 512, "jigsaw", 2.5] in rows
+
+    def test_fig11(self):
+        header, rows = result_rows([Fig11Point(0.8, 2, 64, 0.2)])
+        assert rows == [[0.8, 2, 64, 0.2]]
+
+    def test_fig12(self):
+        result = Fig12Result(
+            avg_speedup={"v0": 0.7, "v1": 1.5},
+            probe_metrics={
+                "v0": {"duration_us": 3.6, "bank_conflicts": 100.0},
+                "v1": {"duration_us": 2.0, "bank_conflicts": 1.0},
+            },
+        )
+        header, rows = result_rows(result)
+        assert header[0] == "version"
+        assert len(rows) == 2
+
+    def test_table2(self):
+        row = Table2Row(0.95, 8, {"cublas": (1.99, 2.99)})
+        header, rows = result_rows([row])
+        assert rows == [[0.95, 8, "cublas", 1.99, 2.99]]
+
+    def test_table3(self):
+        header, rows = result_rows([Table3Cell(0.9, 64, 1.2, 2.2)])
+        assert rows == [[0.9, 64, 1.2, 2.2]]
+
+    def test_sensitivity(self):
+        header, rows = result_rows([SensitivityPoint("sm_count", 2.0, 1.0, 3.0)])
+        assert rows[0][-1] == pytest.approx(3.0)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            result_rows([object()])
+        with pytest.raises(TypeError):
+            result_rows("nope")
+
+
+class TestWriters:
+    def test_csv_text(self, fig1_points):
+        text = to_csv(fig1_points)
+        lines = text.strip().splitlines()
+        assert lines[0] == "sparsity,v,proportion"
+        assert len(lines) == 3
+
+    def test_csv_file(self, fig1_points, tmp_path):
+        path = tmp_path / "fig1.csv"
+        to_csv(fig1_points, path)
+        assert path.read_text().startswith("sparsity")
+
+    def test_json_records(self, fig1_points, tmp_path):
+        path = tmp_path / "fig1.json"
+        text = to_json(fig1_points, path)
+        records = json.loads(text)
+        assert records[0] == {"sparsity": 0.9, "v": 4, "proportion": 0.05}
+        assert json.loads(path.read_text()) == records

@@ -1,0 +1,59 @@
+"""Tests for the Nsight-style profile-diff reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    MetricDelta,
+    profile_deltas,
+    render_profile_diff,
+    speedup_narrative,
+)
+from repro.core import JigsawPlan
+from tests.conftest import random_vector_sparse
+
+
+@pytest.fixture(scope="module")
+def v0_v1_profiles():
+    rng = np.random.default_rng(8)
+    a = random_vector_sparse(256, 512, v=8, sparsity=0.95, rng=rng)
+    b = rng.standard_normal((512, 512)).astype(np.float16)
+    plan = JigsawPlan(a)
+    p0 = plan.run(b, version="v0", want_output=False).profile
+    p1 = plan.run(b, version="v1", want_output=False).profile
+    p3 = plan.run(b, version="v3", want_output=False).profile
+    return p0, p1, p3
+
+
+class TestMetricDelta:
+    def test_relative(self):
+        d = MetricDelta("x", 10.0, 5.0)
+        assert d.relative == pytest.approx(-0.5)
+        assert d.describe() == "-50.00%"
+
+    def test_zero_before(self):
+        assert MetricDelta("x", 0.0, 0.0).relative == 0.0
+        assert MetricDelta("x", 0.0, 5.0).describe() == "new"
+
+
+class TestProfileDeltas:
+    def test_conflict_delta_captured(self, v0_v1_profiles):
+        p0, p1, _ = v0_v1_profiles
+        deltas = {d.name: d for d in profile_deltas(p0, p1)}
+        assert deltas["smem_bank_conflicts"].relative < -0.9
+
+    def test_smem_instruction_delta_v1_to_v3(self, v0_v1_profiles):
+        _, p1, p3 = v0_v1_profiles
+        deltas = {d.name: d for d in profile_deltas(p1, p3)}
+        assert deltas["smem_instructions"].relative < -0.02
+
+    def test_render_contains_kernel_names(self, v0_v1_profiles):
+        p0, p1, _ = v0_v1_profiles
+        text = render_profile_diff(p0, p1, ("v0", "v1"))
+        assert "jigsaw_v0" in text and "jigsaw_v1" in text
+        assert "smem_bank_conflicts" in text
+
+    def test_narrative_mentions_conflicts(self, v0_v1_profiles):
+        p0, p1, _ = v0_v1_profiles
+        text = speedup_narrative(p0, p1)
+        assert "bank conflicts reduced" in text

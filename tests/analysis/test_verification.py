@@ -1,0 +1,66 @@
+"""Tests for the functional-verification campaign."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_verification, run_verification
+from repro.analysis.verification import (
+    VerificationRecord,
+    VerificationReport,
+    default_workloads,
+)
+from repro.data.workloads import Workload
+
+
+class TestReportObject:
+    def test_all_passed(self):
+        report = VerificationReport(
+            records=[VerificationRecord("w", "s", 0.01, True)]
+        )
+        assert report.all_passed
+        report.records.append(VerificationRecord("w", "s2", 9.0, False))
+        assert not report.all_passed
+        assert len(report.failures()) == 1
+
+    def test_worst_by_system(self):
+        report = VerificationReport(
+            records=[
+                VerificationRecord("a", "s", 0.1, True),
+                VerificationRecord("b", "s", 0.3, True),
+            ]
+        )
+        assert report.worst_by_system() == {"s": 0.3}
+
+
+class TestCampaign:
+    def test_default_grid_passes(self):
+        report = run_verification()
+        assert report.all_passed, render_verification(report)
+        systems = {r.system for r in report.records}
+        assert {"jigsaw", "cublas", "sputnik", "hybrid"} <= systems
+
+    def test_single_workload(self):
+        w = Workload("tiny", m=32, k=64, n=32, sparsity=0.9, v=4, seed=9)
+        report = run_verification([w])
+        assert report.all_passed
+        assert all(r.workload == "tiny" for r in report.records)
+
+    def test_strict_tolerance_flags_fp16_rounding(self):
+        w = Workload("tiny", m=64, k=256, n=32, sparsity=0.7, v=4, seed=9)
+        report = run_verification([w], atol=0.0)
+        # Zero tolerance must flag at least the fp16-rounded paths.
+        assert not report.all_passed
+
+    def test_default_workloads_cover_regimes(self):
+        ws = default_workloads()
+        assert any(w.sparsity <= 0.6 for w in ws)
+        assert any(w.sparsity >= 0.98 for w in ws)
+        assert any(w.m % 32 for w in ws)  # ragged shape present
+
+    def test_render(self):
+        report = run_verification(
+            [Workload("tiny", m=32, k=64, n=32, sparsity=0.9, v=4, seed=9)]
+        )
+        text = render_verification(report)
+        assert "max |err|" in text
+        assert "ALL SYSTEMS AGREE" in text

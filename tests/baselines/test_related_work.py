@@ -1,0 +1,87 @@
+"""Tests for the related-work baselines: cuSPARSE and vectorSparse."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    clasp_spmm,
+    cublas_hgemm,
+    cusparse_spmm,
+    sputnik_spmm,
+    vectorsparse_spmm,
+)
+from repro.formats import CSRMatrix
+from tests.conftest import random_vector_sparse
+
+
+class TestCusparse:
+    def test_functional(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        res = cusparse_spmm(a, b)
+        np.testing.assert_allclose(
+            res.c, a.astype(np.float32) @ b.astype(np.float32), rtol=1e-3, atol=1e-2
+        )
+
+    def test_accepts_csr(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        b = rng.standard_normal((128, 32)).astype(np.float16)
+        res = cusparse_spmm(CSRMatrix.from_dense(a), b, want_output=False)
+        assert res.profile.duration_us > 0
+
+    def test_slower_than_sputnik(self, rng):
+        # Paper Section 5: Sputnik's 1-D tiling + row swizzle + vector
+        # access beat the library CSR kernel on DL sparsities.
+        a = random_vector_sparse(1024, 1024, v=4, sparsity=0.9, rng=rng)
+        b = np.zeros((1024, 512), np.float16)
+        d_lib = cusparse_spmm(a, b, want_output=False).profile.duration_us
+        d_spk = sputnik_spmm(a, b, want_output=False).profile.duration_us
+        assert d_lib > d_spk
+
+    def test_straggler_sensitivity(self, rng):
+        # Without row swizzle, one heavy row slows its whole block.
+        balanced = random_vector_sparse(256, 512, v=4, sparsity=0.9, rng=rng)
+        skewed = balanced.copy()
+        skewed[0, :] = 1.0  # one dense row
+        b = np.zeros((512, 256), np.float16)
+        d_bal = cusparse_spmm(balanced, b, want_output=False).profile.duration_us
+        d_skew = cusparse_spmm(skewed, b, want_output=False).profile.duration_us
+        assert d_skew >= d_bal
+
+    def test_empty_matrix(self, rng):
+        a = np.zeros((64, 64), np.float16)
+        b = rng.standard_normal((64, 32)).astype(np.float16)
+        res = cusparse_spmm(a, b)
+        np.testing.assert_array_equal(res.c, np.zeros((64, 32), np.float32))
+
+
+class TestVectorSparse:
+    def test_functional(self, rng):
+        a = random_vector_sparse(64, 128, v=8, sparsity=0.9, rng=rng)
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        res = vectorsparse_spmm(a, b, pv=8)
+        np.testing.assert_allclose(
+            res.c, a.astype(np.float32) @ b.astype(np.float32), rtol=1e-3, atol=1e-2
+        )
+
+    def test_rejects_indivisible_m(self, rng):
+        with pytest.raises(ValueError):
+            vectorsparse_spmm(np.zeros((30, 16), np.float16), np.zeros((16, 8), np.float16), pv=8)
+
+    def test_beats_cublas_only_at_high_sparsity(self, rng):
+        # Paper Section 5: "it outperformed cuBLAS on the A100
+        # architecture only at a high sparsity level".
+        b = np.zeros((1024, 1024), np.float16)
+        a80 = random_vector_sparse(1024, 1024, v=8, sparsity=0.80, rng=rng)
+        a98 = random_vector_sparse(1024, 1024, v=8, sparsity=0.98, rng=rng)
+        cu = cublas_hgemm(a80, b, want_output=False).profile.duration_us
+        assert vectorsparse_spmm(a80, b, want_output=False).profile.duration_us > cu
+        assert vectorsparse_spmm(a98, b, want_output=False).profile.duration_us < cu
+
+    def test_clasp_supersedes_it(self, rng):
+        # CLASP is the Ampere port with async copy; it should win.
+        a = random_vector_sparse(1024, 1024, v=8, sparsity=0.9, rng=rng)
+        b = np.zeros((1024, 512), np.float16)
+        d_vs = vectorsparse_spmm(a, b, want_output=False).profile.duration_us
+        d_cl = clasp_spmm(a, b, want_output=False).profile.duration_us
+        assert d_cl < d_vs

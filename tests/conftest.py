@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_vector_sparse(
+    rows: int,
+    cols: int,
+    v: int,
+    sparsity: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A fp16 matrix whose nonzeros are v-tall column vectors.
+
+    This mirrors the paper's workload construction (Section 4.1): take a
+    (rows/v, cols) base mask at the target sparsity and replace each
+    nonzero with a dense 1-D column vector of width v.
+    """
+    if rows % v:
+        raise ValueError("rows must be divisible by v")
+    base = rng.random((rows // v, cols)) >= sparsity
+    values = rng.standard_normal((rows, cols)).astype(np.float16)
+    # Draw values away from zero so a stored element is never accidentally 0.
+    values = np.where(np.abs(values) < 0.05, np.float16(0.5), values)
+    mask = np.repeat(base, v, axis=0)
+    return np.where(mask, values, np.float16(0))

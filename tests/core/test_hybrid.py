@@ -1,0 +1,109 @@
+"""Tests for the hybrid-granularity kernel (paper Section 4.7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileConfig
+from repro.core.kernels import build_hybrid_plan, hybrid_spmm
+from tests.conftest import random_vector_sparse
+
+
+class TestRouting:
+    def test_dense_columns_routed_to_dense_tc(self, rng):
+        a = np.zeros((32, 64), dtype=np.float16)
+        a[:, 5] = 1.0  # fully dense column
+        a[0:2, 10] = 1.0  # low-density column (2/32 = 0.0625)
+        a[0:8, 20] = 1.0  # mid-density column (0.25)
+        plan = build_hybrid_plan(a, TileConfig(block_tile=32))
+        route = plan.routes[0]
+        assert 5 in route.dense_cols
+        assert 10 in route.sparse_cols
+        assert 20 in route.sptc_cols
+
+    def test_route_fractions_sum_to_one(self, rng):
+        a = random_vector_sparse(128, 256, v=4, sparsity=0.6, rng=rng)
+        plan = build_hybrid_plan(a, TileConfig(block_tile=32))
+        d, s, c = plan.route_fractions()
+        assert d + s + c == pytest.approx(1.0)
+
+    def test_thresholds_validated(self, rng):
+        a = np.zeros((32, 32), np.float16)
+        with pytest.raises(ValueError):
+            build_hybrid_plan(a, dense_threshold=0.2, sparse_threshold=0.5)
+
+    def test_high_sparsity_routes_everything_to_sptc(self, rng):
+        a = random_vector_sparse(128, 256, v=8, sparsity=0.95, rng=rng)
+        plan = build_hybrid_plan(a, TileConfig(block_tile=16))
+        d, s, c = plan.route_fractions()
+        assert s > 0.95
+
+    def test_low_sparsity_engages_dense_route(self, rng):
+        a = random_vector_sparse(128, 256, v=4, sparsity=0.45, rng=rng)
+        plan = build_hybrid_plan(a, TileConfig(block_tile=32))
+        d, _, _ = plan.route_fractions()
+        assert d > 0.1
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("sparsity", [0.4, 0.6, 0.8, 0.95])
+    def test_matches_reference(self, rng, sparsity):
+        a = random_vector_sparse(128, 256, v=4, sparsity=sparsity, rng=rng)
+        b = rng.standard_normal((256, 128)).astype(np.float16)
+        res = hybrid_spmm(a, b, TileConfig(block_tile=32))
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_allclose(res.c, ref, rtol=1e-3, atol=1e-2)
+
+    def test_cuda_core_route_correct(self, rng):
+        # Force the CUDA-core route with isolated scalar nonzeros in a
+        # tall slab (density 1/64 < 0.0625).
+        a = np.zeros((64, 128), dtype=np.float16)
+        cols = rng.choice(128, size=20, replace=False)
+        rows = rng.choice(64, size=20)
+        a[rows, cols] = 1.5
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        plan = build_hybrid_plan(a, TileConfig(block_tile=64))
+        _, _, c_frac = plan.route_fractions()
+        assert c_frac > 0.9
+        res = hybrid_spmm(a, b, TileConfig(block_tile=64))
+        np.testing.assert_allclose(
+            res.c, a.astype(np.float32) @ b.astype(np.float32), rtol=1e-3, atol=1e-2
+        )
+
+    def test_duplicate_sparse_rows_accumulate(self):
+        # Two scalar nonzeros on the same row, different columns.
+        a = np.zeros((64, 128), dtype=np.float16)
+        a[3, 10] = 1.0
+        a[3, 90] = 2.0
+        b = np.ones((128, 8), dtype=np.float16)
+        res = hybrid_spmm(a, b, TileConfig(block_tile=64))
+        assert res.c[3, 0] == pytest.approx(3.0)
+
+    def test_want_output_false(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.6, rng=rng)
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        res = hybrid_spmm(a, b, want_output=False)
+        assert res.c is None and res.profile.duration_us > 0
+
+
+class TestExtensionBehaviour:
+    """The Section 4.7 motivation: hybrid extends the win region downward."""
+
+    def test_hybrid_beats_pure_sptc_at_low_sparsity(self, rng):
+        a = random_vector_sparse(512, 512, v=4, sparsity=0.55, rng=rng)
+        b = rng.standard_normal((512, 512)).astype(np.float16)
+        from repro.core import JigsawPlan
+
+        pure = JigsawPlan(a, block_tiles=(32,)).run(b, want_output=False)
+        hyb = hybrid_spmm(a, b, TileConfig(block_tile=32), want_output=False)
+        assert hyb.profile.duration_us < pure.profile.duration_us
+
+    def test_hybrid_matches_sptc_at_high_sparsity(self, rng):
+        a = random_vector_sparse(512, 512, v=8, sparsity=0.95, rng=rng)
+        b = rng.standard_normal((512, 512)).astype(np.float16)
+        from repro.core import JigsawPlan
+
+        pure = JigsawPlan(a, block_tiles=(64,)).run(b, version="v3", want_output=False)
+        hyb = hybrid_spmm(a, b, TileConfig(block_tile=64), want_output=False)
+        # Same route -> comparable durations (within 20%).
+        ratio = hyb.profile.duration_us / pure.profile.duration_us
+        assert 0.8 < ratio < 1.25

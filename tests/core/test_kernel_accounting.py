@@ -1,0 +1,106 @@
+"""White-box tests of the Jigsaw kernel's event accounting.
+
+The ablation's validity rests on the accounted events matching what the
+real kernel would execute; these tests pin the accounting to analytic
+expectations on constructed matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import JigsawMatrix, TileConfig
+from repro.core.kernels import V0, V1, V2, V3, run_jigsaw_kernel
+from repro.gpu import Op
+from tests.conftest import random_vector_sparse
+
+
+@pytest.fixture()
+def jm64(rng):
+    # 64x128 with v=4 at 75%: no zero-column luck at BLOCK_TILE=64 is
+    # not guaranteed, so compute expectations from the built format.
+    a = random_vector_sparse(64, 128, v=4, sparsity=0.75, rng=rng)
+    return JigsawMatrix.build(a, TileConfig(block_tile=64))
+
+
+class TestInstructionCounts:
+    def test_mma_count_formula(self, jm64, rng):
+        n = 128
+        b = rng.standard_normal((128, n)).astype(np.float16)
+        res = run_jigsaw_kernel(jm64, b, V3, want_output=False)
+        mma = res.profile.instruction_mix.count(Op.MMA_SP_M16N8K32_F16)
+        expected = 0
+        n_blocks = -(-n // 64)
+        for slab in jm64.slabs:
+            ops = slab.n_ops if slab.n_groups else 0
+            # strips x ops x warps-per-strip(2) x n-slices(4), per N block.
+            expected += slab.n_strips * ops * 2 * 4 * n_blocks
+        assert mma == expected
+
+    def test_metadata_instructions_halve_with_interleave(self, jm64, rng):
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        p2 = run_jigsaw_kernel(jm64, b, V2, want_output=False).profile
+        p3 = run_jigsaw_kernel(jm64, b, V3, want_output=False).profile
+        lds_naive = p2.instruction_mix.count(Op.LDS)
+        ldm1_inter = p3.instruction_mix.count(Op.LDMATRIX_X1)
+        # One interleaved load per TWO ops vs one naive load per op.
+        assert ldm1_inter == pytest.approx(np.ceil(lds_naive / 2), abs=lds_naive * 0.26)
+
+    def test_stg_matches_output_bytes(self, jm64, rng):
+        n = 128
+        b = rng.standard_normal((128, n)).astype(np.float16)
+        res = run_jigsaw_kernel(jm64, b, V3, want_output=False)
+        stg = res.profile.instruction_mix.count(Op.STG)
+        # C bytes = M x N x 2 moved in 512 B warp stores.
+        expected = 64 * n * 2 / 512
+        assert stg == pytest.approx(expected)
+
+    def test_gmem_store_sectors_match_c(self, jm64, rng):
+        n = 64
+        b = rng.standard_normal((128, n)).astype(np.float16)
+        res = run_jigsaw_kernel(jm64, b, V3, want_output=False)
+        assert res.profile.gmem.store_sectors == 64 * n * 2 // 32
+
+
+class TestConflictAccounting:
+    def test_unpadded_conflicts_are_8way(self, rng):
+        # Identity-permuted tiles on an unpadded 64-wide B tile: every
+        # ldmatrix stage is exactly 8-way conflicted.
+        a = np.zeros((64, 64), dtype=np.float16)
+        a[:, 0] = 1.0  # one surviving group with identity cover
+        jm = JigsawMatrix.build(a, TileConfig(block_tile=64), avoid_bank_conflicts=False)
+        b = rng.standard_normal((64, 64)).astype(np.float16)
+        p0 = run_jigsaw_kernel(jm, b, V0, want_output=False).profile
+        p1 = run_jigsaw_kernel(jm, b, V1, want_output=False).profile
+        # v0: 8 transactions per stage -> 7 conflicts per access.
+        assert p0.smem.conflict_rate > 3.0
+        assert p1.smem_bank_conflicts < p0.smem_bank_conflicts / 10
+
+    def test_b_gather_sectors_track_surviving_columns(self, rng):
+        # B rows are only fetched for surviving (nonzero) columns.
+        a_small = np.zeros((64, 128), dtype=np.float16)
+        a_small[:, :16] = 1.0  # 16 surviving columns
+        a_large = np.zeros((64, 128), dtype=np.float16)
+        a_large[:, :64] = 1.0  # 64 surviving columns
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        sect = {}
+        for name, a in (("small", a_small), ("large", a_large)):
+            jm = JigsawMatrix.build(a, TileConfig(block_tile=64))
+            res = run_jigsaw_kernel(jm, b, V3, want_output=False)
+            sect[name] = res.profile.gmem.load_sectors
+        assert sect["large"] > 2 * sect["small"]
+
+
+class TestPipelineAccounting:
+    def test_v2_removes_long_scoreboard_stalls(self, jm64, rng):
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        p1 = run_jigsaw_kernel(jm64, b, V1, want_output=False).profile
+        p2 = run_jigsaw_kernel(jm64, b, V2, want_output=False).profile
+        assert p2.warp_long_scoreboard < p1.warp_long_scoreboard
+
+    def test_weights_scale_with_n_blocks(self, jm64, rng):
+        b1 = rng.standard_normal((128, 64)).astype(np.float16)
+        b4 = rng.standard_normal((128, 256)).astype(np.float16)
+        p1 = run_jigsaw_kernel(jm64, b1, V3, want_output=False).profile
+        p4 = run_jigsaw_kernel(jm64, b4, V3, want_output=False).profile
+        assert p4.grid_blocks == 4 * p1.grid_blocks
+        assert p4.total_instructions == pytest.approx(4 * p1.total_instructions)

@@ -1,0 +1,82 @@
+"""Tests for the synthetic DLMC dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SHAPE_CATALOGUE,
+    SPARSITY_GRID,
+    DlmcDataset,
+    catalogue_shapes_max_k,
+)
+
+
+class TestCatalogue:
+    def test_k_range_matches_paper(self):
+        # Paper Section 4.3: "in the DLMC dataset, K ranges from 64 to 4,608".
+        ks = [k for _, k in SHAPE_CATALOGUE]
+        assert min(ks) == 64
+        assert max(ks) == 4608
+        assert catalogue_shapes_max_k() == 4608
+
+    def test_sparsity_grid_covers_paper_range(self):
+        for s in (0.5, 0.8, 0.9, 0.95, 0.98):
+            assert s in SPARSITY_GRID
+
+    def test_entry_count(self):
+        ds = DlmcDataset(methods=("random",), sparsities=(0.9,))
+        assert len(ds) == len(SHAPE_CATALOGUE)
+        assert len(list(ds.entries())) == len(ds)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            DlmcDataset(methods=("banana",))
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            DlmcDataset(sparsities=(1.5,))
+
+
+class TestMaterialization:
+    def test_deterministic(self):
+        ds = DlmcDataset(methods=("random",), sparsities=(0.9,))
+        entry = next(ds.entries())
+        m1 = ds.materialize(entry)
+        m2 = ds.materialize(entry)
+        np.testing.assert_array_equal(m1, m2)
+
+    def test_random_sparsity_close_to_target(self):
+        ds = DlmcDataset(methods=("random",), sparsities=(0.9,), shapes=((512, 512),))
+        entry = next(ds.entries())
+        mask = ds.materialize_mask(entry)
+        assert 1 - mask.mean() == pytest.approx(0.9, abs=0.01)
+
+    def test_magnitude_sparsity_close_to_target(self):
+        ds = DlmcDataset(methods=("magnitude",), sparsities=(0.95,), shapes=((512, 512),))
+        entry = next(ds.entries())
+        mask = ds.materialize_mask(entry)
+        assert 1 - mask.mean() == pytest.approx(0.95, abs=0.01)
+
+    def test_values_match_mask(self):
+        ds = DlmcDataset(methods=("random",), sparsities=(0.8,), shapes=((64, 64),))
+        entry = next(ds.entries())
+        mat = ds.materialize(entry)
+        mask = ds.materialize_mask(entry)
+        np.testing.assert_array_equal(mat != 0, mask)
+
+    def test_different_entries_differ(self):
+        ds = DlmcDataset(methods=("random",), sparsities=(0.8, 0.9), shapes=((64, 64),))
+        entries = list(ds.entries())
+        m0 = ds.materialize_mask(entries[0])
+        m1 = ds.materialize_mask(entries[1])
+        assert not np.array_equal(m0, m1)
+
+    def test_variational_dropout_row_imbalance(self):
+        ds = DlmcDataset(
+            methods=("variational_dropout",), sparsities=(0.9,), shapes=((512, 512),)
+        )
+        entry = next(ds.entries())
+        mask = ds.materialize_mask(entry)
+        per_row = mask.mean(axis=1)
+        # Row densities should vary far more than Bernoulli noise.
+        assert per_row.std() > 0.01

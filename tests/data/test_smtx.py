@@ -1,0 +1,109 @@
+"""Tests for SMTX (DLMC on-disk format) I/O."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    is_vector_sparse,
+    load_smtx_as_vector_sparse,
+    read_smtx,
+    write_smtx,
+)
+from repro.formats import CSRMatrix
+
+
+SAMPLE = """4, 6, 5
+0 2 2 4 5
+0 3 1 5 2
+"""
+
+
+class TestRead:
+    def test_sample(self):
+        csr = read_smtx(io.StringIO(SAMPLE))
+        assert csr.shape == (4, 6)
+        assert csr.nnz == 5
+        dense = csr.to_dense()
+        assert dense[0, 0] == 1 and dense[0, 3] == 1
+        assert dense[1].sum() == 0
+        assert dense[2, 1] == 1 and dense[2, 5] == 1
+        assert dense[3, 2] == 1
+
+    def test_whitespace_and_commas_tolerated(self):
+        text = "2,2,1\n0 1 1\n0\n"
+        csr = read_smtx(io.StringIO(text))
+        assert csr.nnz == 1
+
+    def test_rejects_short_header(self):
+        with pytest.raises(ValueError):
+            read_smtx(io.StringIO("3 4\n"))
+
+    def test_rejects_wrong_body_length(self):
+        with pytest.raises(ValueError):
+            read_smtx(io.StringIO("2, 2, 2\n0 1 2\n0\n"))
+
+    def test_rejects_bad_row_ptr(self):
+        with pytest.raises(ValueError):
+            read_smtx(io.StringIO("2, 2, 1\n1 1 1\n0\n"))
+
+    def test_rejects_negative_dims(self):
+        with pytest.raises(ValueError):
+            read_smtx(io.StringIO("-1, 2, 0\n0\n"))
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path, rng):
+        dense = (rng.random((16, 24)) > 0.8).astype(np.float16)
+        path = tmp_path / "m.smtx"
+        write_smtx(dense, path)
+        back = read_smtx(path)
+        np.testing.assert_array_equal(back.to_dense() != 0, dense != 0)
+
+    def test_csr_roundtrip(self, rng):
+        dense = (rng.random((8, 8)) > 0.5).astype(np.float16)
+        buf = io.StringIO()
+        write_smtx(CSRMatrix.from_dense(dense), buf)
+        back = read_smtx(io.StringIO(buf.getvalue()))
+        np.testing.assert_array_equal(back.to_dense() != 0, dense != 0)
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.floats(0.0, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, rows, cols, density):
+        rng = np.random.default_rng(42)
+        dense = (rng.random((rows, cols)) < density).astype(np.float16)
+        buf = io.StringIO()
+        write_smtx(dense, buf)
+        back = read_smtx(io.StringIO(buf.getvalue()))
+        np.testing.assert_array_equal(back.to_dense() != 0, dense != 0)
+
+
+class TestVectorExpansion:
+    def test_load_as_vector_sparse(self, tmp_path, rng):
+        base = (rng.random((8, 16)) > 0.7).astype(np.float16)
+        path = tmp_path / "base.smtx"
+        write_smtx(base, path)
+        mat = load_smtx_as_vector_sparse(path, v=4, rng=rng)
+        assert mat.shape == (32, 16)
+        assert is_vector_sparse(mat, 4)
+        expected_vectors = int(np.count_nonzero(base))
+        got_vectors = int(
+            np.any(mat.reshape(8, 4, 16) != 0, axis=1).sum()
+        )
+        assert got_vectors == expected_vectors
+
+    def test_end_to_end_through_jigsaw(self, tmp_path, rng):
+        base = (rng.random((16, 64)) > 0.85).astype(np.float16)
+        path = tmp_path / "layer.smtx"
+        write_smtx(base, path)
+        a = load_smtx_as_vector_sparse(path, v=4, rng=rng)
+        b = rng.standard_normal((64, 32)).astype(np.float16)
+        from repro.core import jigsaw_spmm
+
+        res = jigsaw_spmm(a, b, block_tiles=(32,))
+        np.testing.assert_allclose(
+            res.c, a.astype(np.float32) @ b.astype(np.float32), rtol=1e-3, atol=1e-2
+        )

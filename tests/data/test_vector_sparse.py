@@ -1,0 +1,112 @@
+"""Tests for vector-sparsity expansion and pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    achieved_sparsity,
+    expand_to_vector_sparse,
+    is_vector_sparse,
+    magnitude_prune,
+    random_prune_mask,
+    vector_prune,
+    vector_sparsity,
+    zero_column_fraction,
+)
+
+
+class TestExpansion:
+    def test_shape_grows_by_v(self, rng):
+        base = rng.random((8, 16)) > 0.5
+        out = expand_to_vector_sparse(base, 4, rng)
+        assert out.shape == (32, 16)
+
+    def test_output_is_vector_sparse(self, rng):
+        base = rng.random((8, 16)) > 0.8
+        for v in (2, 4, 8):
+            out = expand_to_vector_sparse(base, v, rng)
+            assert is_vector_sparse(out, v)
+
+    def test_vector_sparsity_preserved(self, rng):
+        base = rng.random((64, 64)) > 0.9
+        out = expand_to_vector_sparse(base, 4, rng)
+        assert vector_sparsity(out, 4) == pytest.approx(1 - base.mean())
+
+    def test_rejects_bad_v(self, rng):
+        with pytest.raises(ValueError):
+            expand_to_vector_sparse(np.ones((2, 2)), 0, rng)
+
+    @given(st.integers(1, 8), st.floats(0.0, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_expansion_structure_property(self, v, sparsity):
+        rng = np.random.default_rng(3)
+        base = rng.random((6, 12)) >= sparsity
+        out = expand_to_vector_sparse(base, v, rng)
+        # Each base nonzero becomes a fully dense v-vector; each base zero
+        # stays a fully zero v-vector.
+        tiles = out.reshape(6, v, 12) != 0
+        np.testing.assert_array_equal(np.any(tiles, axis=1), base)
+        np.testing.assert_array_equal(np.all(tiles, axis=1), base)
+
+
+class TestVectorChecks:
+    def test_is_vector_sparse_rejects_partial_vectors(self):
+        a = np.zeros((4, 4), np.float16)
+        a[0, 0] = 1  # half of a v=2 vector
+        assert not is_vector_sparse(a, 2)
+
+    def test_is_vector_sparse_rejects_indivisible(self):
+        assert not is_vector_sparse(np.zeros((3, 4), np.float16), 2)
+
+    def test_vector_sparsity_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            vector_sparsity(np.zeros((3, 4), np.float16), 2)
+
+    def test_zero_column_fraction(self):
+        a = np.zeros((4, 4), np.float16)
+        a[:, 0] = 1
+        assert zero_column_fraction(a) == pytest.approx(0.75)
+
+    def test_zero_column_fraction_empty(self):
+        assert zero_column_fraction(np.zeros((0, 0), np.float16)) == 0.0
+
+
+class TestPruning:
+    def test_random_mask_sparsity(self, rng):
+        mask = random_prune_mask((512, 512), 0.8, rng)
+        assert 1 - mask.mean() == pytest.approx(0.8, abs=0.01)
+
+    def test_random_mask_rejects_bad_sparsity(self, rng):
+        with pytest.raises(ValueError):
+            random_prune_mask((4, 4), 1.0, rng)
+
+    def test_magnitude_prune_keeps_largest(self, rng):
+        dense = rng.standard_normal((128, 128)).astype(np.float32)
+        pruned = magnitude_prune(dense, 0.9)
+        assert achieved_sparsity(pruned) == pytest.approx(0.9, abs=0.01)
+        kept = np.abs(pruned[pruned != 0])
+        dropped_max = np.abs(dense[pruned == 0]).max()
+        assert kept.min() >= dropped_max
+
+    def test_magnitude_prune_zero_sparsity(self, rng):
+        dense = rng.standard_normal((8, 8))
+        np.testing.assert_array_equal(magnitude_prune(dense, 0.0), dense)
+
+    def test_vector_prune_output_is_vector_sparse(self, rng):
+        dense = rng.standard_normal((64, 64)).astype(np.float16)
+        pruned = vector_prune(dense, v=4, sparsity=0.75)
+        assert is_vector_sparse(pruned, 4)
+
+    def test_vector_prune_sparsity(self, rng):
+        dense = rng.standard_normal((256, 256)).astype(np.float16)
+        pruned = vector_prune(dense, v=4, sparsity=0.9)
+        assert vector_sparsity(pruned, 4) == pytest.approx(0.9, abs=0.01)
+
+    def test_vector_prune_rejects_bad_shape(self, rng):
+        with pytest.raises(ValueError):
+            vector_prune(rng.standard_normal((10, 4)), v=4, sparsity=0.5)
+
+    def test_achieved_sparsity_empty(self):
+        assert achieved_sparsity(np.zeros((0, 4))) == 0.0

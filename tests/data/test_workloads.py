@@ -1,0 +1,67 @@
+"""Tests for workload enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    EVAL_N_VALUES,
+    EVAL_SPARSITIES,
+    Workload,
+    enumerate_workloads,
+    is_vector_sparse,
+    vector_sparsity,
+)
+
+
+class TestWorkload:
+    def test_materialize_shapes(self):
+        w = Workload("t", m=64, k=128, n=32, sparsity=0.9, v=4)
+        a, b = w.materialize()
+        assert a.shape == (64, 128)
+        assert b.shape == (128, 32)
+
+    def test_lhs_is_vector_sparse(self):
+        w = Workload("t", m=64, k=128, n=32, sparsity=0.9, v=4)
+        a = w.materialize_lhs()
+        assert is_vector_sparse(a, 4)
+        assert vector_sparsity(a, 4) == pytest.approx(0.9, abs=0.08)
+
+    def test_deterministic(self):
+        w = Workload("t", m=32, k=64, n=16, sparsity=0.8, v=2)
+        np.testing.assert_array_equal(w.materialize_lhs(), w.materialize_lhs())
+
+    def test_rejects_indivisible_m(self):
+        with pytest.raises(ValueError):
+            Workload("t", m=30, k=64, n=16, sparsity=0.8, v=4)
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            Workload("t", m=32, k=64, n=16, sparsity=1.0, v=4)
+
+    def test_flops(self):
+        w = Workload("t", m=32, k=64, n=16, sparsity=0.8, v=2)
+        assert w.flops_dense == 2 * 32 * 64 * 16
+
+
+class TestEnumeration:
+    def test_grid_matches_paper(self):
+        assert EVAL_SPARSITIES == (0.80, 0.90, 0.95, 0.98)
+        assert 256 in EVAL_N_VALUES and 512 in EVAL_N_VALUES
+
+    def test_enumeration_size(self):
+        ws = list(enumerate_workloads(sparsities=(0.9,), vector_widths=(4,)))
+        from repro.data import EVAL_SHAPES
+
+        assert len(ws) == len(EVAL_SHAPES) * len(EVAL_N_VALUES)
+
+    def test_unique_names_and_seeds(self):
+        ws = list(enumerate_workloads())
+        names = {w.name for w in ws}
+        seeds = {w.seed for w in ws}
+        assert len(names) == len(ws)
+        assert len(seeds) == len(ws)
+
+    def test_contains_anomaly_shape(self):
+        # The cuBLAS N=256 -> 512 anomaly shape: M=2048, K=2048.
+        ws = list(enumerate_workloads(sparsities=(0.9,), vector_widths=(4,)))
+        assert any(w.m == 2048 and w.k == 2048 and w.n in (256, 512) for w in ws)

@@ -1,0 +1,100 @@
+"""Tests for the Blocked-ELL format and its library-kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import blocked_ell_spmm, cublas_hgemm
+from repro.formats import BlockedEllMatrix
+from tests.conftest import random_vector_sparse
+
+
+class TestFormat:
+    def test_roundtrip(self, rng):
+        dense = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        ell = BlockedEllMatrix.from_dense(dense, bs=32)
+        np.testing.assert_array_equal(ell.to_dense(), dense)
+
+    def test_rows_padded_to_longest(self):
+        dense = np.zeros((64, 128), dtype=np.float16)
+        dense[0, :96] = 1.0   # block-row 0 uses 3 block-columns
+        dense[32, 0] = 1.0    # block-row 1 uses 1
+        ell = BlockedEllMatrix.from_dense(dense, bs=32)
+        assert ell.ell_cols == 3
+        assert ell.real_blocks == 4
+        assert ell.stored_blocks == 6  # 2 rows x 3 slots
+
+    def test_padding_overhead_clustered_vs_scattered(self, rng):
+        # One dense 32x32 cluster: overhead ~1.  Scattered scalars: huge.
+        clustered = np.zeros((64, 128), dtype=np.float16)
+        clustered[:32, :32] = 1.0
+        scattered = np.zeros((64, 128), dtype=np.float16)
+        scattered[::16, ::16] = 1.0
+        e1 = BlockedEllMatrix.from_dense(clustered, bs=32)
+        e2 = BlockedEllMatrix.from_dense(scattered, bs=32)
+        # The empty second block-row still stores one padding slot -> 2x.
+        assert e1.padding_overhead() == pytest.approx(2.0)
+        assert e2.padding_overhead() > 50
+
+    def test_empty_matrix(self):
+        ell = BlockedEllMatrix.from_dense(np.zeros((32, 32), np.float16), bs=32)
+        assert ell.real_blocks == 0
+        assert ell.padding_overhead() == 1.0
+        np.testing.assert_array_equal(ell.to_dense(), np.zeros((32, 32), np.float16))
+
+    def test_rejects_untileable(self):
+        with pytest.raises(ValueError):
+            BlockedEllMatrix.from_dense(np.zeros((40, 32), np.float16), bs=32)
+
+    def test_spmm_reference(self, rng):
+        dense = random_vector_sparse(64, 64, v=4, sparsity=0.8, rng=rng)
+        ell = BlockedEllMatrix.from_dense(dense, bs=16)
+        b = rng.standard_normal((64, 32)).astype(np.float16)
+        np.testing.assert_allclose(
+            ell.spmm_reference(b),
+            dense.astype(np.float32) @ b.astype(np.float32),
+            rtol=1e-3,
+            atol=1e-2,
+        )
+
+
+class TestKernel:
+    def test_functional(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        b = rng.standard_normal((128, 64)).astype(np.float16)
+        res = blocked_ell_spmm(a, b, bs=32)
+        np.testing.assert_allclose(
+            res.c, a.astype(np.float32) @ b.astype(np.float32), rtol=1e-3, atol=1e-2
+        )
+
+    def test_unstructured_sparsity_defeats_it(self, rng):
+        # At 90% unstructured vector sparsity every block-row stays full:
+        # the kernel does dense work and loses to cuBLAS — the reason the
+        # paper's comparison set skips this library path.
+        a = random_vector_sparse(1024, 1024, v=8, sparsity=0.9, rng=rng)
+        b = np.zeros((1024, 512), np.float16)
+        ell = BlockedEllMatrix.from_dense(a, 32)
+        assert ell.ell_cols == 1024 // 32  # zero compression
+        d_ell = blocked_ell_spmm(ell, b, want_output=False).profile.duration_us
+        d_cu = cublas_hgemm(a, b, want_output=False).profile.duration_us
+        assert d_ell > d_cu
+
+    def test_clustered_sparsity_wins(self, rng):
+        # Block-diagonal: 1/8 of the blocks populated -> beats dense.
+        a = np.zeros((1024, 1024), dtype=np.float16)
+        for i in range(0, 1024, 256):
+            a[i : i + 32, i : i + 32] = rng.standard_normal((32, 32)).astype(np.float16)
+        b = np.zeros((1024, 512), np.float16)
+        d_ell = blocked_ell_spmm(a, b, bs=32, want_output=False).profile.duration_us
+        d_cu = cublas_hgemm(a, b, want_output=False).profile.duration_us
+        assert d_ell < d_cu
+
+    def test_duration_tracks_ell_cols_not_nnz(self, rng):
+        # Two matrices, same ell_cols, very different nnz: same Duration.
+        a1 = np.zeros((256, 256), dtype=np.float16)
+        a1[:, :32] = 1.0  # every block-row: 1 full block
+        a2 = np.zeros((256, 256), dtype=np.float16)
+        a2[::32, :32] = 1.0  # every block-row: 1 nearly-empty block
+        b = np.zeros((256, 128), np.float16)
+        d1 = blocked_ell_spmm(a1, b, bs=32, want_output=False).profile.duration_us
+        d2 = blocked_ell_spmm(a2, b, bs=32, want_output=False).profile.duration_us
+        assert d1 == pytest.approx(d2, rel=0.01)

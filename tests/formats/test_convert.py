@@ -1,0 +1,66 @@
+"""Tests for cross-format conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    CSRMatrix,
+    csr_to_bcsr,
+    csr_to_cvs,
+    dense_to_nm,
+    formats_agree,
+    to_dense,
+    vector_nnz_structure,
+)
+from tests.conftest import random_vector_sparse
+
+
+class TestConversions:
+    def test_csr_to_cvs_preserves_matrix(self, rng):
+        dense = random_vector_sparse(16, 32, v=4, sparsity=0.8, rng=rng)
+        csr = CSRMatrix.from_dense(dense)
+        cvs = csr_to_cvs(csr, pv=4)
+        assert formats_agree(csr, cvs, dense)
+
+    def test_csr_to_bcsr_preserves_matrix(self, rng):
+        dense = random_vector_sparse(16, 32, v=4, sparsity=0.8, rng=rng)
+        csr = CSRMatrix.from_dense(dense)
+        bcsr = csr_to_bcsr(csr, bh=4)
+        assert formats_agree(csr, bcsr)
+
+    def test_dense_to_nm_rejects_nonconformant(self, rng):
+        dense = np.ones((4, 8), np.float16)
+        with pytest.raises(ValueError):
+            dense_to_nm(dense)
+
+    def test_dense_to_nm_accepts_conformant(self):
+        dense = np.zeros((4, 8), np.float16)
+        dense[:, 0] = 1
+        dense[:, 5] = 2
+        nm = dense_to_nm(dense)
+        np.testing.assert_array_equal(nm.to_dense(), dense)
+
+    def test_to_dense_passthrough(self):
+        arr = np.eye(3, dtype=np.float16)
+        assert to_dense(arr) is arr
+
+    def test_formats_agree_detects_mismatch(self, rng):
+        a = random_vector_sparse(8, 16, v=2, sparsity=0.5, rng=rng)
+        b = a.copy()
+        b[0, 0] += 1
+        assert not formats_agree(a, b)
+
+    def test_formats_agree_trivial_cases(self):
+        assert formats_agree()
+        assert formats_agree(np.eye(2, dtype=np.float16))
+
+
+class TestVectorStructure:
+    def test_recovers_base_mask(self, rng):
+        base = rng.random((8, 16)) > 0.7
+        dense = np.repeat(base, 4, axis=0).astype(np.float16)
+        np.testing.assert_array_equal(vector_nnz_structure(dense, 4), base)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            vector_nnz_structure(np.zeros((10, 4), np.float16), 4)

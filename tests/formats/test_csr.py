@@ -1,0 +1,127 @@
+"""Tests for CSR storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.formats import CSRMatrix
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        dense = np.array([[1, 0, 2], [0, 0, 0], [0, 3, 0]], dtype=np.float16)
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+        assert csr.nnz == 3
+
+    def test_empty_matrix(self):
+        dense = np.zeros((4, 4), dtype=np.float16)
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == 0
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+
+    def test_full_matrix(self):
+        dense = np.ones((3, 5), dtype=np.float16)
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == 15
+        assert csr.density == 1.0
+
+    @given(
+        hnp.arrays(
+            np.float16,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=24),
+            elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.0, 0.5]),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+        assert csr.nnz == int(np.count_nonzero(dense))
+
+
+class TestValidation:
+    def test_rejects_bad_row_ptr_length(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                shape=(2, 2),
+                values=np.array([], np.float16),
+                col_indices=np.array([], np.int32),
+                row_ptr=np.array([0], np.int32),
+            )
+
+    def test_rejects_decreasing_row_ptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                shape=(2, 2),
+                values=np.array([1.0], np.float16),
+                col_indices=np.array([0], np.int32),
+                row_ptr=np.array([0, 1, 0], np.int32),
+            )
+
+    def test_rejects_out_of_range_column(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                shape=(1, 2),
+                values=np.array([1.0], np.float16),
+                col_indices=np.array([5], np.int32),
+                row_ptr=np.array([0, 1], np.int32),
+            )
+
+    def test_rejects_misaligned_values(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                shape=(1, 4),
+                values=np.array([1.0, 2.0], np.float16),
+                col_indices=np.array([0], np.int32),
+                row_ptr=np.array([0, 2], np.int32),
+            )
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.zeros(4, np.float16))
+
+
+class TestAccessors:
+    def test_row_access(self):
+        dense = np.array([[0, 5, 0, 7], [1, 0, 0, 0]], dtype=np.float16)
+        csr = CSRMatrix.from_dense(dense)
+        cols, vals = csr.row(0)
+        assert list(cols) == [1, 3]
+        assert list(vals) == [5, 7]
+
+    def test_row_nnz(self):
+        dense = np.array([[0, 5, 0, 7], [1, 0, 0, 0]], dtype=np.float16)
+        csr = CSRMatrix.from_dense(dense)
+        assert list(csr.row_nnz()) == [2, 1]
+
+    def test_sparsity(self):
+        dense = np.zeros((10, 10), dtype=np.float16)
+        dense[0, 0] = 1
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.sparsity == pytest.approx(0.99)
+
+    def test_storage_bytes(self):
+        dense = np.eye(4, dtype=np.float16)
+        csr = CSRMatrix.from_dense(dense)
+        # 4 fp16 + 4 int32 cols + 5 int32 ptr = 8 + 16 + 20.
+        assert csr.storage_bytes() == 44
+
+
+class TestSpmmReference:
+    def test_matches_numpy(self, rng):
+        dense = (rng.random((8, 16)) > 0.7).astype(np.float16)
+        csr = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal((16, 4)).astype(np.float16)
+        np.testing.assert_allclose(
+            csr.spmm_reference(b),
+            dense.astype(np.float32) @ b.astype(np.float32),
+            rtol=1e-6,
+        )
+
+    def test_rejects_dimension_mismatch(self):
+        csr = CSRMatrix.from_dense(np.eye(4, dtype=np.float16))
+        with pytest.raises(ValueError):
+            csr.spmm_reference(np.zeros((5, 2), np.float16))

@@ -1,0 +1,108 @@
+"""Tests for the CVS (CLASP) and BCSR (Magicube) formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSRMatrix, CVSMatrix
+from tests.conftest import random_vector_sparse
+
+
+class TestCVS:
+    def test_roundtrip_vector_sparse(self, rng):
+        dense = random_vector_sparse(32, 64, v=4, sparsity=0.8, rng=rng)
+        cvs = CVSMatrix.from_dense(dense, pv=4)
+        np.testing.assert_array_equal(cvs.to_dense(), dense)
+
+    def test_vector_count_matches_structure(self, rng):
+        dense = random_vector_sparse(32, 64, v=4, sparsity=0.9, rng=rng)
+        cvs = CVSMatrix.from_dense(dense, pv=4)
+        expected = int(np.any(dense.reshape(8, 4, 64) != 0, axis=1).sum())
+        assert cvs.num_vectors == expected
+
+    def test_pv_mismatch_stores_explicit_zeros(self, rng):
+        # v=4 data stored with pv=2 still round-trips: each 4-tall vector
+        # becomes two 2-tall vectors.
+        dense = random_vector_sparse(32, 64, v=4, sparsity=0.8, rng=rng)
+        cvs = CVSMatrix.from_dense(dense, pv=2)
+        np.testing.assert_array_equal(cvs.to_dense(), dense)
+
+    def test_rejects_indivisible_rows(self):
+        with pytest.raises(ValueError):
+            CVSMatrix.from_dense(np.zeros((10, 4), np.float16), pv=4)
+
+    def test_rejects_nonpositive_pv(self):
+        with pytest.raises(ValueError):
+            CVSMatrix.from_dense(np.zeros((8, 4), np.float16), pv=0)
+
+    def test_spmm_reference(self, rng):
+        dense = random_vector_sparse(16, 32, v=2, sparsity=0.85, rng=rng)
+        cvs = CVSMatrix.from_dense(dense, pv=2)
+        b = rng.standard_normal((32, 8)).astype(np.float16)
+        np.testing.assert_allclose(
+            cvs.spmm_reference(b),
+            dense.astype(np.float32) @ b.astype(np.float32),
+            rtol=1e-3,
+            atol=1e-3,
+        )
+
+    def test_spmm_rejects_mismatch(self, rng):
+        cvs = CVSMatrix.from_dense(np.zeros((8, 8), np.float16), pv=2)
+        with pytest.raises(ValueError):
+            cvs.spmm_reference(np.zeros((9, 2), np.float16))
+
+    def test_storage_accounts_offsets_and_values(self, rng):
+        dense = random_vector_sparse(8, 16, v=2, sparsity=0.5, rng=rng)
+        cvs = CVSMatrix.from_dense(dense, pv=2)
+        assert cvs.storage_bytes() >= cvs.num_vectors * 2 * 2  # fp16 values
+
+    def test_empty_panels_allowed(self):
+        dense = np.zeros((8, 8), np.float16)
+        dense[0, 0] = 1  # only panel 0 has a vector
+        cvs = CVSMatrix.from_dense(dense, pv=2)
+        assert list(cvs.panel_vector_counts()) == [1, 0, 0, 0]
+
+
+class TestBCSR:
+    def test_roundtrip_column_vectors(self, rng):
+        dense = random_vector_sparse(32, 64, v=8, sparsity=0.9, rng=rng)
+        bcsr = BCSRMatrix.from_dense(dense, bh=8, bw=1)
+        np.testing.assert_array_equal(bcsr.to_dense(), dense)
+
+    def test_roundtrip_square_blocks(self, rng):
+        dense = (rng.random((16, 16)) > 0.6).astype(np.float16)
+        bcsr = BCSRMatrix.from_dense(dense, bh=4, bw=4)
+        np.testing.assert_array_equal(bcsr.to_dense(), dense)
+
+    def test_nnz_counts_stored_elements(self, rng):
+        dense = random_vector_sparse(16, 16, v=4, sparsity=0.75, rng=rng)
+        bcsr = BCSRMatrix.from_dense(dense, bh=4, bw=1)
+        vectors = int(np.any(dense.reshape(4, 4, 16) != 0, axis=1).sum())
+        assert bcsr.num_blocks == vectors
+        assert bcsr.nnz == vectors * 4
+
+    def test_rejects_untileable_shape(self):
+        with pytest.raises(ValueError):
+            BCSRMatrix.from_dense(np.zeros((10, 8), np.float16), bh=4)
+
+    def test_spmm_reference(self, rng):
+        dense = random_vector_sparse(16, 32, v=4, sparsity=0.8, rng=rng)
+        bcsr = BCSRMatrix.from_dense(dense, bh=4, bw=1)
+        b = rng.standard_normal((32, 8)).astype(np.float16)
+        np.testing.assert_allclose(
+            bcsr.spmm_reference(b),
+            dense.astype(np.float32) @ b.astype(np.float32),
+            rtol=1e-3,
+            atol=1e-3,
+        )
+
+    def test_block_row_counts(self):
+        dense = np.zeros((8, 8), np.float16)
+        dense[0:4, 0] = 1
+        dense[0:4, 5] = 1
+        bcsr = BCSRMatrix.from_dense(dense, bh=4, bw=1)
+        assert list(bcsr.block_row_counts()) == [2, 0]
+
+    def test_spmm_rejects_mismatch(self):
+        bcsr = BCSRMatrix.from_dense(np.zeros((4, 4), np.float16), bh=4, bw=1)
+        with pytest.raises(ValueError):
+            bcsr.spmm_reference(np.zeros((3, 1), np.float16))

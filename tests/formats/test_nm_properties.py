@@ -1,0 +1,75 @@
+"""Hypothesis property tests on N:M compression across patterns."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import compress_nm, expand_nm, satisfies_nm
+
+
+@st.composite
+def nm_matrix(draw):
+    """A random matrix guaranteed to satisfy a drawn N:M pattern."""
+    n = draw(st.sampled_from([1, 2]))
+    m = draw(st.sampled_from([2, 4, 8]))
+    if n > m:
+        n, m = m, n
+    rows = draw(st.integers(1, 12))
+    groups = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = np.zeros((rows, groups * m), dtype=np.float16)
+    for i in range(rows):
+        for g in range(groups):
+            count = rng.integers(0, n + 1)
+            pos = rng.choice(m, size=count, replace=False)
+            a[i, g * m + pos] = rng.standard_normal(count).astype(np.float16) + 2.0
+    return a, n, m
+
+
+class TestNMProperties:
+    @given(nm_matrix())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_pattern(self, case):
+        a, n, m = case
+        assert satisfies_nm(a, n, m)
+        vals, pos = compress_nm(a, n, m)
+        np.testing.assert_array_equal(expand_nm(vals, pos, a.shape[1], n, m), a)
+
+    @given(nm_matrix())
+    @settings(max_examples=60, deadline=None)
+    def test_positions_sorted_and_bounded(self, case):
+        a, n, m = case
+        _, pos = compress_nm(a, n, m)
+        assert pos.max(initial=0) < m
+        grouped = pos.reshape(a.shape[0], -1, n)
+        if n > 1:
+            assert np.all(np.diff(grouped, axis=2) > 0)
+
+    @given(nm_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_compressed_width(self, case):
+        a, n, m = case
+        vals, _ = compress_nm(a, n, m)
+        assert vals.shape == (a.shape[0], a.shape[1] // m * n)
+
+    @given(nm_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_nonzeros_preserved_exactly(self, case):
+        a, n, m = case
+        vals, _ = compress_nm(a, n, m)
+        got = np.sort(vals[vals != 0].astype(np.float32))
+        want = np.sort(a[a != 0].astype(np.float32))
+        np.testing.assert_array_equal(got, want)
+
+    @given(st.integers(1, 8), st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_violating_matrix_always_rejected(self, rows, groups):
+        # A fully dense matrix violates every n < m pattern.
+        a = np.ones((rows, groups * 4), dtype=np.float16)
+        assert not satisfies_nm(a, 2, 4)
+        try:
+            compress_nm(a, 2, 4)
+        except ValueError:
+            return
+        raise AssertionError("compress_nm accepted a violating matrix")

@@ -1,0 +1,209 @@
+"""Tests for N:M compression, metadata packing, and the VENOM format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    NMCompressedMatrix,
+    VenomMatrix,
+    compress_nm,
+    expand_nm,
+    nm_violation_fraction,
+    pack_metadata,
+    satisfies_nm,
+    unpack_metadata,
+    venom_prune,
+    venom_satisfies_sptc,
+)
+
+
+def random_nm(rows, cols, n, m, rng):
+    a = np.zeros((rows, cols), dtype=np.float16)
+    for i in range(rows):
+        for g in range(cols // m):
+            k = rng.integers(0, n + 1)
+            pos = rng.choice(m, size=k, replace=False)
+            a[i, g * m + pos] = rng.standard_normal(k).astype(np.float16) + 1.5
+    return a
+
+
+class TestSatisfiesNM:
+    def test_zero_matrix(self):
+        assert satisfies_nm(np.zeros((4, 8), np.float16))
+
+    def test_violating_matrix(self):
+        a = np.zeros((1, 4), np.float16)
+        a[0, :3] = 1
+        assert not satisfies_nm(a)
+
+    def test_violation_fraction(self):
+        a = np.zeros((2, 8), np.float16)
+        a[0, :3] = 1  # one violating group out of four
+        assert nm_violation_fraction(a) == pytest.approx(0.25)
+
+    def test_violation_fraction_pads_odd_width(self):
+        a = np.ones((1, 6), np.float16)
+        assert 0 < nm_violation_fraction(a) <= 1
+
+
+class TestCompressExpand:
+    def test_roundtrip(self, rng):
+        a = random_nm(16, 32, 2, 4, rng)
+        vals, pos = compress_nm(a)
+        np.testing.assert_array_equal(expand_nm(vals, pos, 32), a)
+
+    def test_positions_strictly_increasing(self, rng):
+        a = random_nm(8, 16, 2, 4, rng)
+        _, pos = compress_nm(a)
+        pairs = pos.reshape(8, 4, 2)
+        assert np.all(pairs[:, :, 0] < pairs[:, :, 1])
+
+    def test_rejects_violation(self):
+        a = np.ones((1, 4), np.float16)
+        with pytest.raises(ValueError):
+            compress_nm(a)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            compress_nm(np.zeros((2, 6), np.float16))
+
+    def test_1to2_pattern(self, rng):
+        a = random_nm(8, 16, 1, 2, rng)
+        vals, pos = compress_nm(a, 1, 2)
+        assert vals.shape == (8, 8)
+        np.testing.assert_array_equal(expand_nm(vals, pos, 16, 1, 2), a)
+
+    def test_matches_gpu_compress_on_2to4(self, rng):
+        from repro.gpu import compress_2to4
+
+        a = random_nm(16, 32, 2, 4, rng)
+        v1, p1 = compress_nm(a)
+        v2, p2 = compress_2to4(a)
+        np.testing.assert_array_equal(v1, v2)
+        np.testing.assert_array_equal(p1, p2)
+
+
+class TestMetadataPacking:
+    def test_roundtrip(self, rng):
+        pos = rng.integers(0, 4, size=(8, 32)).astype(np.uint8)
+        words = pack_metadata(pos)
+        assert words.shape == (8, 2)
+        np.testing.assert_array_equal(unpack_metadata(words, 32), pos)
+
+    def test_sixteen_positions_per_word(self):
+        # Paper Section 3.4.3: 16x16 2-bit indices pack into 16 integers.
+        pos = np.zeros((16, 16), np.uint8)
+        assert pack_metadata(pos).size == 16
+
+    def test_known_packing(self):
+        pos = np.zeros((1, 16), np.uint8)
+        pos[0, 0] = 3
+        pos[0, 1] = 1
+        word = pack_metadata(pos)[0, 0]
+        assert word == 3 | (1 << 2)
+
+    def test_rejects_wide_positions(self):
+        pos = np.full((1, 16), 4, np.uint8)
+        with pytest.raises(ValueError):
+            pack_metadata(pos)
+
+    def test_partial_word_roundtrip(self, rng):
+        pos = rng.integers(0, 4, size=(3, 10)).astype(np.uint8)
+        words = pack_metadata(pos)
+        assert words.shape == (3, 1)
+        np.testing.assert_array_equal(unpack_metadata(words, 10), pos)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_unpack_pack_identity_on_words(self, word):
+        words = np.array([[word]], dtype=np.uint32)
+        pos = unpack_metadata(words, 16)
+        np.testing.assert_array_equal(pack_metadata(pos), words)
+
+
+class TestNMCompressedMatrix:
+    def test_roundtrip(self, rng):
+        a = random_nm(16, 64, 2, 4, rng)
+        mat = NMCompressedMatrix.from_dense(a)
+        np.testing.assert_array_equal(mat.to_dense(), a)
+
+    def test_storage_half_plus_metadata(self, rng):
+        a = random_nm(16, 64, 2, 4, rng)
+        mat = NMCompressedMatrix.from_dense(a)
+        dense_bytes = 16 * 64 * 2
+        # values are half; metadata adds 1/16 of dense (2 bits per element
+        # kept = 32 values/row -> 2 uint32 words/row).
+        assert mat.values.nbytes == dense_bytes // 2
+        assert mat.storage_bytes() < dense_bytes
+
+    def test_spmm_reference(self, rng):
+        a = random_nm(16, 32, 2, 4, rng)
+        b = rng.standard_normal((32, 8)).astype(np.float16)
+        mat = NMCompressedMatrix.from_dense(a)
+        np.testing.assert_allclose(
+            mat.spmm_reference(b),
+            a.astype(np.float32) @ b.astype(np.float32),
+            rtol=1e-3,
+            atol=1e-3,
+        )
+
+
+class TestVenom:
+    def test_prune_produces_sptc_conformant(self, rng):
+        dense = rng.standard_normal((64, 64)).astype(np.float16)
+        for v in (32, 64):
+            pruned = venom_prune(dense, v=v)
+            assert venom_satisfies_sptc(pruned), f"V={v}"
+
+    def test_prune_keeps_half_the_columns(self, rng):
+        dense = rng.standard_normal((32, 32)).astype(np.float16)
+        pruned = venom_prune(dense, v=32)
+        assert np.count_nonzero(pruned) == dense.size // 2
+
+    def test_prune_keeps_largest_columns(self):
+        dense = np.zeros((4, 4), np.float16)
+        dense[:, 0] = 10
+        dense[:, 1] = 5
+        dense[:, 2] = 1
+        dense[:, 3] = 0.5
+        pruned = venom_prune(dense, v=4)
+        assert np.all(pruned[:, 0] == 10)
+        assert np.all(pruned[:, 1] == 5)
+        assert np.all(pruned[:, 2:] == 0)
+
+    def test_prune_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            venom_prune(np.zeros((30, 8), np.float16), v=32)
+        with pytest.raises(ValueError):
+            venom_prune(np.zeros((32, 6), np.float16), v=32)
+
+    def test_format_roundtrip(self, rng):
+        dense = venom_prune(rng.standard_normal((64, 32)).astype(np.float16), v=32)
+        vm = VenomMatrix.from_dense(dense, v=32)
+        np.testing.assert_array_equal(vm.to_dense(), dense)
+
+    def test_format_rejects_nonconformant(self, rng):
+        dense = rng.standard_normal((32, 8)).astype(np.float16)
+        with pytest.raises(ValueError):
+            VenomMatrix.from_dense(dense, v=32)
+
+    def test_metadata_amortized_over_v(self, rng):
+        dense64 = venom_prune(rng.standard_normal((128, 64)).astype(np.float16), v=64)
+        dense32 = venom_prune(rng.standard_normal((128, 64)).astype(np.float16), v=32)
+        m64 = VenomMatrix.from_dense(dense64, v=64)
+        m32 = VenomMatrix.from_dense(dense32, v=32)
+        # Larger V shares each column choice across more rows.
+        assert m64.col_choices.size < m32.col_choices.size
+
+    def test_spmm_reference(self, rng):
+        dense = venom_prune(rng.standard_normal((64, 32)).astype(np.float16), v=32)
+        vm = VenomMatrix.from_dense(dense, v=32)
+        b = rng.standard_normal((32, 8)).astype(np.float16)
+        np.testing.assert_allclose(
+            vm.spmm_reference(b),
+            dense.astype(np.float32) @ b.astype(np.float32),
+            rtol=1e-3,
+            atol=1e-3,
+        )

@@ -1,0 +1,67 @@
+"""Tests for the device specification."""
+
+import pytest
+
+from repro.gpu import A100, V100, DeviceSpec
+
+
+class TestA100Spec:
+    def test_sm_count_matches_paper(self):
+        # Paper Section 2.1: "the A100 GPU has 108 SMs".
+        assert A100.num_sms == 108
+
+    def test_max_blocks_per_sm(self):
+        # Paper Section 2.1: "32 thread blocks in A100".
+        assert A100.max_blocks_per_sm == 32
+
+    def test_smem_limit_matches_paper(self):
+        # Paper Section 2.1: shared memory per thread block limited to 164KB.
+        assert A100.smem_per_sm_bytes == 164 * 1024
+
+    def test_register_cap_matches_paper(self):
+        # Paper Section 2.1: maximum 256 registers per thread.
+        assert A100.max_registers_per_thread == 256
+
+    def test_warp_schedulers(self):
+        # Paper Section 2.1: four warp schedulers per SM.
+        assert A100.warp_schedulers_per_sm == 4
+
+    def test_bank_geometry(self):
+        # Paper Section 2.1: 32 banks of four consecutive bytes.
+        assert A100.smem_banks == 32
+        assert A100.smem_bank_bytes == 4
+
+    def test_peak_dense_tc_throughput(self):
+        # A100 dense fp16 TC peak is 312 TFLOP/s.
+        assert A100.peak_tc_fp16_tflops == pytest.approx(312, rel=0.01)
+
+    def test_tc_vs_cuda_core_ratio(self):
+        # Tensor cores are 4x CUDA cores for fp16 on A100; this gap is why
+        # Sputnik (CUDA cores) trails cuBLAS (TC) except at 98% sparsity.
+        assert A100.tc_fp16_fma_per_sm_per_cycle / A100.cuda_fp16_fma_per_sm_per_cycle == 4
+
+    def test_cycles_per_us(self):
+        assert A100.cycles_per_us == pytest.approx(1410.0)
+
+    def test_dram_bytes_per_cycle(self):
+        # 1555 GB/s at 1.41 GHz ~ 1103 B/cycle.
+        assert A100.dram_bytes_per_cycle == pytest.approx(1102.8, rel=0.01)
+
+
+class TestSpecVariants:
+    def test_with_returns_modified_copy(self):
+        small = A100.with_(num_sms=1)
+        assert small.num_sms == 1
+        assert A100.num_sms == 108  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            A100.num_sms = 1  # type: ignore[misc]
+
+    def test_v100_is_weaker(self):
+        assert V100.peak_tc_fp16_tflops < A100.peak_tc_fp16_tflops
+        assert V100.dram_bandwidth_gbps < A100.dram_bandwidth_gbps
+
+    def test_custom_spec_roundtrip(self):
+        spec = DeviceSpec(name="toy", num_sms=4)
+        assert spec.with_(num_sms=8).num_sms == 8

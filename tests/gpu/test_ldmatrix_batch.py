@@ -1,0 +1,67 @@
+"""Property tests: the vectorized ldmatrix accounting equals the scalar path."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import SharedMemoryModel, SmemLayout
+from repro.gpu.ldmatrix import ldmatrix
+
+
+@st.composite
+def stage_rows(draw):
+    """Eight distinct row ids within a 64-row tile."""
+    rows = draw(
+        st.lists(st.integers(0, 63), min_size=8, max_size=8, unique=True)
+    )
+    return np.array(rows, dtype=np.int64)
+
+
+class TestBatchEquivalence:
+    @given(stage_rows(), st.sampled_from([0, 8]), st.sampled_from([0, 8, 16, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_scalar(self, rows, pad, col0):
+        layout = SmemLayout(rows=64, cols=64, pad_elems=pad)
+        scalar = SharedMemoryModel()
+        tx_scalar = scalar.ldmatrix_access(layout.row_addresses(rows, col0))
+        batch = SharedMemoryModel()
+        tx_batch = batch.ldmatrix_batch(layout, rows.reshape(1, 8), col0)
+        assert int(tx_batch[0]) == tx_scalar
+        assert batch.stats.transactions == scalar.stats.transactions
+        assert batch.stats.conflicts == scalar.stats.conflicts
+
+    @given(
+        st.lists(stage_rows(), min_size=1, max_size=5),
+        st.sampled_from([0, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_multi_stage_batch(self, stages, pad):
+        layout = SmemLayout(rows=64, cols=64, pad_elems=pad)
+        rows = np.stack(stages)
+        scalar = SharedMemoryModel()
+        expected = [
+            scalar.ldmatrix_access(layout.row_addresses(s, 0)) for s in stages
+        ]
+        batch = SharedMemoryModel()
+        got = batch.ldmatrix_batch(layout, rows, 0)
+        assert got.tolist() == expected
+        assert batch.stats.accesses == scalar.stats.accesses
+
+    def test_ldmatrix_instruction_uses_batchable_stages(self):
+        # The full ldmatrix.x4 helper and four batch stages agree.
+        layout = SmemLayout(rows=64, cols=64, pad_elems=8)
+        rows = np.arange(32) % 64
+        m1 = SharedMemoryModel()
+        tx1 = ldmatrix(m1, layout, rows, 0, num=4)
+        m2 = SharedMemoryModel()
+        tx2 = int(m2.ldmatrix_batch(layout, rows.reshape(4, 8), 0).sum())
+        assert tx1 == tx2
+
+    def test_batch_rejects_bad_shape(self):
+        layout = SmemLayout(rows=8, cols=8)
+        m = SharedMemoryModel()
+        try:
+            m.ldmatrix_batch(layout, np.zeros((2, 4), np.int64), 0)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError for non-8 trailing dim")

@@ -1,0 +1,110 @@
+"""Tests for the scheduler's memory hierarchy and critical-path floor."""
+
+import pytest
+
+from repro.gpu import (
+    A100,
+    BlockWork,
+    KernelTrace,
+    Op,
+    simulate_launch,
+)
+
+
+def trace_with(
+    load_sectors=0,
+    l1_bytes=0.0,
+    footprint=None,
+    critical=0.0,
+    nblocks=1080,
+    mma=100,
+):
+    trace = KernelTrace(
+        kernel_name="mem",
+        threads_per_block=256,
+        smem_bytes_per_block=16 * 1024,
+        footprint_bytes=footprint,
+    )
+    work = BlockWork(weight=nblocks)
+    work.mix.emit(Op.MMA_SP_M16N8K32_F16, mma)
+    work.gmem.load_sectors = load_sectors
+    work.gmem.load_requests = max(1, load_sectors // 4)
+    work.gmem.useful_load_bytes = load_sectors * 32
+    work.l1_gather_bytes = l1_bytes
+    work.critical_path_cycles = critical
+    trace.add_block(work)
+    return trace
+
+
+class TestFootprintCapping:
+    def test_rereads_become_l2_hits(self):
+        # Same moved bytes; tiny footprint -> DRAM charge capped, L2 binds.
+        heavy = simulate_launch(trace_with(load_sectors=200_000, footprint=None))
+        cached = simulate_launch(
+            trace_with(load_sectors=200_000, footprint=1_000_000.0)
+        )
+        assert cached.duration_us < heavy.duration_us
+
+    def test_footprint_larger_than_moved_changes_nothing(self):
+        a = simulate_launch(trace_with(load_sectors=50_000, footprint=None))
+        b = simulate_launch(trace_with(load_sectors=50_000, footprint=1e12))
+        assert a.duration_us == pytest.approx(b.duration_us)
+
+    def test_l2_bandwidth_still_charged(self):
+        # Even fully cached, enough moved bytes bound the kernel via L2.
+        small = simulate_launch(trace_with(load_sectors=10_000, footprint=1.0))
+        big = simulate_launch(trace_with(load_sectors=1_000_000, footprint=1.0))
+        assert big.duration_us > small.duration_us
+
+
+class TestL1Gathers:
+    def test_l1_traffic_costs_time(self):
+        base = simulate_launch(trace_with())
+        gather = simulate_launch(trace_with(l1_bytes=5e6))
+        assert gather.duration_us > base.duration_us
+
+    def test_l1_served_per_sm(self):
+        # Doubling SM count halves L1-bound time (per-SM bandwidth).
+        t = trace_with(l1_bytes=5e6)
+        full = simulate_launch(t, A100)
+        doubled = simulate_launch(t, A100.with_(num_sms=216))
+        assert doubled.duration_us < full.duration_us
+
+
+class TestCriticalPathFloor:
+    def test_floor_binds_idle_kernels(self):
+        fast = simulate_launch(trace_with(mma=1, critical=0.0, nblocks=108))
+        floored = simulate_launch(trace_with(mma=1, critical=50_000.0, nblocks=108))
+        assert floored.duration_us > fast.duration_us
+        # The floor is visible as ~critical path cycles.
+        assert floored.duration_cycles >= 50_000.0
+
+    def test_floor_scales_with_waves(self):
+        one_wave = simulate_launch(trace_with(mma=1, critical=10_000.0, nblocks=108))
+        bps = one_wave.blocks_per_sm
+        many = simulate_launch(
+            trace_with(mma=1, critical=10_000.0, nblocks=108 * bps * 3)
+        )
+        assert many.duration_cycles > 2.5 * 10_000.0
+
+    def test_floor_invisible_under_heavy_work(self):
+        heavy = simulate_launch(trace_with(mma=200_000, critical=100.0))
+        heavier = simulate_launch(trace_with(mma=200_000, critical=0.0))
+        assert heavy.duration_us == pytest.approx(heavier.duration_us, rel=0.01)
+
+
+class TestSmemReplayDiscount:
+    def test_conflict_replays_cost_half(self):
+        t_clean = trace_with()
+        t_clean.blocks[0].smem.accesses = 1000
+        t_clean.blocks[0].smem.transactions = 1000
+        t_conf = trace_with()
+        t_conf.blocks[0].smem.accesses = 1000
+        t_conf.blocks[0].smem.transactions = 8000
+        t_conf.blocks[0].smem.conflicts = 7000
+        clean = simulate_launch(t_clean)
+        conflicted = simulate_launch(t_conf)
+        # 7000 replays at 0.5 cycles: effective 4500 vs 1000 transactions.
+        assert conflicted.smem_limited_cycles == pytest.approx(
+            clean.smem_limited_cycles * 4.5, rel=0.01
+        )

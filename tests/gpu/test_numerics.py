@@ -1,0 +1,85 @@
+"""Numerical-behaviour tests of the tensor-core models.
+
+Tensor cores multiply fp16 operands and accumulate in fp32; the models
+must show the same numerics (the paper's kernels are fp16 end to end,
+so downstream users care that error does not blow up with K).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import MmaShape, compress_2to4, mma_dense, mma_sp
+
+
+def random_2to4(m, k, rng):
+    a = np.zeros((m, k), dtype=np.float16)
+    for i in range(m):
+        for g in range(k // 4):
+            pos = rng.choice(4, size=2, replace=False)
+            a[i, g * 4 + pos] = rng.standard_normal(2).astype(np.float16)
+    return a
+
+
+class TestAccumulatorPrecision:
+    def test_fp32_accumulate_beats_fp16(self, rng):
+        # Summing many same-sign products overflows/saturates in fp16 but
+        # not in the fp32 accumulator the models use.
+        a = np.full((16, 16), 4.0, dtype=np.float16)
+        b = np.full((16, 8), 4.0, dtype=np.float16)
+        c = np.zeros((16, 8), np.float32)
+        d = mma_dense(a, b, c)
+        assert np.all(np.isfinite(d))
+        assert d[0, 0] == pytest.approx(16 * 16.0)
+
+    def test_chained_accumulation(self, rng):
+        # C flows through a k-loop exactly like a kernel's accumulator.
+        acc = np.zeros((16, 8), np.float32)
+        total = np.zeros((16, 8), np.float64)
+        for _ in range(32):
+            a = rng.standard_normal((16, 16)).astype(np.float16)
+            b = rng.standard_normal((16, 8)).astype(np.float16)
+            acc = mma_dense(a, b, acc)
+            total += a.astype(np.float64) @ b.astype(np.float64)
+        # Relative error stays at fp16-rounding scale, not fp16-range scale.
+        scale = np.abs(total).max()
+        assert np.abs(acc - total).max() / scale < 1e-2
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_sparse_error_bounded_in_k_chain(self, chain):
+        rng = np.random.default_rng(chain)
+        acc = np.zeros((16, 8), np.float32)
+        ref = np.zeros((16, 8), np.float64)
+        for _ in range(chain):
+            a = random_2to4(16, 32, rng)
+            vals, meta = compress_2to4(a)
+            b = rng.standard_normal((32, 8)).astype(np.float16)
+            acc = mma_sp(vals, meta, b, acc)
+            ref += a.astype(np.float64) @ b.astype(np.float64)
+        scale = max(1.0, np.abs(ref).max())
+        assert np.abs(acc - ref).max() / scale < 2e-2
+
+
+class TestSubnormalsAndSpecials:
+    def test_zero_operands(self):
+        a = np.zeros((16, 16), np.float16)
+        b = np.zeros((16, 8), np.float16)
+        c = np.ones((16, 8), np.float32)
+        np.testing.assert_array_equal(mma_dense(a, b, c), c)
+
+    def test_tiny_values_do_not_flush_in_accumulator(self):
+        a = np.full((16, 16), np.float16(6e-5), dtype=np.float16)  # near fp16 min-normal
+        b = np.full((16, 8), np.float16(6e-5), dtype=np.float16)
+        c = np.zeros((16, 8), np.float32)
+        d = mma_dense(a, b, c)
+        assert np.all(d > 0)  # products live in fp32
+
+    def test_wide_k_shape_numerics(self, rng):
+        a = rng.standard_normal((16, 32)).astype(np.float16)
+        b = rng.standard_normal((32, 8)).astype(np.float16)
+        c = np.zeros((16, 8), np.float32)
+        d = mma_dense(a, b, c, shape=MmaShape(16, 8, 32))
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_allclose(d, ref, rtol=1e-6)

@@ -1,0 +1,102 @@
+"""Tests for the async-copy / pipeline stall model."""
+
+import pytest
+
+from repro.gpu import A100, PipelineConfig, estimate_block_stalls
+
+
+class TestPipelineConfig:
+    def test_defaults(self):
+        cfg = PipelineConfig()
+        assert cfg.stages == 2
+        assert cfg.uses_async_copy
+        assert cfg.indirect_dependency_exposed
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(stages=0)
+
+
+class TestStallEstimates:
+    def test_indirect_dependency_exposes_dram_latency(self):
+        exposed = estimate_block_stalls(
+            PipelineConfig(stages=2, indirect_dependency_exposed=True), 100, 4.0
+        )
+        hidden = estimate_block_stalls(
+            PipelineConfig(stages=3, indirect_dependency_exposed=False), 100, 4.0
+        )
+        # Jigsaw v2's deepened pipeline removes the per-iteration DRAM
+        # round trip behind col_idx_array (paper Section 3.4.2).
+        assert exposed.long_scoreboard_cycles - hidden.long_scoreboard_cycles >= (
+            100 * A100.dram_latency_cycles * 0.8
+        )
+
+    def test_no_async_copy_is_worse(self):
+        sync = estimate_block_stalls(
+            PipelineConfig(uses_async_copy=False, indirect_dependency_exposed=False), 50, 2.0
+        )
+        async_ = estimate_block_stalls(
+            PipelineConfig(uses_async_copy=True, indirect_dependency_exposed=False), 50, 2.0
+        )
+        assert sync.long_scoreboard_cycles > async_.long_scoreboard_cycles
+
+    def test_deeper_pipeline_hides_more_smem_latency(self):
+        shallow = estimate_block_stalls(
+            PipelineConfig(stages=2, indirect_dependency_exposed=False), 100, 8.0
+        )
+        deep = estimate_block_stalls(
+            PipelineConfig(stages=3, indirect_dependency_exposed=False), 100, 8.0
+        )
+        assert deep.short_scoreboard_cycles < shallow.short_scoreboard_cycles
+
+    def test_zero_iterations_only_pays_fill(self):
+        est = estimate_block_stalls(PipelineConfig(stages=2), 0, 4.0)
+        assert est.long_scoreboard_cycles == 2 * A100.dram_latency_cycles
+        assert est.short_scoreboard_cycles == 0
+        assert est.barrier_cycles == 0
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_block_stalls(PipelineConfig(), -1, 1.0)
+
+    def test_total_sums_components(self):
+        est = estimate_block_stalls(PipelineConfig(), 10, 4.0)
+        assert est.total == pytest.approx(
+            est.long_scoreboard_cycles + est.short_scoreboard_cycles + est.barrier_cycles
+        )
+
+
+class TestWarpMaps:
+    def test_metadata_lanes_f0(self):
+        from repro.gpu import metadata_provider_lanes
+
+        lanes = metadata_provider_lanes(0)
+        # Paper Figure 9: with F=0, threads 0,1,4,5,...,28,29 provide
+        # metadata.
+        assert list(lanes) == [0, 1, 4, 5, 8, 9, 12, 13, 16, 17, 20, 21, 24, 25, 28, 29]
+
+    def test_metadata_lanes_f1_disjoint_complement(self):
+        from repro.gpu import metadata_provider_lanes
+
+        l0 = set(metadata_provider_lanes(0).tolist())
+        l1 = set(metadata_provider_lanes(1).tolist())
+        assert l0.isdisjoint(l1)
+        assert l0 | l1 == set(range(32))
+
+    def test_metadata_lanes_invalid_selector(self):
+        from repro.gpu import metadata_provider_lanes
+
+        with pytest.raises(ValueError):
+            metadata_provider_lanes(2)
+
+    def test_accumulator_owner_range(self):
+        from repro.gpu import accumulator_owner_lane
+
+        lanes = {accumulator_owner_lane(r, c) for r in range(16) for c in range(8)}
+        assert lanes == set(range(32))
+
+    def test_fragment_registers_reasonable(self):
+        from repro.gpu import fragment_registers
+
+        # m16n8k16 fp16 fragments: A 512B + B 256B + C 512B = 1280B / 128 = 10.
+        assert fragment_registers(16, 8, 16) == 10

@@ -1,0 +1,175 @@
+"""Tests for occupancy and the launch-duration model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    A100,
+    BlockWork,
+    InstructionMix,
+    KernelTrace,
+    Op,
+    StallEstimate,
+    occupancy_blocks_per_sm,
+    simulate_launch,
+)
+
+
+def make_trace(nblocks=108, threads=256, smem=32 * 1024, mma_per_block=1000):
+    trace = KernelTrace(
+        kernel_name="toy",
+        threads_per_block=threads,
+        smem_bytes_per_block=smem,
+    )
+    work = BlockWork(weight=nblocks)
+    work.mix.emit(Op.MMA_SP_M16N8K32_F16, mma_per_block)
+    work.gmem.load_sectors = 1000
+    work.gmem.load_requests = 100
+    work.gmem.useful_load_bytes = 32000
+    trace.add_block(work)
+    return trace
+
+
+class TestOccupancy:
+    def test_smem_limited(self):
+        trace = make_trace(smem=82 * 1024)
+        assert occupancy_blocks_per_sm(trace) == 2
+
+    def test_threads_limited(self):
+        trace = make_trace(threads=1024, smem=1024)
+        trace.regs_per_thread = 32
+        # 2048 max threads / 1024 per block = 2 blocks.
+        assert occupancy_blocks_per_sm(trace) == 2
+
+    def test_register_limited(self):
+        trace = make_trace(threads=1024, smem=1024)
+        # 64 regs x 1024 threads = a full 64K register file: 1 block.
+        assert trace.regs_per_thread == 64
+        assert occupancy_blocks_per_sm(trace) == 1
+
+    def test_jigsaw_smem_footprints(self):
+        # Paper Section 4.1: BLOCK_TILE 16/32/64 use 21.25/24.83/27.65 KB;
+        # all leave multiple co-resident blocks for latency hiding.
+        for kb in (21.25, 24.83, 27.65):
+            trace = make_trace(smem=int(kb * 1024))
+            assert occupancy_blocks_per_sm(trace) >= 4
+
+    def test_block_cap(self):
+        trace = make_trace(threads=32, smem=0)
+        assert occupancy_blocks_per_sm(trace) <= A100.max_blocks_per_sm
+
+    def test_rejects_oversized_block(self):
+        trace = make_trace(smem=200 * 1024)
+        with pytest.raises(ValueError):
+            occupancy_blocks_per_sm(trace)
+
+    def test_rejects_too_many_threads(self):
+        trace = make_trace(threads=2048)
+        with pytest.raises(ValueError):
+            occupancy_blocks_per_sm(trace)
+
+
+class TestDurationModel:
+    def test_duration_positive(self):
+        profile = simulate_launch(make_trace())
+        assert profile.duration_us > 0
+
+    def test_duration_monotone_in_compute(self):
+        small = simulate_launch(make_trace(mma_per_block=1000))
+        big = simulate_launch(make_trace(mma_per_block=100000))
+        assert big.duration_us > small.duration_us
+
+    def test_duration_monotone_in_blocks(self):
+        few = simulate_launch(make_trace(nblocks=108, mma_per_block=50000))
+        many = simulate_launch(make_trace(nblocks=1080, mma_per_block=50000))
+        assert many.duration_us > few.duration_us
+
+    def test_wave_quantization_penalty(self):
+        # 1.1 waves must not be cheaper than 10% more than 1.0 waves.
+        trace_full = make_trace(nblocks=108 * 5, smem=32 * 1024, mma_per_block=20000)
+        bps = occupancy_blocks_per_sm(trace_full)
+        full = simulate_launch(make_trace(nblocks=108 * bps, mma_per_block=20000))
+        spill = simulate_launch(make_trace(nblocks=108 * bps + 10, mma_per_block=20000))
+        assert spill.duration_us > full.duration_us
+
+    def test_stalls_add_to_duration(self):
+        base = make_trace()
+        stalled = make_trace()
+        stalled.blocks[0].stalls = StallEstimate(long_scoreboard_cycles=1e6)
+        assert simulate_launch(stalled).duration_us > simulate_launch(base).duration_us
+
+    def test_stall_metrics_reported(self):
+        trace = make_trace()
+        trace.blocks[0].stalls = StallEstimate(
+            long_scoreboard_cycles=5000.0, short_scoreboard_cycles=100.0
+        )
+        profile = simulate_launch(trace)
+        assert profile.warp_long_scoreboard > 0
+        assert profile.warp_short_scoreboard > 0
+        assert profile.warp_long_scoreboard > profile.warp_short_scoreboard
+
+    def test_empty_trace_rejected(self):
+        trace = KernelTrace("empty", 256, 0)
+        with pytest.raises(ValueError):
+            simulate_launch(trace)
+
+    def test_profile_summary_mentions_kernel(self):
+        profile = simulate_launch(make_trace())
+        assert "toy" in profile.summary()
+
+    def test_speedup_over(self):
+        fast = simulate_launch(make_trace(mma_per_block=1000))
+        slow = simulate_launch(make_trace(mma_per_block=100000))
+        assert fast.speedup_over(slow) > 1
+
+    def test_bound_is_compute_for_mma_heavy_kernel(self):
+        profile = simulate_launch(make_trace(mma_per_block=10_000_000))
+        assert profile.bound == "compute"
+
+    def test_weighted_blocks_equal_explicit_blocks(self):
+        # One representative block with weight 10 must time identically to
+        # ten identical unit-weight blocks.
+        t1 = make_trace(nblocks=10)
+        t2 = KernelTrace("toy", 256, 32 * 1024)
+        for _ in range(10):
+            w = BlockWork(weight=1)
+            w.mix.emit(Op.MMA_SP_M16N8K32_F16, 1000)
+            w.gmem.load_sectors = 1000
+            w.gmem.load_requests = 100
+            w.gmem.useful_load_bytes = 32000
+            t2.add_block(w)
+        p1, p2 = simulate_launch(t1), simulate_launch(t2)
+        assert p1.duration_us == pytest.approx(p2.duration_us, rel=1e-6)
+
+
+class TestInstructionMix:
+    def test_emit_and_total(self):
+        mix = InstructionMix()
+        mix.emit(Op.LDS, 10)
+        mix.emit(Op.MMA_SP_M16N8K32_F16, 5)
+        assert mix.total() == 15
+
+    def test_negative_rejected(self):
+        mix = InstructionMix()
+        with pytest.raises(ValueError):
+            mix.emit(Op.LDS, -1)
+
+    def test_issue_cycles_by_unit(self):
+        mix = InstructionMix()
+        mix.emit(Op.MMA_SP_M16N8K32_F16, 2)  # tc: 2*8 cycles
+        mix.emit(Op.LDS, 3)                  # lsu: 3*1
+        assert mix.issue_cycles("tc") == 16
+        assert mix.issue_cycles("lsu") == 3
+        assert mix.issue_cycles() == 19
+
+    def test_shared_memory_instruction_count(self):
+        mix = InstructionMix()
+        mix.emit(Op.LDS, 2)
+        mix.emit(Op.LDMATRIX_X4, 3)
+        mix.emit(Op.LDG, 7)  # global, not shared
+        assert mix.shared_memory_instructions() == 5
+
+    def test_scaled(self):
+        mix = InstructionMix()
+        mix.emit(Op.LDS, 4)
+        assert mix.scaled(2.5).count(Op.LDS) == 10

@@ -1,0 +1,93 @@
+"""Property-based tests on scheduler invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import BlockWork, KernelTrace, Op, simulate_launch
+
+
+def make_trace(nblocks, mma, sectors, smem_tx, threads=256, smem_bytes=16 * 1024):
+    trace = KernelTrace(
+        kernel_name="prop",
+        threads_per_block=threads,
+        smem_bytes_per_block=smem_bytes,
+    )
+    work = BlockWork(weight=nblocks)
+    work.mix.emit(Op.MMA_SP_M16N8K32_F16, mma)
+    work.gmem.load_sectors = sectors
+    work.gmem.load_requests = max(1, sectors // 8)
+    work.gmem.useful_load_bytes = sectors * 32
+    work.smem.accesses = smem_tx
+    work.smem.transactions = smem_tx
+    trace.add_block(work)
+    return trace
+
+
+workish = st.tuples(
+    st.integers(1, 4000),     # blocks
+    st.integers(1, 50_000),   # mma per block
+    st.integers(0, 50_000),   # gmem sectors per block
+    st.integers(0, 50_000),   # smem transactions per block
+)
+
+
+class TestSchedulerProperties:
+    @given(workish)
+    @settings(max_examples=60, deadline=None)
+    def test_duration_positive_and_finite(self, params):
+        profile = simulate_launch(make_trace(*params))
+        assert np.isfinite(profile.duration_us)
+        assert profile.duration_us > 0
+
+    @given(workish, st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_more_work_never_faster(self, params, factor):
+        nblocks, mma, sectors, smem_tx = params
+        base = simulate_launch(make_trace(nblocks, mma, sectors, smem_tx))
+        scaled = simulate_launch(
+            make_trace(nblocks, mma * factor, sectors * factor, smem_tx * factor)
+        )
+        assert scaled.duration_us >= base.duration_us * 0.999
+
+    @given(workish)
+    @settings(max_examples=40, deadline=None)
+    def test_more_blocks_never_faster(self, params):
+        nblocks, mma, sectors, smem_tx = params
+        base = simulate_launch(make_trace(nblocks, mma, sectors, smem_tx))
+        more = simulate_launch(make_trace(nblocks * 2, mma, sectors, smem_tx))
+        assert more.duration_us >= base.duration_us * 0.999
+
+    @given(workish)
+    @settings(max_examples=40, deadline=None)
+    def test_weighting_equals_replication(self, params):
+        nblocks, mma, sectors, smem_tx = params
+        nblocks = min(nblocks, 50)
+        weighted = simulate_launch(make_trace(nblocks, mma, sectors, smem_tx))
+        trace = KernelTrace(
+            kernel_name="prop", threads_per_block=256, smem_bytes_per_block=16 * 1024
+        )
+        for _ in range(nblocks):
+            w = BlockWork(weight=1)
+            w.mix.emit(Op.MMA_SP_M16N8K32_F16, mma)
+            w.gmem.load_sectors = sectors
+            w.gmem.load_requests = max(1, sectors // 8)
+            w.gmem.useful_load_bytes = sectors * 32
+            w.smem.accesses = smem_tx
+            w.smem.transactions = smem_tx
+            trace.add_block(w)
+        replicated = simulate_launch(trace)
+        assert replicated.duration_us == weighted.duration_us
+
+    @given(workish)
+    @settings(max_examples=40, deadline=None)
+    def test_duration_bounds_all_pipes(self, params):
+        profile = simulate_launch(make_trace(*params))
+        # The duration can never undercut any single pipe's service time.
+        for bound in (
+            profile.compute_limited_cycles,
+            profile.smem_limited_cycles,
+            profile.memory_limited_cycles,
+            profile.issue_limited_cycles,
+        ):
+            assert profile.duration_cycles >= bound * 0.999

@@ -1,0 +1,131 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SharedMemoryModel, SmemLayout
+
+
+@pytest.fixture()
+def smem():
+    return SharedMemoryModel()
+
+
+class TestPhaseTransactions:
+    def test_fully_coalesced_is_one_transaction(self, smem):
+        # 32 lanes reading 32 consecutive 4-byte words: one transaction.
+        addrs = np.arange(32) * 4
+        assert smem.transactions_for(addrs, 4) == 1
+
+    def test_same_word_broadcast_is_free(self, smem):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert smem.transactions_for(addrs, 4) == 1
+
+    def test_two_way_conflict(self, smem):
+        # Lanes alternate between bank 0 word 0 and bank 0 word 32.
+        addrs = np.array([0, 128] * 16)
+        assert smem.transactions_for(addrs, 4) == 2
+
+    def test_32_way_conflict(self, smem):
+        # All lanes hit bank 0 at 32 distinct words.
+        addrs = np.arange(32) * 128
+        assert smem.transactions_for(addrs, 4) == 32
+
+    def test_stride_two_conflict(self, smem):
+        # Stride-2 word access: 16 banks used, 2 words per bank.
+        addrs = np.arange(32) * 8
+        assert smem.transactions_for(addrs, 4) == 2
+
+    def test_wide_access_splits_into_phases(self, smem):
+        # 128-bit access by 32 lanes, consecutive: each phase of 8 lanes
+        # covers 32 banks exactly once -> 4 transactions total.
+        addrs = np.arange(32) * 16
+        assert smem.transactions_for(addrs, 16) == 4
+
+    def test_rejects_2d_addresses(self, smem):
+        with pytest.raises(ValueError):
+            smem.transactions_for(np.zeros((2, 16)), 4)
+
+
+class TestRecording:
+    def test_access_accumulates_stats(self, smem):
+        smem.access(np.arange(32) * 4, 4)
+        smem.access(np.arange(32) * 128, 4)
+        assert smem.stats.accesses == 2
+        assert smem.stats.transactions == 1 + 32
+        assert smem.stats.conflicts == 0 + 31
+
+    def test_conflict_rate(self, smem):
+        smem.access(np.arange(32) * 4, 4)
+        assert smem.stats.conflict_rate == 0.0
+        smem.access(np.array([0, 128] * 16), 4)
+        assert smem.stats.conflict_rate == pytest.approx(0.5)
+
+    def test_reset(self, smem):
+        smem.access(np.arange(32) * 4, 4)
+        smem.reset()
+        assert smem.stats.accesses == 0
+
+    def test_stats_scaling(self, smem):
+        smem.access(np.arange(32) * 128, 4)
+        scaled = smem.stats.scaled(3)
+        assert scaled.transactions == 96
+        assert scaled.conflicts == 93
+
+
+class TestLdmatrixConflicts:
+    """The Figure-7 scenarios from the paper."""
+
+    def test_unpadded_64wide_rows_conflict_8way(self, smem):
+        # 64 fp16 per row = 128 B stride: rows 0..7 all start at bank 0.
+        layout = SmemLayout(rows=64, cols=64, pad_elems=0)
+        tx = smem.ldmatrix_access(layout.row_addresses(np.arange(8), 0))
+        assert tx == 8
+
+    def test_padded_rows_conflict_free(self, smem):
+        # Pad 4 banks (8 fp16): the 8x8 tile now covers all 32 banks.
+        layout = SmemLayout(rows=64, cols=64, pad_elems=8)
+        tx = smem.ldmatrix_access(layout.row_addresses(np.arange(8), 0))
+        assert tx == 1
+
+    def test_padded_rows_conflict_free_at_any_column(self, smem):
+        layout = SmemLayout(rows=64, cols=64, pad_elems=8)
+        for col0 in (0, 8, 16, 24, 32, 40, 48, 56):
+            tx = smem.ldmatrix_access(layout.row_addresses(np.arange(8), col0))
+            assert tx == 1, f"conflict at col0={col0}"
+
+    def test_reordered_rows_can_conflict_even_when_padded(self, smem):
+        # Paper Figure 7(b): after MMA_TILE reorder, rows r and r+16 share
+        # banks under the padded 144-byte stride (144*16 = 2304 = 72 words
+        # = 8 banks apart per step; r and r+16 land 128 words apart mod 32
+        # banks -> same bank). Mixing such rows in one ldmatrix stage
+        # conflicts; the reorder-scheme preference avoids it.
+        layout = SmemLayout(rows=64, cols=64, pad_elems=8)
+        rows = np.array([0, 16, 32, 48, 1, 17, 33, 49])
+        tx = smem.ldmatrix_access(layout.row_addresses(rows, 0))
+        assert tx > 1
+
+    def test_requires_exactly_8_rows(self, smem):
+        layout = SmemLayout(rows=8, cols=8)
+        with pytest.raises(ValueError):
+            smem.ldmatrix_access(layout.row_addresses(np.arange(4), 0))
+
+
+class TestSmemLayout:
+    def test_row_stride(self):
+        layout = SmemLayout(rows=64, cols=64, pad_elems=8)
+        assert layout.row_stride_bytes == 144
+
+    def test_size(self):
+        layout = SmemLayout(rows=64, cols=64, pad_elems=8)
+        assert layout.size_bytes == 64 * 144
+
+    def test_address_math(self):
+        layout = SmemLayout(rows=4, cols=4, elem_bytes=2, base_offset=100)
+        assert layout.address(0, 0) == 100
+        assert layout.address(1, 2) == 100 + 8 + 4
+
+    def test_vector_addresses(self):
+        layout = SmemLayout(rows=4, cols=8)
+        addrs = layout.address(np.array([0, 1]), np.array([0, 0]))
+        assert list(addrs) == [0, 16]

@@ -1,0 +1,185 @@
+"""Tests for dense/sparse tensor-core functional models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    JIGSAW_SPTC_SHAPE,
+    SUPPORTED_SPTC_SHAPES,
+    InstructionMix,
+    MmaShape,
+    Op,
+    compress_2to4,
+    expand_2to4,
+    mma_dense,
+    mma_sp,
+    satisfies_2to4,
+)
+
+
+def random_2to4(m: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """A random fp16 matrix satisfying the 2:4 pattern."""
+    a = np.zeros((m, k), dtype=np.float16)
+    for i in range(m):
+        for g in range(k // 4):
+            pos = rng.choice(4, size=2, replace=False)
+            a[i, g * 4 + pos] = rng.standard_normal(2).astype(np.float16)
+    return a
+
+
+class TestSupportedShapes:
+    """Paper Table 1: SpTC shapes per precision."""
+
+    def test_fp16_shapes(self):
+        assert SUPPORTED_SPTC_SHAPES["f16"] == (MmaShape(16, 8, 16), MmaShape(16, 8, 32))
+
+    def test_tf32_shapes(self):
+        assert SUPPORTED_SPTC_SHAPES["tf32"] == (MmaShape(16, 8, 16), MmaShape(16, 8, 8))
+
+    def test_int8_shapes(self):
+        assert SUPPORTED_SPTC_SHAPES["s8"] == (MmaShape(16, 8, 32), MmaShape(16, 8, 64))
+
+    def test_int4_shapes(self):
+        assert SUPPORTED_SPTC_SHAPES["u4"] == (MmaShape(16, 8, 64), MmaShape(16, 8, 128))
+
+    def test_jigsaw_uses_m16n8k32(self):
+        # Paper Section 2.2: m16n8k32 keeps dense-MMA latency; m16n8k16
+        # halves throughput, so Jigsaw picks m16n8k32.
+        assert JIGSAW_SPTC_SHAPE == MmaShape(16, 8, 32)
+
+
+class TestDenseMma:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((16, 16)).astype(np.float16)
+        b = rng.standard_normal((16, 8)).astype(np.float16)
+        c = rng.standard_normal((16, 8)).astype(np.float32)
+        d = mma_dense(a, b, c)
+        ref = a.astype(np.float32) @ b.astype(np.float32) + c
+        np.testing.assert_allclose(d, ref, rtol=1e-6)
+
+    def test_emits_instruction_event(self):
+        mix = InstructionMix()
+        a = np.zeros((16, 16), np.float16)
+        b = np.zeros((16, 8), np.float16)
+        c = np.zeros((16, 8), np.float32)
+        mma_dense(a, b, c, mix=mix)
+        assert mix.count(Op.MMA_M16N8K16_F16) == 1
+
+    def test_m8n8k16_shape(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((8, 16)).astype(np.float16)
+        b = rng.standard_normal((16, 8)).astype(np.float16)
+        c = np.zeros((8, 8), np.float32)
+        d = mma_dense(a, b, c, shape=MmaShape(8, 8, 16))
+        np.testing.assert_allclose(d, a.astype(np.float32) @ b.astype(np.float32), rtol=1e-6)
+
+    def test_rejects_wrong_shapes(self):
+        a = np.zeros((16, 16), np.float16)
+        b = np.zeros((16, 8), np.float16)
+        c = np.zeros((16, 8), np.float32)
+        with pytest.raises(ValueError):
+            mma_dense(a, b, c, shape=MmaShape(16, 8, 32))
+        with pytest.raises(ValueError):
+            mma_dense(a, b[:8], c)
+        with pytest.raises(ValueError):
+            mma_dense(a, b, c, shape=MmaShape(3, 3, 3))
+
+
+class TestSatisfies2to4:
+    def test_accepts_conforming(self):
+        rng = np.random.default_rng(3)
+        assert satisfies_2to4(random_2to4(16, 32, rng))
+
+    def test_rejects_three_in_group(self):
+        a = np.zeros((1, 4), np.float16)
+        a[0, :3] = 1
+        assert not satisfies_2to4(a)
+
+    def test_rejects_non_multiple_of_4(self):
+        assert not satisfies_2to4(np.zeros((4, 6), np.float16))
+
+    def test_all_zero_is_conforming(self):
+        assert satisfies_2to4(np.zeros((16, 32), np.float16))
+
+
+class TestCompression:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(4)
+        a = random_2to4(16, 32, rng)
+        vals, meta = compress_2to4(a)
+        assert vals.shape == (16, 16)
+        assert meta.shape == (16, 16)
+        np.testing.assert_array_equal(expand_2to4(vals, meta, 32), a)
+
+    def test_metadata_sorted_within_groups(self):
+        rng = np.random.default_rng(5)
+        _, meta = compress_2to4(random_2to4(16, 32, rng))
+        pairs = meta.reshape(16, 8, 2)
+        assert np.all(pairs[:, :, 0] < pairs[:, :, 1])
+
+    def test_sparse_rows_padded_with_zero_slots(self):
+        a = np.zeros((1, 4), np.float16)
+        a[0, 3] = 2.0
+        vals, meta = compress_2to4(a)
+        np.testing.assert_array_equal(expand_2to4(vals, meta, 4), a)
+
+    def test_rejects_violation(self):
+        a = np.ones((1, 4), np.float16)
+        with pytest.raises(ValueError):
+            compress_2to4(a)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            compress_2to4(np.zeros((2, 6), np.float16))
+
+
+class TestExpand:
+    def test_rejects_unsorted_metadata(self):
+        vals = np.ones((1, 2), np.float16)
+        meta = np.array([[3, 1]], np.uint8)
+        with pytest.raises(ValueError):
+            expand_2to4(vals, meta, 4)
+
+    def test_rejects_out_of_range_metadata(self):
+        vals = np.ones((1, 2), np.float16)
+        meta = np.array([[0, 7]], np.uint8)
+        with pytest.raises(ValueError):
+            expand_2to4(vals, meta, 4)
+
+
+class TestSparseMma:
+    def test_matches_dense_on_expanded_operand(self):
+        rng = np.random.default_rng(6)
+        a = random_2to4(16, 32, rng)
+        vals, meta = compress_2to4(a)
+        b = rng.standard_normal((32, 8)).astype(np.float16)
+        c = rng.standard_normal((16, 8)).astype(np.float32)
+        d = mma_sp(vals, meta, b, c)
+        ref = a.astype(np.float32) @ b.astype(np.float32) + c
+        np.testing.assert_allclose(d, ref, rtol=1e-3, atol=1e-3)
+
+    def test_emits_sparse_event(self):
+        rng = np.random.default_rng(7)
+        a = random_2to4(16, 32, rng)
+        vals, meta = compress_2to4(a)
+        mix = InstructionMix()
+        mma_sp(vals, meta, np.zeros((32, 8), np.float16), np.zeros((16, 8), np.float32), mix=mix)
+        assert mix.count(Op.MMA_SP_M16N8K32_F16) == 1
+
+    def test_sparse_issue_cost_is_half_of_dense_k32(self):
+        # The 2x SpTC speedup: mma.sp.m16n8k32 issues in the cycles of a
+        # dense m16n8k16 while covering k=32.
+        from repro.gpu import COSTS
+        sparse = COSTS[Op.MMA_SP_M16N8K32_F16].issue_cycles
+        dense_k32 = COSTS[Op.MMA_M16N8K32_F16].issue_cycles
+        assert sparse == dense_k32 / 2
+
+    def test_rejects_wrong_operand_shapes(self):
+        with pytest.raises(ValueError):
+            mma_sp(
+                np.zeros((16, 8), np.float16),   # should be 16x16
+                np.zeros((16, 8), np.uint8),
+                np.zeros((32, 8), np.float16),
+                np.zeros((16, 8), np.float32),
+            )

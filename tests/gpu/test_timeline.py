@@ -1,0 +1,64 @@
+"""Tests for the speed-of-light timeline reports."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import compare_timelines, pipe_utilization, render_timeline
+from repro.core import JigsawPlan
+from tests.conftest import random_vector_sparse
+
+
+@pytest.fixture(scope="module")
+def profile():
+    rng = np.random.default_rng(4)
+    a = random_vector_sparse(128, 256, v=4, sparsity=0.9, rng=rng)
+    b = rng.standard_normal((256, 128)).astype(np.float16)
+    plan = JigsawPlan(a, block_tiles=(64,))
+    return (
+        plan.run(b, version="v0", want_output=False).profile,
+        plan.run(b, version="v3", want_output=False).profile,
+    )
+
+
+class TestPipeUtilization:
+    def test_fractions_bounded(self, profile):
+        _, p3 = profile
+        util = pipe_utilization(p3)
+        assert set(util) == {
+            "tensor core",
+            "memory (DRAM/L2/L1)",
+            "shared memory",
+            "issue slots",
+            "exposed stalls",
+        }
+        for frac in util.values():
+            assert 0.0 <= frac <= 1.0
+
+    def test_v0_has_higher_smem_pressure(self, profile):
+        p0, p3 = profile
+        assert pipe_utilization(p0)["shared memory"] > pipe_utilization(p3)["shared memory"]
+
+
+class TestRendering:
+    def test_report_structure(self, profile):
+        _, p3 = profile
+        text = render_timeline(p3)
+        assert "verdict" in text
+        assert "bank conflicts" in text
+        assert "|" in text  # bars rendered
+
+    def test_compare_stacks_two_reports(self, profile):
+        p0, p3 = profile
+        text = compare_timelines(p0, p3)
+        assert text.count("verdict") == 2
+
+    def test_cli_inspect(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["inspect", "--m", "128", "--k", "128", "--n", "64", "--sparsity",
+             "0.9", "--v", "4", "--version", "v3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out

@@ -1,0 +1,137 @@
+"""Integration tests across the whole stack.
+
+Every system — Jigsaw (all versions, all tile sizes, hybrid) and every
+baseline — must produce the same SpMM result on shared workloads, and
+the analysis harness must compose them without surprises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    clasp_spmm,
+    cublas_hgemm,
+    cusparse_spmm,
+    magicube_spmm,
+    sparta_spmm,
+    sputnik_spmm,
+    vectorsparse_spmm,
+)
+from repro.core import JigsawPlan, TileConfig
+from repro.core.kernels import hybrid_spmm
+from repro.data import Workload
+from tests.conftest import random_vector_sparse
+
+
+@pytest.fixture(scope="module")
+def workload():
+    w = Workload("it", m=128, k=192, n=96, sparsity=0.88, v=4, seed=90)
+    a, b = w.materialize()
+    ref = a.astype(np.float32) @ b.astype(np.float32)
+    return w, a, b, ref
+
+
+class TestCrossSystemAgreement:
+    def test_all_systems_compute_the_same_product(self, workload):
+        _, a, b, ref = workload
+        outputs = {
+            "cublas": cublas_hgemm(a, b).c,
+            "jigsaw": JigsawPlan(a).run(b).c,
+            "hybrid": hybrid_spmm(a, b, TileConfig(block_tile=32)).c,
+            "clasp": clasp_spmm(a, b).c,
+            "magicube": magicube_spmm(a, b, v=4).c,
+            "sputnik": sputnik_spmm(a, b).c,
+            "sparta": sparta_spmm(a, b).c,
+            "cusparse": cusparse_spmm(a, b).c,
+            "vectorsparse": vectorsparse_spmm(a, b, pv=4).c,
+        }
+        for name, c in outputs.items():
+            np.testing.assert_allclose(c, ref, rtol=1e-2, atol=0.1, err_msg=name)
+
+    def test_jigsaw_versions_agree(self, workload):
+        _, a, b, ref = workload
+        plan = JigsawPlan(a)
+        for ver in ("v0", "v1", "v2", "v3", "v4"):
+            np.testing.assert_allclose(
+                plan.run(b, version=ver).c, ref, rtol=1e-3, atol=1e-2, err_msg=ver
+            )
+
+    def test_block_tiles_agree(self, workload):
+        _, a, b, ref = workload
+        plan = JigsawPlan(a)
+        for bt in (16, 32, 64):
+            from repro.core.kernels import V3, run_jigsaw_kernel
+
+            res = run_jigsaw_kernel(plan.format_for(bt), b, V3)
+            np.testing.assert_allclose(res.c, ref, rtol=1e-3, atol=1e-2, err_msg=str(bt))
+
+
+class TestDeterminism:
+    def test_workload_materialization_stable(self):
+        w = Workload("d", m=64, k=64, n=32, sparsity=0.9, v=2, seed=5)
+        a1, b1 = w.materialize()
+        a2, b2 = w.materialize()
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_profiles_deterministic(self, workload):
+        _, a, b, _ = workload
+        d1 = JigsawPlan(a).run(b, want_output=False).profile.duration_us
+        d2 = JigsawPlan(a).run(b, want_output=False).profile.duration_us
+        assert d1 == d2
+
+    def test_reorder_deterministic(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.85, rng=rng)
+        from repro.core import reorder_matrix
+
+        r1 = reorder_matrix(a)
+        r2 = reorder_matrix(a)
+        for s1, s2 in zip(r1.slabs, r2.slabs):
+            np.testing.assert_array_equal(s1.col_ids, s2.col_ids)
+            np.testing.assert_array_equal(s1.tile_perms, s2.tile_perms)
+
+
+class TestDevicePortability:
+    def test_kernels_run_on_other_devices(self, workload):
+        _, a, b, ref = workload
+        from repro.gpu import V100
+
+        res = JigsawPlan(a).run(b, device=V100)
+        np.testing.assert_allclose(res.c, ref, rtol=1e-3, atol=1e-2)
+        # Weaker device, longer duration.
+        a100 = JigsawPlan(a).run(b, want_output=False).profile.duration_us
+        assert res.profile.duration_us > a100 * 0.8
+
+    def test_custom_device_spec(self, workload):
+        _, a, b, _ = workload
+        from repro.gpu import A100
+
+        half = A100.with_(num_sms=54)
+        d_full = cublas_hgemm(a, b, want_output=False).profile.duration_us
+        d_half = cublas_hgemm(a, b, device=half, want_output=False).profile.duration_us
+        assert d_half >= d_full
+
+
+class TestScaleInvariants:
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    def test_duration_monotone_in_n(self, n, rng):
+        a = random_vector_sparse(128, 256, v=4, sparsity=0.9, rng=rng)
+        plan = JigsawPlan(a, block_tiles=(64,))
+        b = rng.standard_normal((256, n)).astype(np.float16)
+        d = plan.run(b, version="v3", want_output=False).profile.duration_us
+        if not hasattr(self, "_last"):
+            self._last = {}
+        for prev_n, prev_d in self._last.items():
+            if prev_n < n:
+                assert d >= prev_d * 0.95
+        self._last[n] = d
+
+    def test_speedup_grows_with_sparsity_at_scale(self, rng):
+        b = np.zeros((1024, 1024), np.float16)
+        ratios = []
+        for sp in (0.85, 0.98):
+            a = random_vector_sparse(1024, 1024, v=8, sparsity=sp, rng=rng)
+            jig = JigsawPlan(a).run(b, want_output=False).profile.duration_us
+            cu = cublas_hgemm(a, b, want_output=False).profile.duration_us
+            ratios.append(cu / jig)
+        assert ratios[1] > ratios[0]

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_spmm_defaults(self):
+        args = build_parser().parse_args(["spmm"])
+        assert args.m == 1024 and args.v == 8
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_device(self, capsys):
+        assert main(["device"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "312" in out
+
+    def test_reorder(self, capsys):
+        rc = main(
+            ["reorder", "--m", "128", "--k", "128", "--sparsity", "0.9", "--v", "4",
+             "--block-tile", "32"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reorder success" in out
+        assert "col_idx_array" in out
+
+    def test_spmm_small(self, capsys):
+        rc = main(
+            ["spmm", "--m", "128", "--k", "128", "--n", "64", "--sparsity", "0.9",
+             "--v", "4", "--systems", "jigsaw,cublas"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jigsaw" in out and "vs cuBLAS" in out
+
+    def test_spmm_unknown_system(self, capsys):
+        rc = main(["spmm", "--systems", "jigsaw,tpu"])
+        assert rc == 2
+        assert "unknown systems" in capsys.readouterr().err
+
+    def test_figure_overhead(self, capsys):
+        assert main(["figure", "overhead"]) == 0
+        assert "56.25%" in capsys.readouterr().out
