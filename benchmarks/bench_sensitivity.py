@@ -14,7 +14,7 @@ in the physically expected direction:
 
 from repro.analysis import render_sensitivity, run_sensitivity
 
-from conftest import emit, full_grid
+from conftest import emit
 
 
 def _run():

@@ -10,7 +10,7 @@ cuBLAS, and reorder success on every layer.
 import numpy as np
 
 from repro.baselines import cublas_hgemm
-from repro.core import SparseLinear, SparseModel
+from repro.core import SparseLinear
 from repro.data import vector_prune
 
 from conftest import emit, full_grid

@@ -28,6 +28,8 @@ from .overhead import (
     OverheadBreakdown,
     measured_overhead,
     paper_overhead_model,
+    plan_stats_rows,
+    preprocessing_rows,
 )
 from .report import (
     render_fig1,
@@ -35,6 +37,7 @@ from .report import (
     render_fig11,
     render_fig12,
     render_overhead,
+    render_preprocessing,
     render_table,
     render_table2,
     render_table3,
@@ -84,11 +87,14 @@ __all__ = [
     "OverheadBreakdown",
     "measured_overhead",
     "paper_overhead_model",
+    "plan_stats_rows",
+    "preprocessing_rows",
     "render_fig1",
     "render_fig10",
     "render_fig11",
     "render_fig12",
     "render_overhead",
+    "render_preprocessing",
     "render_table",
     "render_table2",
     "render_table3",

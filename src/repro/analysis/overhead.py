@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.engine import PlanStats, PreprocessStats
 from repro.core.format import JigsawMatrix
 
 
@@ -83,3 +84,50 @@ def measured_overhead(jm: JigsawMatrix) -> OverheadBreakdown:
 
 #: Paper Section 4.6 totals per BLOCK_TILE (fraction of dense storage).
 PAPER_TOTALS = {16: 0.5625, 32: 0.50, 64: 0.46875}
+
+
+def preprocessing_rows(stats: PreprocessStats) -> list[list[str]]:
+    """Tabular view of one preprocessing run's observability record.
+
+    Rows of (metric, value) strings covering the paper's amortization
+    story (Section 3.1): per-stage wall time, worker-pool width, the
+    cover-cache hit rate, and the retry/split activity.
+    """
+    m, k = stats.shape
+    rows = [
+        ["matrix", f"{m}x{k}" if m else "-"],
+        ["BLOCK_TILE", str(stats.block_tile) if stats.block_tile else "-"],
+        ["plan cache", stats.plan_cache],
+        ["reorder wall time", f"{stats.reorder_seconds * 1e3:.2f} ms"],
+        ["compress wall time", f"{stats.compress_seconds * 1e3:.2f} ms"],
+    ]
+    if stats.plan_cache == "hit":
+        rows.append(["artifact load time", f"{stats.load_seconds * 1e3:.2f} ms"])
+    rows += [
+        ["total", f"{stats.total_seconds * 1e3:.2f} ms"],
+        ["reorder workers", str(stats.workers_used)],
+        ["slabs", str(stats.slabs)],
+        ["cover-cache hit rate", f"{stats.cover_cache_hit_rate:.1%}"],
+        [
+            "cover-cache hits/misses",
+            f"{stats.cover_cache_hits}/{stats.cover_cache_misses}",
+        ],
+        ["retry evictions", str(stats.evictions)],
+        ["split-mode groups", str(stats.split_groups)],
+    ]
+    return rows
+
+
+def plan_stats_rows(stats: PlanStats) -> list[list[str]]:
+    """Tabular view of a :class:`JigsawPlan`'s aggregated preprocessing."""
+    return [
+        ["reorder runs", str(stats.reorder_runs)],
+        ["plan-cache hits", str(stats.plan_cache_hits)],
+        ["plan-cache misses", str(stats.plan_cache_misses)],
+        ["reorder wall time", f"{stats.reorder_seconds * 1e3:.2f} ms"],
+        ["compress wall time", f"{stats.compress_seconds * 1e3:.2f} ms"],
+        ["total preprocessing", f"{stats.total_seconds * 1e3:.2f} ms"],
+        ["cover-cache hit rate", f"{stats.cover_cache_hit_rate:.1%}"],
+        ["retry evictions", str(stats.evictions)],
+        ["split-mode groups", str(stats.split_groups)],
+    ]

@@ -118,3 +118,16 @@ def render_overhead(breakdowns: dict[int, OverheadBreakdown]) -> str:
         for bt, b in sorted(breakdowns.items())
     ]
     return render_table(headers, rows)
+
+
+def render_preprocessing(stats) -> str:
+    """Render a PreprocessStats or PlanStats observability record."""
+    from repro.core.engine import PlanStats
+
+    from .overhead import plan_stats_rows, preprocessing_rows
+
+    if isinstance(stats, PlanStats):
+        rows = plan_stats_rows(stats)
+    else:
+        rows = preprocessing_rows(stats)
+    return render_table(["preprocessing", "value"], rows)

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.baselines import cusparselt_spmm, venom_spmm
 from repro.core import JigsawPlan
-from repro.data.workloads import Workload, enumerate_workloads
+from repro.data.workloads import enumerate_workloads
 from repro.formats.venom import VenomMatrix, venom_prune
 from repro.gpu.device import A100, DeviceSpec
 

@@ -45,7 +45,9 @@ def cmd_spmm(args: argparse.Namespace) -> int:
     b = rng.standard_normal((args.k, args.n)).astype(np.float16)
 
     runners = {
-        "jigsaw": lambda: JigsawPlan(a).run(b, want_output=False).profile,
+        "jigsaw": lambda: JigsawPlan(
+            a, workers=args.workers, cache_dir=args.plan_cache
+        ).run(b, want_output=False).profile,
         "cublas": lambda: cublas_hgemm(a, b, want_output=False).profile,
         "clasp": lambda: clasp_spmm(a, b, want_output=False).profile,
         "magicube": lambda: magicube_spmm(a, b, v=args.v, want_output=False).profile,
@@ -74,21 +76,30 @@ def cmd_spmm(args: argparse.Namespace) -> int:
 
 def cmd_reorder(args: argparse.Namespace) -> int:
     """Inspect the multi-granularity reorder of one matrix."""
-    from repro.analysis import render_table
-    from repro.core import JigsawMatrix, TileConfig
+    from repro.analysis import render_preprocessing, render_table
+    from repro.core import JigsawPlan
 
     a = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed)
-    jm = JigsawMatrix.build(a, TileConfig(block_tile=args.block_tile))
+    plan = JigsawPlan(
+        a,
+        block_tiles=(args.block_tile,),
+        workers=args.workers,
+        cache_dir=args.plan_cache,
+    )
+    jm = plan.format_for(args.block_tile)
     r = jm.reorder
     print(f"matrix {args.m}x{args.k}, sparsity {args.sparsity:.0%}, v={args.v}")
-    print(f"BLOCK_TILE={args.block_tile}: {len(r.slabs)} slabs")
-    print(f"reorder success (K not grown): {r.success}")
+    print(f"BLOCK_TILE={args.block_tile}: {len(jm.slabs)} slabs")
+    print(f"reorder success (K not grown): {jm.reorder_success}")
     print(f"zero-column work skipped: {r.skipped_column_fraction:.1%}")
     print(f"retry evictions: {r.total_evictions}")
     sizes = jm.storage_bytes()
     rows = [[key, str(val)] for key, val in sizes.items()]
     rows.append(["dense equivalent", str(jm.dense_bytes())])
     print(render_table(["component", "bytes"], rows))
+    if plan.stats.runs:
+        print()
+        print(render_preprocessing(plan.stats.runs[-1]))
     return 0
 
 
@@ -140,7 +151,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     a = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed)
     rng = np.random.default_rng(args.seed + 1)
     b = rng.standard_normal((args.k, args.n)).astype(np.float16)
-    res = JigsawPlan(a).run(b, version=args.version, want_output=False)
+    plan = JigsawPlan(a, workers=args.workers, cache_dir=args.plan_cache)
+    res = plan.run(b, version=args.version, want_output=False)
     print(render_timeline(res.profile))
     return 0
 
@@ -237,6 +249,34 @@ def cmd_device(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_cache_dir(value: str) -> str:
+    from pathlib import Path
+
+    p = Path(value)
+    if p.exists() and not p.is_dir():
+        raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
+    return value
+
+
+def _add_preprocessing_flags(p: argparse.ArgumentParser) -> None:
+    """Preprocessing-engine knobs shared by the plan-building commands."""
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="reorder worker processes (default: auto — parallel for large "
+        "matrices, serial below the size threshold; 1 forces serial)",
+    )
+    p.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        type=_plan_cache_dir,
+        default=None,
+        help="persistent plan-cache directory: preprocessing artifacts are "
+        "stored/loaded by content hash, so repeated runs skip the reorder",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="jigsaw,cublas,clasp,magicube,sputnik,sparta",
         help="comma-separated list",
     )
+    _add_preprocessing_flags(p)
     p.set_defaults(func=cmd_spmm)
 
     p = sub.add_parser("reorder", help="inspect a matrix's reorder")
@@ -265,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--v", type=int, default=4, choices=(2, 4, 8))
     p.add_argument("--block-tile", type=int, default=64, choices=(16, 32, 64))
     p.add_argument("--seed", type=int, default=0)
+    _add_preprocessing_flags(p)
     p.set_defaults(func=cmd_reorder)
 
     p = sub.add_parser("figure", help="regenerate a paper figure/table")
@@ -284,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--v", type=int, default=8, choices=(2, 4, 8))
     p.add_argument("--version", default="v4", choices=("v0", "v1", "v2", "v3", "v4"))
     p.add_argument("--seed", type=int, default=0)
+    _add_preprocessing_flags(p)
     p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser("reproduce", help="regenerate every paper artifact")

@@ -2,12 +2,16 @@
 
 from .api import JigsawPlan, jigsaw_spmm
 from .compatibility import (
+    CoverCacheStats,
     CoverSolution,
+    clear_cover_cache,
+    cover_cache_stats,
     find_compatible_quads,
     find_cover,
     least_compatible_column,
     quads_to_masks,
 )
+from .engine import PlanStats, PreprocessStats, plan_cache_key, preprocess
 from .format import JigsawMatrix, JigsawSlab
 from .kernels import (
     ABLATION_VERSIONS,
@@ -26,10 +30,12 @@ from .metadata import (
     tile_metadata_words,
 )
 from .reorder import (
+    PARALLEL_MIN_ELEMS,
     ReorderResult,
     SlabReorder,
     reorder_matrix,
     reorder_slab,
+    resolve_workers,
     validate_reorder,
 )
 from .swizzle import swizzle_block, unswizzle_block, z_swizzle_order
@@ -45,11 +51,18 @@ from .tiles import (
 __all__ = [
     "JigsawPlan",
     "jigsaw_spmm",
+    "CoverCacheStats",
     "CoverSolution",
+    "clear_cover_cache",
+    "cover_cache_stats",
     "find_compatible_quads",
     "find_cover",
     "least_compatible_column",
     "quads_to_masks",
+    "PlanStats",
+    "PreprocessStats",
+    "plan_cache_key",
+    "preprocess",
     "JigsawMatrix",
     "JigsawSlab",
     "ABLATION_VERSIONS",
@@ -70,10 +83,12 @@ __all__ = [
     "interleave_metadata",
     "naive_layout",
     "tile_metadata_words",
+    "PARALLEL_MIN_ELEMS",
     "ReorderResult",
     "SlabReorder",
     "reorder_matrix",
     "reorder_slab",
+    "resolve_workers",
     "validate_reorder",
     "swizzle_block",
     "unswizzle_block",

@@ -10,16 +10,35 @@ Typical use::
     plan = JigsawPlan(a)                      # one-time preprocessing
     result = plan.run(b)                      # v4 kernel, autotuned tiles
     c, time_us = result.c, result.profile.duration_us
+
+Preprocessing goes through the engine (:mod:`repro.core.engine`): the
+reorder fans out over a worker pool for large matrices, and passing
+``cache_dir`` keys a persistent on-disk artifact cache on the content
+hash of ``(A, TileConfig, avoid_bank_conflicts)`` — a restarted process
+constructing the same plan loads the artifact and performs zero reorder
+work (``plan.stats.reorder_runs == 0``).
 """
 
 from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.gpu.device import A100, DeviceSpec
 
+from .engine import PlanStats, PreprocessStats, plan_cache_key, preprocess
 from .format import JigsawMatrix
-from .kernels import ALL_VERSIONS, JigsawRunResult, run_jigsaw_kernel
+from .kernels import (
+    ALL_VERSIONS,
+    JigsawRunResult,
+    compute_output,
+    compute_output_exact,
+    run_jigsaw_kernel,
+)
+from .serialization import load_jigsaw, save_jigsaw
 from .tiles import BLOCK_TILE_SIZES, TileConfig
 
 
@@ -28,6 +47,11 @@ class JigsawPlan:
 
     ``block_tiles`` are the BLOCK_TILE sizes v4 may tune over; formats are
     built lazily, so a plan used only with v0–v3 builds just BLOCK_TILE=64.
+
+    ``workers`` sets the reorder's process-pool width (None = auto:
+    parallel for large matrices, serial otherwise).  ``cache_dir`` turns
+    on the persistent plan cache; ``plan.stats`` records cache traffic
+    and per-stage preprocessing wall time.
     """
 
     #: BLOCK_TILE used by the fixed-tile kernel versions v0..v3
@@ -39,6 +63,8 @@ class JigsawPlan:
         a: np.ndarray,
         block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES,
         avoid_bank_conflicts: bool = True,
+        workers: int | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         if a.ndim != 2:
             raise ValueError("A must be a 2-D matrix")
@@ -48,6 +74,9 @@ class JigsawPlan:
         self._a = np.ascontiguousarray(a, dtype=np.float16)
         self.block_tiles = tuple(block_tiles)
         self.avoid_bank_conflicts = avoid_bank_conflicts
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = PlanStats()
         self._formats: dict[tuple[int, bool], JigsawMatrix] = {}
 
     @property
@@ -59,12 +88,73 @@ class JigsawPlan:
         avoid = self.avoid_bank_conflicts if avoid_bank_conflicts is None else avoid_bank_conflicts
         key = (block_tile, avoid)
         if key not in self._formats:
-            self._formats[key] = JigsawMatrix.build(
-                self._a,
-                TileConfig(block_tile=block_tile),
-                avoid_bank_conflicts=avoid,
-            )
+            self._formats[key] = self._load_or_build(block_tile, avoid)
         return self._formats[key]
+
+    # -- preprocessing ---------------------------------------------------------
+
+    def _load_or_build(self, block_tile: int, avoid: bool) -> JigsawMatrix:
+        config = TileConfig(block_tile=block_tile)
+        path: Path | None = None
+        if self.cache_dir is not None:
+            key = plan_cache_key(self._a, config, avoid)
+            path = self.cache_dir / f"jigsaw-{key}.npz"
+            jm = self._try_load(path, config, avoid)
+            if jm is not None:
+                return jm
+        jm, pstats = preprocess(
+            self._a, config, avoid_bank_conflicts=avoid, workers=self.workers
+        )
+        self.stats.reorder_runs += 1
+        if path is not None:
+            pstats.plan_cache = "miss"
+            self.stats.plan_cache_misses += 1
+            self._store(jm, path)
+        self.stats.runs.append(pstats)
+        return jm
+
+    def _try_load(
+        self, path: Path, config: TileConfig, avoid: bool
+    ) -> JigsawMatrix | None:
+        """Load a cached artifact if present and built with these settings."""
+        if not path.exists():
+            return None
+        t0 = time.perf_counter()
+        try:
+            jm = load_jigsaw(path)
+        except Exception:
+            return None  # corrupt/stale artifact: rebuild (and overwrite)
+        if (
+            jm.shape != tuple(self.shape)
+            or jm.config != config
+            or jm.avoid_bank_conflicts != avoid
+        ):
+            return None
+        self.stats.plan_cache_hits += 1
+        self.stats.runs.append(
+            PreprocessStats(
+                shape=jm.shape,
+                block_tile=config.block_tile,
+                load_seconds=time.perf_counter() - t0,
+                slabs=len(jm.slabs),
+                plan_cache="hit",
+            )
+        )
+        return jm
+
+    def _store(self, jm: JigsawMatrix, path: Path) -> None:
+        """Atomically persist an artifact (tmp file + rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Keep the .npz suffix: np.savez appends it to anything else.
+        tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}.npz")
+        try:
+            save_jigsaw(jm, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    # -- execution -------------------------------------------------------------
 
     @property
     def reorder_success(self) -> bool:
@@ -95,6 +185,10 @@ class JigsawPlan:
             return run_jigsaw_kernel(
                 jm, b, spec, device, want_output=want_output, exact=exact
             )
+        # v4 autotune: one simulated execution per candidate, no output.
+        # The winner's profile is returned as-is — re-running the winning
+        # kernel would double its simulated work and hand back a profile
+        # from a different execution than the one that won the selection.
         best: JigsawRunResult | None = None
         best_bt = None
         for bt in self.block_tiles:
@@ -104,9 +198,10 @@ class JigsawPlan:
                 best, best_bt = res, bt
         assert best is not None and best_bt is not None
         if want_output:
+            # Only the functional half runs for the winner; the timed
+            # simulation is not repeated.
             jm = self.format_for(best_bt)
-            out = run_jigsaw_kernel(jm, b, spec, device, want_output=True, exact=exact)
-            return out
+            best.c = compute_output_exact(jm, b) if exact else compute_output(jm, b)
         return best
 
 

@@ -26,13 +26,78 @@ modulo 8 are preferred.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import combinations
 
 import numpy as np
 
 _COMBO_CACHE: dict[int, np.ndarray] = {}
 _FULL_MASK = np.uint32(0xFFFF)
+
+#: Entries kept in the tile-cover memo before a wholesale reset.  The key
+#: is ~33 bytes and the value a handful of small tuples, so the bound is
+#: generous; it only exists to keep adversarial inputs from growing the
+#: dict without limit.
+COVER_CACHE_MAX_ENTRIES = 1 << 16
+
+_MISSING = object()
+
+
+@dataclass
+class CoverCacheStats:
+    """Hit/miss counters of the tile-cover memo cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+_COVER_CACHE: dict[bytes, "CoverSolution | None"] = {}
+_COVER_STATS = CoverCacheStats()
+
+
+def cover_cache_stats() -> CoverCacheStats:
+    """A snapshot of the cover-cache hit/miss counters."""
+    return replace(_COVER_STATS)
+
+
+def clear_cover_cache() -> None:
+    """Drop all memoized covers and reset the counters."""
+    _COVER_CACHE.clear()
+    _COVER_STATS.hits = 0
+    _COVER_STATS.misses = 0
+
+
+def _canonical_columns(nz_mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Stable column order by pattern bytes, and the reordered tile.
+
+    Cover existence and the solver's choices depend only on the multiset
+    of column patterns (per-row constraints are symmetric), so solving on
+    the canonical tile and mapping the result back through ``sigma`` is
+    exact — and it turns the memo key into a column-order-independent
+    invariant, which is what makes patterns recur massively.
+    """
+    sigma = np.array(
+        sorted(range(nz_mask.shape[1]), key=lambda c: nz_mask[:, c].tobytes()),
+        dtype=np.int64,
+    )
+    return sigma, nz_mask[:, sigma]
+
+
+def _cover_cache_key(canon_mask: np.ndarray, prefer_conflict_free: bool) -> bytes:
+    # The solver is also invariant under row permutation (every check is
+    # a reduction over rows), so the key sorts the packed row patterns:
+    # tiles differing only by row and/or column order share one entry.
+    packed = np.packbits(canon_mask, axis=1)
+    flag = b"\x01" if prefer_conflict_free else b"\x00"
+    return flag + b"".join(sorted(bytes(r) for r in packed))
 
 
 def _combos4(ncols: int) -> np.ndarray:
@@ -196,7 +261,7 @@ def _bilateral_cover(
 
 
 def find_cover(
-    nz_mask: np.ndarray, prefer_conflict_free: bool = True
+    nz_mask: np.ndarray, prefer_conflict_free: bool = True, use_cache: bool = True
 ) -> CoverSolution | None:
     """Find a 16-column cover by compatible quads, or None if impossible.
 
@@ -204,22 +269,69 @@ def find_cover(
     is *not* guaranteed for greedy alone, so greedy failure falls through
     to the exact bilateral search; a None return therefore means no
     partition into compatible quads exists.
+
+    Non-identity tiles are solved in *canonical* form — columns stably
+    sorted by pattern, which is exact because the cover problem only
+    depends on the multiset of column patterns — and the canonical
+    solution is memoized on the row- and column-order-independent key
+    (:func:`cover_cache_stats` exposes the counters).  At high sparsity
+    canonical patterns recur massively across strips and slabs, so the
+    hot path is a dict hit.  Caching never changes results: the cached
+    value is exactly what the solver returns for that canonical tile,
+    and the mapping back to original slots is deterministic.
     """
     rows, ncols = nz_mask.shape
     if ncols != 16:
         raise ValueError("find_cover expects a 16-column tile")
+    # Identity fast path on the original slot order (pre-canonical): at
+    # high sparsity most tiles already satisfy 2:4 in place, and identity
+    # halves are conflict-free by construction.
     counts = nz_mask.reshape(rows, 4, 4).sum(axis=2)
     if np.all(counts <= 2):
         if not prefer_conflict_free or _IDENTITY.bank_collisions() == 0:
             return _IDENTITY
+    sigma, canon = _canonical_columns(nz_mask)
+    if use_cache:
+        key = _cover_cache_key(canon, prefer_conflict_free)
+        cached = _COVER_CACHE.get(key, _MISSING)
+        if cached is not _MISSING:
+            _COVER_STATS.hits += 1
+            canon_solution = cached  # type: ignore[assignment]
+        else:
+            _COVER_STATS.misses += 1
+            canon_solution = _solve_cover(canon, prefer_conflict_free)
+            if len(_COVER_CACHE) >= COVER_CACHE_MAX_ENTRIES:
+                _COVER_CACHE.clear()
+            _COVER_CACHE[key] = canon_solution
+    else:
+        canon_solution = _solve_cover(canon, prefer_conflict_free)
+    if canon_solution is None:
+        return None
+    solution = CoverSolution(
+        quads=tuple(
+            tuple(int(sigma[c]) for c in quad) for quad in canon_solution.quads
+        )
+    )
+    if prefer_conflict_free:
+        # The bank-conflict preference lives in original slot space (it
+        # scores slot residues mod 8), so repair after mapping back.
+        solution = _best_half_pairing(solution)
+    return solution
+
+
+def _solve_cover(
+    nz_mask: np.ndarray, prefer_conflict_free: bool
+) -> CoverSolution | None:
+    """The layered search (greedy, then exact bilateral) on one tile."""
+    rows = nz_mask.shape[0]
+    counts = nz_mask.reshape(rows, 4, 4).sum(axis=2)
+    if np.all(counts <= 2):
+        return _IDENTITY
     greedy = _greedy_cover(nz_mask)
     if greedy is not None:
-        if not prefer_conflict_free:
-            return greedy
         # Conflict preference is a cheap local repair (re-pairing quads
-        # into halves); falling back to the exhaustive search for a
-        # marginally better pairing is not worth its cost.
-        return _best_half_pairing(greedy)
+        # into halves) applied by the caller in original slot space.
+        return greedy
     return _bilateral_cover(nz_mask, prefer_conflict_free)
 
 

@@ -71,6 +71,10 @@ class JigsawMatrix:
     config: TileConfig
     reorder: ReorderResult
     slabs: list[JigsawSlab] = field(default_factory=list)
+    #: Reorder setting the format was built with; persisted by the
+    #: serialization header (v2) so artifacts built with different
+    #: settings can never be confused.
+    avoid_bank_conflicts: bool = True
 
     # -- construction -----------------------------------------------------------
 
@@ -80,17 +84,36 @@ class JigsawMatrix:
         a: np.ndarray,
         config: TileConfig | None = None,
         avoid_bank_conflicts: bool = True,
+        workers: int | None = None,
     ) -> "JigsawMatrix":
         """Reorder and compress a sparse fp16 matrix.
 
         This is the one-time preprocessing the paper amortizes over
         inference runs (Section 3.1); the returned object is reusable
-        across any number of SpMMs.
+        across any number of SpMMs.  ``workers`` is forwarded to
+        :func:`~repro.core.reorder.reorder_matrix`'s slab pool.
         """
         config = config or TileConfig()
-        reorder = reorder_matrix(a, config, avoid_bank_conflicts=avoid_bank_conflicts)
-        mat = cls(shape=a.shape, config=config, reorder=reorder)
-        h = config.block_tile
+        reorder = reorder_matrix(
+            a, config, avoid_bank_conflicts=avoid_bank_conflicts, workers=workers
+        )
+        return cls.from_reorder(a, reorder, avoid_bank_conflicts=avoid_bank_conflicts)
+
+    @classmethod
+    def from_reorder(
+        cls,
+        a: np.ndarray,
+        reorder: ReorderResult,
+        avoid_bank_conflicts: bool = True,
+    ) -> "JigsawMatrix":
+        """Compress ``a`` against an already-computed reorder decision."""
+        mat = cls(
+            shape=a.shape,
+            config=reorder.config,
+            reorder=reorder,
+            avoid_bank_conflicts=avoid_bank_conflicts,
+        )
+        h = reorder.config.block_tile
         m, k = a.shape
         for slab_r in reorder.slabs:
             r0 = slab_r.slab_index * h

@@ -31,13 +31,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gpu.asynccopy import estimate_block_stalls
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.instructions import Op
-from repro.gpu.scheduler import BlockWork, KernelTrace, simulate_launch
+from repro.gpu.scheduler import KernelTrace, simulate_launch
 
 from ..format import JigsawMatrix
-from ..tiles import MMA_TILE, TileConfig
+from ..tiles import TileConfig
 from .base import JigsawRunResult
 from .versions import V3
 

@@ -22,16 +22,25 @@ matrix A:
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .compatibility import CoverSolution, find_cover, least_compatible_column
+from .compatibility import (
+    cover_cache_stats,
+    find_cover,
+    least_compatible_column,
+)
 from .tiles import MMA_TILE, TileConfig
 
 #: Retry budget per column before split mode engages.
 MAX_EVICTIONS_PER_COLUMN = 3
+
+#: Below this many matrix elements the process-pool spin-up costs more
+#: than the slab parallelism saves, so ``workers=None`` stays serial.
+PARALLEL_MIN_ELEMS = 1 << 20
 
 #: Slot layout used by split mode: two real columns per quad.
 _SPLIT_SLOTS = (0, 1, 4, 5, 8, 9, 12, 13)
@@ -83,6 +92,11 @@ class ReorderResult:
     shape: tuple[int, int]
     config: TileConfig
     slabs: list[SlabReorder] = field(default_factory=list)
+    #: Observability (not persisted): cover-cache traffic attributable to
+    #: this reorder and the worker-pool width that produced it.
+    cover_cache_hits: int = 0
+    cover_cache_misses: int = 0
+    workers_used: int = 1
 
     @property
     def success(self) -> bool:
@@ -180,12 +194,18 @@ def reorder_slab(
             _, tile_nz = failing
             victim_slot = least_compatible_column(tile_nz)
             victim = group.pop(victim_slot)
-            work.append(victim)
             evictions += 1
             eviction_counts[victim] = eviction_counts.get(victim, 0) + 1
+            # Re-evaluate the split condition after every eviction: once a
+            # column exhausts its retry budget, re-queueing it only defers
+            # the inevitable (and lets the rest of the group keep burning
+            # evictions).  Restore the victim and emit this group in split
+            # mode now, keeping the total retry cost within the budget.
             if eviction_counts[victim] >= max_evictions_per_column:
-                # The victim will force split mode when dequeued again.
-                pass
+                group.insert(victim_slot, victim)
+                force_split = True
+                continue
+            work.append(victim)
             if not group:
                 break  # everything evicted; group dissolves
         else:
@@ -214,28 +234,105 @@ def reorder_slab(
     )
 
 
+def _padded_slabs(a: np.ndarray, block_tile: int) -> list[np.ndarray]:
+    """The BLOCK_TILE row slabs of ``a``, the trailing one padded to 16."""
+    m, k = a.shape
+    slabs = []
+    for r0 in range(0, m, block_tile):
+        slab = a[r0 : min(r0 + block_tile, m)]
+        if slab.shape[0] % MMA_TILE:
+            pad = MMA_TILE - slab.shape[0] % MMA_TILE
+            slab = np.vstack([slab, np.zeros((pad, k), dtype=a.dtype)])
+        slabs.append(slab)
+    return slabs
+
+
+def resolve_workers(workers: int | None, n_elems: int, n_slabs: int) -> int:
+    """Worker-pool width for a reorder: explicit request, or a size-gated
+    auto policy (``workers=None``/``0``) that stays serial below
+    :data:`PARALLEL_MIN_ELEMS` or when there is nothing to parallelize."""
+    if n_slabs <= 1:
+        return 1
+    if workers is None or workers == 0:
+        if n_elems < PARALLEL_MIN_ELEMS:
+            return 1
+        return max(1, min(os.cpu_count() or 1, n_slabs))
+    return max(1, min(int(workers), n_slabs))
+
+
+def _reorder_slab_task(
+    payload: tuple[np.ndarray, int, bool],
+) -> tuple[SlabReorder, int, int]:
+    """Process-pool task: reorder one slab, report the worker's local
+    cover-cache delta so the parent can aggregate hit rates."""
+    slab, slab_index, avoid_bank_conflicts = payload
+    before = cover_cache_stats()
+    r = reorder_slab(slab, slab_index, avoid_bank_conflicts=avoid_bank_conflicts)
+    after = cover_cache_stats()
+    return r, after.hits - before.hits, after.misses - before.misses
+
+
 def reorder_matrix(
     a: np.ndarray,
     config: TileConfig | None = None,
     avoid_bank_conflicts: bool = True,
+    workers: int | None = None,
 ) -> ReorderResult:
     """Multi-granularity reorder of a full (M, K) sparse matrix.
 
     Rows are padded (virtually) to a multiple of BLOCK_TILE: a trailing
     partial slab is reordered as a shorter slab.
+
+    Slabs are independent, so with ``workers`` > 1 (or ``workers=None``
+    and a matrix above :data:`PARALLEL_MIN_ELEMS`) they fan out over a
+    ``concurrent.futures`` process pool.  The parallel path is
+    bit-identical to the serial one: slab order is preserved and
+    :func:`reorder_slab` is deterministic.
     """
     config = config or TileConfig()
     m, k = a.shape
     result = ReorderResult(shape=(m, k), config=config)
-    h = config.block_tile
-    for si, r0 in enumerate(range(0, m, h)):
-        slab = a[r0 : min(r0 + h, m)]
-        if slab.shape[0] % MMA_TILE:
-            pad = MMA_TILE - slab.shape[0] % MMA_TILE
-            slab = np.vstack([slab, np.zeros((pad, k), dtype=a.dtype)])
-        result.slabs.append(
-            reorder_slab(slab, si, avoid_bank_conflicts=avoid_bank_conflicts)
-        )
+    slabs = _padded_slabs(a, config.block_tile)
+    n_workers = resolve_workers(workers, a.size, len(slabs))
+
+    if n_workers <= 1:
+        before = cover_cache_stats()
+        for si, slab in enumerate(slabs):
+            result.slabs.append(
+                reorder_slab(slab, si, avoid_bank_conflicts=avoid_bank_conflicts)
+            )
+        after = cover_cache_stats()
+        result.cover_cache_hits = after.hits - before.hits
+        result.cover_cache_misses = after.misses - before.misses
+        return result
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads = [(slab, si, avoid_bank_conflicts) for si, slab in enumerate(slabs)]
+    chunksize = max(1, len(payloads) // (n_workers * 4))
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            for slab_r, hits, misses in pool.map(
+                _reorder_slab_task, payloads, chunksize=chunksize
+            ):
+                result.slabs.append(slab_r)
+                result.cover_cache_hits += hits
+                result.cover_cache_misses += misses
+    except (OSError, PermissionError):
+        # Sandboxes without working multiprocessing primitives fall back
+        # to the serial path rather than failing the reorder.
+        result.slabs.clear()
+        result.cover_cache_hits = result.cover_cache_misses = 0
+        before = cover_cache_stats()
+        for si, slab in enumerate(slabs):
+            result.slabs.append(
+                reorder_slab(slab, si, avoid_bank_conflicts=avoid_bank_conflicts)
+            )
+        after = cover_cache_stats()
+        result.cover_cache_hits = after.hits - before.hits
+        result.cover_cache_misses = after.misses - before.misses
+        return result
+    result.workers_used = n_workers
     return result
 
 

@@ -20,8 +20,16 @@ from .format import JigsawMatrix, JigsawSlab
 from .reorder import ReorderResult, SlabReorder
 from .tiles import TileConfig
 
-#: Format version written into every artifact.
-FORMAT_VERSION = 1
+#: Format version written into every artifact.  v2 appends the reorder
+#: settings (``avoid_bank_conflicts``) to the header; v1 artifacts are
+#: still readable and assume the v1-era default
+#: (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`).
+FORMAT_VERSION = 2
+
+#: ``avoid_bank_conflicts`` value assumed for version-1 artifacts, which
+#: predate the flag being persisted.  v1 writers only ever built formats
+#: through paths whose default was True.
+V1_AVOID_BANK_CONFLICTS_DEFAULT = True
 
 
 def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
@@ -35,6 +43,7 @@ def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
                 jm.config.block_tile,
                 jm.config.block_tile_n,
                 len(jm.slabs),
+                int(jm.avoid_bank_conflicts),
             ],
             dtype=np.int64,
         )
@@ -58,17 +67,26 @@ def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
     with np.load(path) as data:
         header = data["header"]
         version = int(header[0])
-        if version != FORMAT_VERSION:
+        if version == 1:
+            avoid_bank_conflicts = V1_AVOID_BANK_CONFLICTS_DEFAULT
+        elif version == FORMAT_VERSION:
+            avoid_bank_conflicts = bool(header[6])
+        else:
             raise ValueError(
                 f"artifact format version {version} unsupported "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads versions 1..{FORMAT_VERSION})"
             )
         shape = (int(header[1]), int(header[2]))
         config = TileConfig(block_tile=int(header[3]), block_tile_n=int(header[4]))
         n_slabs = int(header[5])
 
         reorder = ReorderResult(shape=shape, config=config)
-        jm = JigsawMatrix(shape=shape, config=config, reorder=reorder)
+        jm = JigsawMatrix(
+            shape=shape,
+            config=config,
+            reorder=reorder,
+            avoid_bank_conflicts=avoid_bank_conflicts,
+        )
         for i in range(n_slabs):
             meta = data[f"s{i}_meta"]
             slab_r = SlabReorder(
@@ -96,6 +114,8 @@ def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
 def roundtrip_equal(a: JigsawMatrix, b: JigsawMatrix) -> bool:
     """Structural equality of two JigsawMatrix objects."""
     if a.shape != b.shape or a.config.block_tile != b.config.block_tile:
+        return False
+    if a.avoid_bank_conflicts != b.avoid_bank_conflicts:
         return False
     if len(a.slabs) != len(b.slabs):
         return False

@@ -14,7 +14,7 @@ reduction (paper Section 4.4) is *measured*, not asserted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,8 +1,5 @@
 """Tests for the functional-verification campaign."""
 
-import numpy as np
-import pytest
-
 from repro.analysis import render_verification, run_verification
 from repro.analysis.verification import (
     VerificationRecord,

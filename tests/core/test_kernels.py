@@ -124,6 +124,54 @@ class TestAblationBehaviour:
         built = {bt for (bt, _avoid) in plan._formats}
         assert built == {16, 32, 64}
 
+    def test_v4_runs_each_candidate_once(self, rng, monkeypatch):
+        # Regression: with want_output=True the winning BLOCK_TILE's
+        # kernel used to be simulated twice — once in the timing loop and
+        # once more to produce C.  Autotuning must execute each candidate
+        # exactly once and compute the output without re-simulating.
+        import repro.core.api as api_mod
+
+        a = random_vector_sparse(128, 256, v=8, sparsity=0.95, rng=rng)
+        b = rng.standard_normal((256, 64)).astype(np.float16)
+        plan = JigsawPlan(a)
+
+        calls = []
+        real_run = api_mod.run_jigsaw_kernel
+
+        def counting_run(jm, b_, spec, device, **kwargs):
+            calls.append(jm.config.block_tile)
+            return real_run(jm, b_, spec, device, **kwargs)
+
+        monkeypatch.setattr(api_mod, "run_jigsaw_kernel", counting_run)
+        res = plan.run(b, version="v4", want_output=True)
+        assert len(calls) == len(plan.block_tiles)
+        assert sorted(calls) == sorted(plan.block_tiles)
+        assert res.c is not None
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_allclose(res.c, ref, rtol=1e-2, atol=0.1)
+
+    def test_v4_returns_winning_profile(self, rng, monkeypatch):
+        # The profile handed back is the one that won the selection, not a
+        # fresh re-execution of the winner.
+        import repro.core.api as api_mod
+
+        a = random_vector_sparse(128, 256, v=8, sparsity=0.95, rng=rng)
+        b = rng.standard_normal((256, 64)).astype(np.float16)
+        plan = JigsawPlan(a)
+
+        profiles = []
+        real_run = api_mod.run_jigsaw_kernel
+
+        def recording_run(jm, b_, spec, device, **kwargs):
+            res = real_run(jm, b_, spec, device, **kwargs)
+            profiles.append(res.profile)
+            return res
+
+        monkeypatch.setattr(api_mod, "run_jigsaw_kernel", recording_run)
+        res = plan.run(b, version="v4", want_output=True)
+        fastest = min(profiles, key=lambda p: p.duration_us)
+        assert res.profile is fastest
+
 
 class TestKernelSpecs:
     def test_version_table(self):

@@ -83,6 +83,56 @@ class TestSerialization:
         other = JigsawMatrix.build(a2, TileConfig(block_tile=32))
         assert not roundtrip_equal(jm, other)
 
+    def test_roundtrip_persists_avoid_bank_conflicts(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.85, rng=rng)
+        jm = JigsawMatrix.build(
+            a, TileConfig(block_tile=32), avoid_bank_conflicts=False
+        )
+        assert jm.avoid_bank_conflicts is False
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        back = load_jigsaw(buf)
+        assert back.avoid_bank_conflicts is False
+        assert roundtrip_equal(jm, back)
+
+    def test_roundtrip_equal_checks_avoid_flag(self, jm):
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        back = load_jigsaw(buf)
+        back.avoid_bank_conflicts = not back.avoid_bank_conflicts
+        assert not roundtrip_equal(jm, back)
+
+    def test_v2_header_carries_flag(self, jm):
+        from repro.core.serialization import FORMAT_VERSION
+
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        header = np.load(buf)["header"]
+        assert header[0] == FORMAT_VERSION == 2
+        assert len(header) == 7
+        assert header[6] == int(jm.avoid_bank_conflicts)
+
+    def test_loads_v1_artifact_with_default_flag(self, jm):
+        # A v1 artifact has a 6-field header and no persisted reorder
+        # settings; loading assumes the documented v1-era default.
+        from repro.core.serialization import V1_AVOID_BANK_CONFLICTS_DEFAULT
+
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        data = dict(np.load(buf))
+        data["header"] = np.array([1, *data["header"][1:6]], dtype=np.int64)
+        assert len(data["header"]) == 6
+        buf2 = io.BytesIO()
+        np.savez_compressed(buf2, **data)
+        buf2.seek(0)
+        back = load_jigsaw(buf2)
+        assert back.avoid_bank_conflicts is V1_AVOID_BANK_CONFLICTS_DEFAULT
+        np.testing.assert_array_equal(back.to_dense(), jm.to_dense())
+
 
 class TestSparseLinear:
     def test_forward_matches_reference(self, rng):

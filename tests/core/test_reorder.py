@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import TileConfig, reorder_matrix, reorder_slab, validate_reorder
-from repro.core.reorder import MMA_TILE
 from tests.conftest import random_vector_sparse
 
 
@@ -122,6 +121,33 @@ class TestReorderResult:
 
 
 class TestSplitModeFallback:
+    def test_split_engages_within_eviction_budget(self):
+        # Regression: force_split used to be evaluated only at group
+        # formation, so a column exhausting its retry budget *inside* the
+        # retry loop kept being re-queued and the group burned one
+        # eviction per remaining column before ever splitting.  With 16
+        # dense columns and a budget of 1, the old code performed 8
+        # evictions before any split; the fixed loop re-evaluates after
+        # each eviction and splits immediately.
+        slab = np.ones((16, 16), dtype=np.float16)
+        r = reorder_slab(slab, 0, max_evictions_per_column=1)
+        assert r.evictions <= 1
+        assert r.split_groups >= 1
+        res = reorder_matrix(slab, TileConfig(block_tile=16))
+        validate_reorder(slab, res)
+
+    def test_split_restores_victim_slot_order(self):
+        # The column that trips the budget goes back to its original slot
+        # before the split, so split groups keep the work-list order.
+        slab = np.ones((16, 16), dtype=np.float16)
+        r = reorder_slab(slab, 0, max_evictions_per_column=1)
+        used = [c for c in r.col_ids.tolist() if c >= 0]
+        assert sorted(used) == list(range(16))
+        # The split group (emitted first) stores two real columns per quad.
+        assert r.split_groups >= 1
+        ids = r.group_col_ids(0).reshape(4, 4)
+        assert np.all((ids >= 0).sum(axis=1) <= 2)
+
     def test_forced_split_still_valid(self):
         # An adversarial matrix that defeats normal covers repeatedly:
         # every column dense in interleaved halves.

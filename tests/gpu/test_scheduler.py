@@ -1,6 +1,5 @@
 """Tests for occupancy and the launch-duration model."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import (
