@@ -8,6 +8,8 @@ GPU.  Public entry points:
   paper's contribution;
 * :mod:`repro.baselines` — cuBLAS, Sputnik, CLASP, Magicube, SparTA,
   cuSparseLt, VENOM comparison systems;
+* :mod:`repro.serve` — the serving engine (budgeted plan registry +
+  batched request executor);
 * :mod:`repro.analysis` — builders for every table and figure in the
   paper's evaluation;
 * :mod:`repro.gpu` — the simulated device;

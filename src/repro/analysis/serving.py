@@ -1,0 +1,35 @@
+"""Renderers for the serving engine's observability records."""
+
+from __future__ import annotations
+
+from repro.serve.stats import ROUTES, ServeStats
+
+from .report import render_table
+
+
+def serving_rows(stats: ServeStats) -> list[list[str]]:
+    """Table rows summarizing one :class:`ServeStats` record."""
+    rows = [
+        ["requests", str(stats.requests)],
+        ["batches (launches)", str(stats.batches)],
+        ["avg batch size", f"{stats.avg_batch_size:.2f}"],
+        ["max batch size", str(stats.max_batch_size)],
+    ]
+    for route in ROUTES:
+        rows.append([f"route: {route}", str(stats.route_counts.get(route, 0))])
+    rows += [
+        ["deadline expired", str(stats.deadline_expired)],
+        ["avg queue wait", f"{stats.avg_queue_wait_s * 1e3:.3f} ms"],
+        ["max queue wait", f"{stats.queue_wait_max_s * 1e3:.3f} ms"],
+        ["simulated kernel time", f"{stats.batch_kernel_us_total:.2f} us"],
+        ["registry hits", str(stats.registry_hits)],
+        ["registry misses", str(stats.registry_misses)],
+        ["registry evictions", str(stats.registry_evictions)],
+        ["reorder runs", str(stats.reorder_runs)],
+    ]
+    return rows
+
+
+def render_serving(stats: ServeStats) -> str:
+    """Render a :class:`ServeStats` as the standard ASCII table."""
+    return render_table(["serving", "value"], serving_rows(stats))

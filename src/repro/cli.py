@@ -219,6 +219,66 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Drive the serving engine with synthetic traffic and report stats."""
+    import tempfile
+
+    from repro.analysis import render_serving, render_table
+    from repro.core import JigsawPlan
+    from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
+
+    rng = np.random.default_rng(args.seed)
+    cache_dir = args.plan_cache or tempfile.mkdtemp(prefix="jigsaw-serve-")
+    registry = PlanRegistry(
+        budget_bytes=args.budget_mb * (1 << 20) if args.budget_mb else None,
+        cache_dir=cache_dir,
+        workers=args.workers,
+    )
+    matrices = {}
+    for i in range(args.matrices):
+        name = f"w{i}"
+        matrices[name] = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed + i)
+        registry.register(name, matrices[name])
+
+    names = list(matrices)
+    requests = [
+        SpmmRequest(
+            matrix=names[i % len(names)],
+            b=rng.standard_normal((args.k, args.n)).astype(np.float16),
+            deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        )
+        for i in range(args.requests)
+    ]
+
+    # Sequential baseline: one plan.run per request, no batching.
+    seq_us = 0.0
+    plans = {n: JigsawPlan(m, workers=args.workers, cache_dir=cache_dir) for n, m in matrices.items()}
+    for r in requests:
+        seq_us += plans[r.matrix].run(r.b, want_output=False).profile.duration_us
+
+    with BatchExecutor(
+        registry, max_batch=args.max_batch, max_workers=args.pool_workers
+    ) as executor:
+        executor.run(requests)
+        stats = executor.stats()
+
+    print(render_serving(stats))
+    print()
+    batched_us = stats.batch_kernel_us_total
+    speed = seq_us / batched_us if batched_us else float("inf")
+    print(
+        render_table(
+            ["comparison", "simulated kernel time"],
+            [
+                [f"sequential ({len(requests)} launches)", f"{seq_us:.2f} us"],
+                [f"batched ({stats.batches} launches)", f"{batched_us:.2f} us"],
+                ["batching speedup", f"{speed:.2f}x"],
+            ],
+        )
+    )
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Cross-check every system's output against fp32 numpy."""
     from repro.analysis import render_verification, run_verification
@@ -334,6 +394,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-matrices", type=int, default=6)
     p.add_argument("--out", default=None, help="write the report to a file")
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "serve-bench", help="drive the batched serving engine with synthetic traffic"
+    )
+    p.add_argument("--matrices", type=int, default=3, help="distinct weight matrices")
+    p.add_argument("--requests", type=int, default=24, help="total SpMM requests")
+    p.add_argument("--m", type=int, default=256)
+    p.add_argument("--k", type=int, default=512)
+    p.add_argument("--n", type=int, default=64, help="B-panel width per request")
+    p.add_argument("--sparsity", type=float, default=0.9)
+    p.add_argument("--v", type=int, default=8, choices=(2, 4, 8))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--pool-workers", type=int, default=4)
+    p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="registry memory budget in MiB (evicted plans re-admit from disk)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request queue deadline; expired requests take the dense fallback",
+    )
+    _add_preprocessing_flags(p)
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("verify", help="functional cross-check of every system")
     p.set_defaults(func=cmd_verify)

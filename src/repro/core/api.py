@@ -21,7 +21,9 @@ work (``plan.stats.reorder_runs == 0``).
 
 from __future__ import annotations
 
+import itertools
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -40,6 +42,11 @@ from .kernels import (
 )
 from .serialization import load_jigsaw, save_jigsaw
 from .tiles import BLOCK_TILE_SIZES, TileConfig
+
+#: Per-process counter making every `_store` tmp file unique: pid alone
+#: is not enough once multiple threads of one process (a serving
+#: executor's pool) persist artifacts concurrently.
+_TMP_COUNTER = itertools.count()
 
 
 class JigsawPlan:
@@ -68,6 +75,9 @@ class JigsawPlan:
     ) -> None:
         if a.ndim != 2:
             raise ValueError("A must be a 2-D matrix")
+        if not block_tiles:
+            # v4's autotune loop would otherwise die on a bare assert.
+            raise ValueError("block_tiles must name at least one BLOCK_TILE size")
         for bt in block_tiles:
             if bt not in BLOCK_TILE_SIZES:
                 raise ValueError(f"unsupported BLOCK_TILE {bt}")
@@ -78,18 +88,24 @@ class JigsawPlan:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.stats = PlanStats()
         self._formats: dict[tuple[int, bool], JigsawMatrix] = {}
+        self._format_lock = threading.Lock()
 
     @property
     def shape(self) -> tuple[int, int]:
         return self._a.shape
 
     def format_for(self, block_tile: int, avoid_bank_conflicts: bool | None = None) -> JigsawMatrix:
-        """The (cached) reorder-aware format for one BLOCK_TILE."""
+        """The (cached) reorder-aware format for one BLOCK_TILE.
+
+        Thread-safe: concurrent callers (a serving executor's pool)
+        build each format exactly once and share the result.
+        """
         avoid = self.avoid_bank_conflicts if avoid_bank_conflicts is None else avoid_bank_conflicts
         key = (block_tile, avoid)
-        if key not in self._formats:
-            self._formats[key] = self._load_or_build(block_tile, avoid)
-        return self._formats[key]
+        with self._format_lock:
+            if key not in self._formats:
+                self._formats[key] = self._load_or_build(block_tile, avoid)
+            return self._formats[key]
 
     # -- preprocessing ---------------------------------------------------------
 
@@ -146,7 +162,11 @@ class JigsawPlan:
         """Atomically persist an artifact (tmp file + rename)."""
         path.parent.mkdir(parents=True, exist_ok=True)
         # Keep the .npz suffix: np.savez appends it to anything else.
-        tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}.npz")
+        # The tmp name must be unique per *call*, not just per process:
+        # concurrent threads writing the same artifact would otherwise
+        # clobber (and unlink) each other's half-written tmp file.
+        unique = f"{os.getpid()}-{threading.get_ident()}-{next(_TMP_COUNTER)}"
+        tmp = path.with_name(f"{path.stem}.tmp-{unique}.npz")
         try:
             save_jigsaw(jm, tmp)
             os.replace(tmp, path)
@@ -211,7 +231,15 @@ def jigsaw_spmm(
     version: str = "v4",
     device: DeviceSpec = A100,
     block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
 ) -> JigsawRunResult:
-    """One-shot SpMM: build a plan, run once, return output + profile."""
-    plan = JigsawPlan(a, block_tiles=block_tiles)
+    """One-shot SpMM: build a plan, run once, return output + profile.
+
+    ``workers`` and ``cache_dir`` are forwarded to :class:`JigsawPlan`,
+    so even the one-shot path gets the parallel reorder and the
+    persistent plan cache (a repeated call over the same matrix loads
+    the artifact instead of reordering).
+    """
+    plan = JigsawPlan(a, block_tiles=block_tiles, workers=workers, cache_dir=cache_dir)
     return plan.run(b, version=version, device=device)

@@ -33,8 +33,10 @@ from .tiles import TileConfig
 
 #: Version sentinel folded into every plan-cache key: bump together with
 #: :data:`repro.core.serialization.FORMAT_VERSION` so stale artifacts
-#: from older layouts can never be mistaken for current ones.
-PLAN_CACHE_KEY_VERSION = 2
+#: from older layouts can never be mistaken for current ones.  v3 folds
+#: ``TileConfig.mma_tile`` into the key (pre-v3 keys omitted it, so a
+#: non-default MMA_TILE plan aliased the default-tile cache entry).
+PLAN_CACHE_KEY_VERSION = 3
 
 
 @dataclass
@@ -148,7 +150,8 @@ def plan_cache_key(
     """Content hash identifying one preprocessing outcome.
 
     Covers everything the result depends on: the matrix bytes (and
-    dtype/shape), the tile geometry, the bank-conflict preference, and
+    dtype/shape), the full tile geometry (``block_tile``,
+    ``block_tile_n``, ``mma_tile``), the bank-conflict preference, and
     the artifact format version.  Two matrices with equal hashes build
     byte-identical artifacts; differing settings can never alias.
     """
@@ -161,6 +164,7 @@ def plan_cache_key(
                 a.shape[1],
                 config.block_tile,
                 config.block_tile_n,
+                config.mma_tile,
                 int(avoid_bank_conflicts),
             ],
             dtype=np.int64,

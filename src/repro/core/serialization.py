@@ -18,18 +18,26 @@ import numpy as np
 
 from .format import JigsawMatrix, JigsawSlab
 from .reorder import ReorderResult, SlabReorder
-from .tiles import TileConfig
+from .tiles import MMA_TILE, TileConfig
 
-#: Format version written into every artifact.  v2 appends the reorder
-#: settings (``avoid_bank_conflicts``) to the header; v1 artifacts are
-#: still readable and assume the v1-era default
-#: (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`).
-FORMAT_VERSION = 2
+#: Format version written into every artifact.  v2 appended the reorder
+#: settings (``avoid_bank_conflicts``); v3 appends ``mma_tile``, which
+#: pre-v3 writers never persisted, so a non-default MMA_TILE artifact
+#: used to round-trip as a 16-tile one.  v1/v2 artifacts are still
+#: readable and assume the documented era defaults
+#: (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`,
+#: :data:`PRE_V3_MMA_TILE_DEFAULT`).
+FORMAT_VERSION = 3
 
 #: ``avoid_bank_conflicts`` value assumed for version-1 artifacts, which
 #: predate the flag being persisted.  v1 writers only ever built formats
 #: through paths whose default was True.
 V1_AVOID_BANK_CONFLICTS_DEFAULT = True
+
+#: ``mma_tile`` assumed for version-1/2 artifacts, which predate the
+#: field being persisted; every pre-v3 writer built with the module
+#: default of 16.
+PRE_V3_MMA_TILE_DEFAULT = MMA_TILE
 
 
 def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
@@ -44,6 +52,7 @@ def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
                 jm.config.block_tile_n,
                 len(jm.slabs),
                 int(jm.avoid_bank_conflicts),
+                jm.config.mma_tile,
             ],
             dtype=np.int64,
         )
@@ -69,15 +78,24 @@ def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
         version = int(header[0])
         if version == 1:
             avoid_bank_conflicts = V1_AVOID_BANK_CONFLICTS_DEFAULT
+            mma_tile = PRE_V3_MMA_TILE_DEFAULT
+        elif version == 2:
+            avoid_bank_conflicts = bool(header[6])
+            mma_tile = PRE_V3_MMA_TILE_DEFAULT
         elif version == FORMAT_VERSION:
             avoid_bank_conflicts = bool(header[6])
+            mma_tile = int(header[7])
         else:
             raise ValueError(
                 f"artifact format version {version} unsupported "
                 f"(this build reads versions 1..{FORMAT_VERSION})"
             )
         shape = (int(header[1]), int(header[2]))
-        config = TileConfig(block_tile=int(header[3]), block_tile_n=int(header[4]))
+        config = TileConfig(
+            block_tile=int(header[3]),
+            block_tile_n=int(header[4]),
+            mma_tile=mma_tile,
+        )
         n_slabs = int(header[5])
 
         reorder = ReorderResult(shape=shape, config=config)
@@ -112,8 +130,13 @@ def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
 
 
 def roundtrip_equal(a: JigsawMatrix, b: JigsawMatrix) -> bool:
-    """Structural equality of two JigsawMatrix objects."""
-    if a.shape != b.shape or a.config.block_tile != b.config.block_tile:
+    """Structural equality of two JigsawMatrix objects.
+
+    Compares the full :class:`~repro.core.tiles.TileConfig` — two
+    artifacts differing only in ``block_tile_n`` or ``mma_tile`` are
+    structurally different.
+    """
+    if a.shape != b.shape or a.config != b.config:
         return False
     if a.avoid_bank_conflicts != b.avoid_bank_conflicts:
         return False

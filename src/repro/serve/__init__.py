@@ -1,0 +1,33 @@
+"""Serving engine: plan registry + batched SpMM execution.
+
+The many-launch half of the paper's amortization argument: PR 1 made
+preprocessing cheap and cacheable; this package serves concurrent SpMM
+traffic against those plans — a budgeted LRU :class:`PlanRegistry`
+backed by the on-disk plan cache, and a :class:`BatchExecutor` that
+groups same-matrix requests into single batched launches with deadlines
+and graceful hybrid/dense fallback.  See docs/serving.md.
+"""
+
+from .executor import BatchExecutor, ServeResult, SpmmRequest
+from .registry import PLAN_OVERHEAD_BYTES, PlanRegistry, plan_resident_bytes
+from .stats import (
+    ROUTES,
+    BatchStats,
+    RegistryStats,
+    RequestStats,
+    ServeStats,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "ServeResult",
+    "SpmmRequest",
+    "PLAN_OVERHEAD_BYTES",
+    "PlanRegistry",
+    "plan_resident_bytes",
+    "ROUTES",
+    "BatchStats",
+    "RegistryStats",
+    "RequestStats",
+    "ServeStats",
+]

@@ -1,0 +1,393 @@
+"""Batched SpMM request executor with deadlines and graceful fallback.
+
+The serving shape: the sparse operand A is stationary (it was reordered
+and compressed once), and requests arrive carrying only their dense
+B-panels.  Requests sharing a matrix are grouped, their B-panels
+concatenated column-wise, executed as **one** kernel launch, and the
+output columns split back per request — the per-launch fixed cost and
+wave quantization amortize over the whole group (the same
+stationary-operand batching a Magicube-style serving stack performs).
+
+Routing (see docs/serving.md):
+
+* ``jigsaw`` — the normal batched v0..v4 path;
+* ``hybrid`` — the plan's reorder failed (``reorder_success == False``),
+  so the Section-4.7 hybrid-granularity kernel serves the group instead
+  of erroring;
+* ``dense`` — the request's deadline expired while queued, so it takes
+  the immediate dense cuBLAS-style fallback rather than waiting on a
+  batch.
+
+Every completed request emits a :class:`~repro.serve.stats.RequestStats`
+record; :meth:`BatchExecutor.stats` folds them into a
+:class:`~repro.serve.stats.ServeStats` together with the registry's
+hit/miss/eviction counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.baselines.cublas import cublas_hgemm
+from repro.core.kernels import ALL_VERSIONS, build_hybrid_plan, run_hybrid_kernel
+from repro.core.kernels.hybrid import HybridPlan
+from repro.gpu.device import A100, DeviceSpec
+
+from .registry import PlanRegistry
+from .stats import BatchStats, RequestStats, ServeStats
+
+
+@dataclass
+class SpmmRequest:
+    """One SpMM against a registered stationary matrix."""
+
+    matrix: str
+    b: np.ndarray
+    version: str = "v4"
+    #: Maximum seconds the request may wait in the queue; expired
+    #: requests take the dense fallback instead of their batch.
+    deadline_s: float | None = None
+
+
+@dataclass
+class ServeResult:
+    """Output + observability record of one served request."""
+
+    c: np.ndarray
+    stats: RequestStats
+
+
+@dataclass
+class _Entry:
+    request: SpmmRequest
+    request_id: int
+    future: Future
+    submit_t: float
+    queue_wait_s: float = 0.0
+
+
+@dataclass
+class _Group:
+    """Pending same-(matrix, version) requests awaiting dispatch."""
+
+    entries: list[_Entry] = field(default_factory=list)
+
+    @property
+    def oldest_t(self) -> float:
+        return self.entries[0].submit_t
+
+
+class BatchExecutor:
+    """Thread-pooled, batching front-end over a :class:`PlanRegistry`.
+
+    ``max_batch`` caps a group's size (a full group dispatches
+    immediately); ``batch_window_s`` is the linger a partial group waits
+    for company before the dispatcher flushes it.  ``run`` submits a
+    burst and flushes synchronously, so tests and benches never depend
+    on the linger timer.
+    """
+
+    def __init__(
+        self,
+        registry: PlanRegistry,
+        max_batch: int = 8,
+        batch_window_s: float = 0.002,
+        max_workers: int = 4,
+        device: DeviceSpec = A100,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.registry = registry
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.device = device
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="serve"
+        )
+        self._cond = threading.Condition()
+        self._groups: dict[tuple[str, str], _Group] = {}
+        self._ids = itertools.count()
+        self._closed = False
+        self._request_stats: list[RequestStats] = []
+        self._batch_stats: list[BatchStats] = []
+        self._stats_lock = threading.Lock()
+        self._hybrid_plans: dict[str, HybridPlan] = {}
+        self._hybrid_lock = threading.Lock()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: SpmmRequest) -> Future:
+        """Enqueue one request; returns a Future of :class:`ServeResult`."""
+        if request.version not in ALL_VERSIONS:
+            raise ValueError(f"unknown kernel version {request.version!r}")
+        a = self.registry.matrix(request.matrix)  # raises on unknown name
+        b = np.asarray(request.b)
+        if b.ndim != 2:
+            raise ValueError("B must be a 2-D panel")
+        if b.shape[0] != a.shape[1]:
+            raise ValueError(
+                f"B has {b.shape[0]} rows; matrix {request.matrix!r} has "
+                f"{a.shape[1]} columns"
+            )
+        entry = _Entry(
+            request=request,
+            request_id=next(self._ids),
+            future=Future(),
+            submit_t=perf_counter(),
+        )
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            key = (request.matrix, request.version)
+            group = self._groups.setdefault(key, _Group())
+            group.entries.append(entry)
+            if len(group.entries) >= self.max_batch:
+                self._dispatch_locked(key)
+            else:
+                self._cond.notify()
+        return entry.future
+
+    def spmm(
+        self,
+        matrix: str,
+        b: np.ndarray,
+        version: str = "v4",
+        deadline_s: float | None = None,
+    ) -> Future:
+        """Convenience wrapper building the :class:`SpmmRequest`."""
+        return self.submit(
+            SpmmRequest(matrix=matrix, b=b, version=version, deadline_s=deadline_s)
+        )
+
+    def run(self, requests: list[SpmmRequest], timeout: float | None = None) -> list[ServeResult]:
+        """Submit a burst, flush, and wait for every result (in order)."""
+        futures = [self.submit(r) for r in requests]
+        self.flush()
+        return [f.result(timeout=timeout) for f in futures]
+
+    def flush(self) -> None:
+        """Dispatch every pending group now (don't wait out the linger)."""
+        with self._cond:
+            for key in list(self._groups):
+                self._dispatch_locked(key)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch_locked(self, key: tuple[str, str]) -> None:
+        group = self._groups.pop(key, None)
+        if group is None or not group.entries:
+            return
+        self._pool.submit(self._execute_batch, key, group.entries)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                now = perf_counter()
+                ripe = [
+                    key
+                    for key, g in self._groups.items()
+                    if g.entries and now - g.oldest_t >= self.batch_window_s
+                ]
+                for key in ripe:
+                    self._dispatch_locked(key)
+                waits = [
+                    g.oldest_t + self.batch_window_s - now
+                    for g in self._groups.values()
+                    if g.entries
+                ]
+                self._cond.wait(timeout=min(waits) if waits else None)
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute_batch(self, key: tuple[str, str], entries: list[_Entry]) -> None:
+        name, version = key
+        start = perf_counter()
+        live: list[_Entry] = []
+        for e in entries:
+            e.queue_wait_s = start - e.submit_t
+            deadline = e.request.deadline_s
+            if deadline is not None and e.queue_wait_s > deadline:
+                self._run_dense(e, batch_size=len(entries), expired=True)
+            else:
+                live.append(e)
+        if not live:
+            return
+        try:
+            was_resident = self.registry.resident(name)
+            plan = self.registry.get(name)
+            if plan.reorder_success:
+                self._run_jigsaw(plan, name, version, live, was_resident)
+            else:
+                self._run_hybrid(name, version, live, was_resident)
+        except BaseException as exc:  # surface, never swallow
+            for e in live:
+                if not e.future.done():
+                    e.future.set_exception(exc)
+        finally:
+            # v4 autotune may have grown the plan past the budget.
+            self.registry.enforce_budget()
+
+    def _run_jigsaw(
+        self, plan, name: str, version: str, live: list[_Entry], was_resident: bool
+    ) -> None:
+        widths = [e.request.b.shape[1] for e in live]
+        b_cat = np.concatenate(
+            [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
+            axis=1,
+        )
+        res = plan.run(b_cat, version=version, device=self.device)
+        assert res.c is not None
+        self._record_batch(name, version, "jigsaw", live, res.profile.duration_us)
+        self._split(live, res.c, widths, "jigsaw", res.profile.duration_us, was_resident)
+
+    def _run_hybrid(
+        self, name: str, version: str, live: list[_Entry], was_resident: bool
+    ) -> None:
+        hplan = self._hybrid_plan_for(name)
+        widths = [e.request.b.shape[1] for e in live]
+        b_cat = np.concatenate(
+            [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
+            axis=1,
+        )
+        res = run_hybrid_kernel(hplan, b_cat, self.device)
+        assert res.c is not None
+        self._record_batch(name, version, "hybrid", live, res.profile.duration_us)
+        self._split(live, res.c, widths, "hybrid", res.profile.duration_us, was_resident)
+
+    def _run_dense(self, e: _Entry, batch_size: int, expired: bool) -> None:
+        try:
+            a = self.registry.matrix(e.request.matrix)
+            res = cublas_hgemm(
+                a, np.ascontiguousarray(e.request.b, dtype=np.float16), self.device
+            )
+            assert res.c is not None
+            stats = RequestStats(
+                request_id=e.request_id,
+                matrix=e.request.matrix,
+                route="dense",
+                batch_size=batch_size,
+                queue_wait_s=e.queue_wait_s,
+                kernel_us=res.profile.duration_us,
+                batch_kernel_us=res.profile.duration_us,
+                registry="hit" if self.registry.resident(e.request.matrix) else "miss",
+                deadline_expired=expired,
+            )
+            self._record_batch_raw(
+                BatchStats(
+                    matrix=e.request.matrix,
+                    version=e.request.version,
+                    route="dense",
+                    size=1,
+                    kernel_us=res.profile.duration_us,
+                )
+            )
+            self._record_request(stats)
+            e.future.set_result(ServeResult(c=res.c, stats=stats))
+        except BaseException as exc:
+            if not e.future.done():
+                e.future.set_exception(exc)
+
+    def _split(
+        self,
+        live: list[_Entry],
+        c_cat: np.ndarray,
+        widths: list[int],
+        route: str,
+        batch_us: float,
+        was_resident: bool,
+    ) -> None:
+        total = sum(widths)
+        col = 0
+        for e, w in zip(live, widths):
+            stats = RequestStats(
+                request_id=e.request_id,
+                matrix=e.request.matrix,
+                route=route,
+                batch_size=len(live),
+                queue_wait_s=e.queue_wait_s,
+                kernel_us=batch_us * (w / total if total else 0.0),
+                batch_kernel_us=batch_us,
+                registry="hit" if was_resident else "miss",
+            )
+            self._record_request(stats)
+            e.future.set_result(
+                ServeResult(c=np.ascontiguousarray(c_cat[:, col : col + w]), stats=stats)
+            )
+            col += w
+
+    def _hybrid_plan_for(self, name: str) -> HybridPlan:
+        with self._hybrid_lock:
+            hplan = self._hybrid_plans.get(name)
+            if hplan is None:
+                hplan = build_hybrid_plan(self.registry.matrix(name))
+                self._hybrid_plans[name] = hplan
+            return hplan
+
+    # -- observability ---------------------------------------------------------
+
+    def _record_request(self, stats: RequestStats) -> None:
+        with self._stats_lock:
+            self._request_stats.append(stats)
+
+    def _record_batch(
+        self, name: str, version: str, route: str, live: list[_Entry], us: float
+    ) -> None:
+        self._record_batch_raw(
+            BatchStats(matrix=name, version=version, route=route, size=len(live), kernel_us=us)
+        )
+
+    def _record_batch_raw(self, stats: BatchStats) -> None:
+        with self._stats_lock:
+            self._batch_stats.append(stats)
+
+    def stats(self) -> ServeStats:
+        """Aggregate of everything served so far + registry counters."""
+        with self._stats_lock:
+            requests = list(self._request_stats)
+            batches = list(self._batch_stats)
+        return ServeStats.collect(
+            requests,
+            batches,
+            registry_stats=self.registry.stats,
+            reorder_runs=self.registry.reorder_runs,
+        )
+
+    def request_stats(self) -> list[RequestStats]:
+        with self._stats_lock:
+            return list(self._request_stats)
+
+    def batch_stats(self) -> list[BatchStats]:
+        with self._stats_lock:
+            return list(self._batch_stats)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush pending work, stop the dispatcher, drain the pool."""
+        with self._cond:
+            if self._closed:
+                return
+            for key in list(self._groups):
+                self._dispatch_locked(key)
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

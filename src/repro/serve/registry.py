@@ -1,0 +1,241 @@
+"""Budgeted in-memory plan registry with LRU eviction.
+
+The paper's economics (Sections 3.1, 4.5) amortize one reorder over many
+SpMM launches — which only works if the preprocessed plan is *there*
+when a request arrives.  A serving process holds many stationary weight
+matrices but cannot keep every compressed format resident, so
+:class:`PlanRegistry` manages the derived preprocessing artifacts (the
+per-BLOCK_TILE :class:`~repro.core.format.JigsawMatrix` formats a
+:class:`~repro.core.api.JigsawPlan` builds) under a configurable byte
+budget with least-recently-used eviction.
+
+The raw weight matrices belong to the model and are registered once;
+only the derived formats count against the budget.  When the registry is
+constructed with ``cache_dir``, every resident plan persists its formats
+through PR 1's on-disk plan cache, so an evicted plan's re-admission
+loads the artifacts and performs **zero reorder work** — eviction trades
+memory for a disk load, never for a recompute.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import JigsawPlan
+from repro.core.tiles import BLOCK_TILE_SIZES
+
+from .stats import RegistryStats
+
+#: Fixed per-plan accounting overhead (object + stats bookkeeping),
+#: so even a plan with no formats built yet has nonzero cost.
+PLAN_OVERHEAD_BYTES = 1024
+
+
+def plan_resident_bytes(plan: JigsawPlan) -> int:
+    """Bytes the registry charges one resident plan: the storage of its
+    built formats plus a fixed overhead.  Grows as v4's autotune builds
+    more BLOCK_TILE formats, so the budget is re-enforced after runs."""
+    total = PLAN_OVERHEAD_BYTES
+    for jm in plan._formats.values():
+        total += jm.storage_bytes()["total"]
+    return total
+
+
+class PlanRegistry:
+    """Named :class:`JigsawPlan` store under a memory budget.
+
+    ``budget_bytes=None`` disables eviction.  A budget smaller than one
+    plan still serves: the most-recently-used plan is never evicted, so
+    the working plan stays resident while everything else spills.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int | None = None,
+        cache_dir: str | Path | None = None,
+        block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES,
+        avoid_bank_conflicts: bool = True,
+        workers: int | None = None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive (or None for unlimited)")
+        self.budget_bytes = budget_bytes
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.block_tiles = tuple(block_tiles)
+        self.avoid_bank_conflicts = avoid_bank_conflicts
+        self.workers = workers
+        self.stats = RegistryStats()
+        self._matrices: dict[str, np.ndarray] = {}
+        self._plans: OrderedDict[str, JigsawPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        #: reorder work done by plans that have since been evicted.
+        self._retired_reorder_runs = 0
+        self._retired_cache_hits = 0
+        self._retired_cache_misses = 0
+
+    # -- matrices --------------------------------------------------------------
+
+    def register(self, name: str, a: np.ndarray) -> None:
+        """Register a stationary weight matrix under ``name``.
+
+        Idempotent for identical content; re-registering different
+        content under a taken name is an error (it would silently serve
+        stale plans).
+        """
+        if a.ndim != 2:
+            raise ValueError("A must be a 2-D matrix")
+        mat = np.ascontiguousarray(a, dtype=np.float16)
+        with self._lock:
+            existing = self._matrices.get(name)
+            if existing is not None:
+                if existing.shape != mat.shape or not np.array_equal(existing, mat):
+                    raise ValueError(
+                        f"matrix {name!r} already registered with different content"
+                    )
+                return
+            self._matrices[name] = mat
+
+    def matrix(self, name: str) -> np.ndarray:
+        try:
+            return self._matrices[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown matrix {name!r}; register it first"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._matrices)
+
+    # -- plans -----------------------------------------------------------------
+
+    def resident(self, name: str) -> bool:
+        """Whether ``name``'s plan is currently in memory (no LRU touch)."""
+        with self._lock:
+            return name in self._plans
+
+    def get(self, name: str) -> JigsawPlan:
+        """The plan for ``name``: LRU-touched if resident, admitted if not.
+
+        Admission of an evicted plan goes through the on-disk plan cache
+        (when ``cache_dir`` is set), so it does zero reorder work.
+        """
+        with self._lock:
+            plan = self._plans.get(name)
+            if plan is not None:
+                self.stats.hits += 1
+                self._plans.move_to_end(name)
+                return plan
+            self.stats.misses += 1
+            plan = JigsawPlan(
+                self.matrix(name),
+                block_tiles=self.block_tiles,
+                avoid_bank_conflicts=self.avoid_bank_conflicts,
+                workers=self.workers,
+                cache_dir=self.cache_dir,
+            )
+            self._plans[name] = plan
+            self._evict_over_budget(keep=name)
+            return plan
+
+    def warm(self, name: str | None = None) -> None:
+        """Build (or load) every BLOCK_TILE format for one or all names.
+
+        Populates the on-disk plan cache so later evictions re-admit
+        from disk; runs budget enforcement afterwards.
+        """
+        names = [name] if name is not None else self.names()
+        for n in names:
+            plan = self.get(n)
+            for bt in self.block_tiles:
+                plan.format_for(bt)
+        self.enforce_budget()
+
+    def evict(self, name: str) -> bool:
+        """Drop one plan from memory (its disk artifacts remain)."""
+        with self._lock:
+            plan = self._plans.pop(name, None)
+            if plan is None:
+                return False
+            self._retire(plan)
+            self.stats.evictions += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            for name in list(self._plans):
+                self.evict(name)
+
+    # -- budget ----------------------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(plan_resident_bytes(p) for p in self._plans.values())
+
+    @property
+    def resident_plans(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def enforce_budget(self) -> int:
+        """Evict LRU plans until the budget holds; returns evictions.
+
+        Formats build lazily, so a plan admitted under budget can grow
+        past it after a v4 autotune run — callers re-enforce after
+        executing.
+        """
+        with self._lock:
+            return self._evict_over_budget(keep=None)
+
+    def _evict_over_budget(self, keep: str | None) -> int:
+        if self.budget_bytes is None:
+            return 0
+        evicted = 0
+        while len(self._plans) > 1 and self.resident_bytes() > self.budget_bytes:
+            victim = next(iter(self._plans))
+            if victim == keep:
+                # Never evict the plan being admitted; try the next-LRU.
+                names = iter(self._plans)
+                next(names)
+                victim = next(names, None)
+                if victim is None:
+                    break
+            self.evict(victim)
+            evicted += 1
+        return evicted
+
+    def _retire(self, plan: JigsawPlan) -> None:
+        self._retired_reorder_runs += plan.stats.reorder_runs
+        self._retired_cache_hits += plan.stats.plan_cache_hits
+        self._retired_cache_misses += plan.stats.plan_cache_misses
+
+    # -- aggregated plan counters ----------------------------------------------
+
+    @property
+    def reorder_runs(self) -> int:
+        """Actual reorder executions across resident *and* evicted plans.
+
+        Zero after warm-up is the acceptance guarantee: once artifacts
+        are on disk, eviction/re-admission cycles never reorder again.
+        """
+        with self._lock:
+            return self._retired_reorder_runs + sum(
+                p.stats.reorder_runs for p in self._plans.values()
+            )
+
+    @property
+    def plan_cache_hits(self) -> int:
+        with self._lock:
+            return self._retired_cache_hits + sum(
+                p.stats.plan_cache_hits for p in self._plans.values()
+            )
+
+    @property
+    def plan_cache_misses(self) -> int:
+        with self._lock:
+            return self._retired_cache_misses + sum(
+                p.stats.plan_cache_misses for p in self._plans.values()
+            )

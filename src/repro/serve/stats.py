@@ -1,0 +1,117 @@
+"""Observability records for the serving engine.
+
+Every request the :class:`~repro.serve.executor.BatchExecutor` completes
+emits one :class:`RequestStats` (queue wait, batch size, simulated
+kernel time, the route taken, and whether the plan was resident in the
+registry); :class:`ServeStats` aggregates them together with the
+:class:`~repro.serve.registry.PlanRegistry` counters into the record
+``repro.analysis.render_serving`` prints and ``repro serve-bench``
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Execution routes a request can take (see docs/serving.md):
+#: the batched Jigsaw kernel, the Section-4.7 hybrid kernel (reorder
+#: failed), or the dense cuBLAS-style fallback (deadline expired).
+ROUTES: tuple[str, ...] = ("jigsaw", "hybrid", "dense")
+
+
+@dataclass
+class RequestStats:
+    """What happened to one SpMM request."""
+
+    request_id: int
+    matrix: str
+    route: str
+    batch_size: int = 1
+    #: Seconds spent queued before its batch started executing.
+    queue_wait_s: float = 0.0
+    #: Simulated kernel time attributed to this request (its share of
+    #: the batch launch, proportional to its B-panel width).
+    kernel_us: float = 0.0
+    #: Simulated kernel time of the whole launch that served it.
+    batch_kernel_us: float = 0.0
+    #: Whether the plan was resident in the registry at lookup time.
+    registry: str = "hit"
+    deadline_expired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.route not in ROUTES:
+            raise ValueError(f"unknown route {self.route!r}; choose from {ROUTES}")
+
+
+@dataclass
+class BatchStats:
+    """One executed batch (a single simulated launch)."""
+
+    matrix: str
+    version: str
+    route: str
+    size: int
+    kernel_us: float
+
+
+@dataclass
+class RegistryStats:
+    """Traffic counters of one :class:`~repro.serve.registry.PlanRegistry`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class ServeStats:
+    """Aggregated serving activity: requests + batches + registry."""
+
+    requests: int = 0
+    batches: int = 0
+    route_counts: dict[str, int] = field(
+        default_factory=lambda: {r: 0 for r in ROUTES}
+    )
+    deadline_expired: int = 0
+    queue_wait_total_s: float = 0.0
+    queue_wait_max_s: float = 0.0
+    #: Sum over batches of each launch's simulated duration — what the
+    #: device actually spent, with batching amortization applied.
+    batch_kernel_us_total: float = 0.0
+    max_batch_size: int = 0
+    registry_hits: int = 0
+    registry_misses: int = 0
+    registry_evictions: int = 0
+    reorder_runs: int = 0
+
+    @property
+    def avg_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def avg_queue_wait_s(self) -> float:
+        return self.queue_wait_total_s / self.requests if self.requests else 0.0
+
+    @classmethod
+    def collect(
+        cls,
+        request_stats: list[RequestStats],
+        batch_stats: list[BatchStats],
+        registry_stats: RegistryStats | None = None,
+        reorder_runs: int = 0,
+    ) -> "ServeStats":
+        out = cls(reorder_runs=reorder_runs)
+        for r in request_stats:
+            out.requests += 1
+            out.route_counts[r.route] += 1
+            out.deadline_expired += int(r.deadline_expired)
+            out.queue_wait_total_s += r.queue_wait_s
+            out.queue_wait_max_s = max(out.queue_wait_max_s, r.queue_wait_s)
+            out.max_batch_size = max(out.max_batch_size, r.batch_size)
+        out.batches = len(batch_stats)
+        out.batch_kernel_us_total = sum(b.kernel_us for b in batch_stats)
+        if registry_stats is not None:
+            out.registry_hits = registry_stats.hits
+            out.registry_misses = registry_stats.misses
+            out.registry_evictions = registry_stats.evictions
+        return out

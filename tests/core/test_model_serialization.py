@@ -104,21 +104,25 @@ class TestSerialization:
         back.avoid_bank_conflicts = not back.avoid_bank_conflicts
         assert not roundtrip_equal(jm, back)
 
-    def test_v2_header_carries_flag(self, jm):
+    def test_v3_header_carries_flag_and_mma_tile(self, jm):
         from repro.core.serialization import FORMAT_VERSION
 
         buf = io.BytesIO()
         save_jigsaw(jm, buf)
         buf.seek(0)
         header = np.load(buf)["header"]
-        assert header[0] == FORMAT_VERSION == 2
-        assert len(header) == 7
+        assert header[0] == FORMAT_VERSION == 3
+        assert len(header) == 8
         assert header[6] == int(jm.avoid_bank_conflicts)
+        assert header[7] == jm.config.mma_tile
 
     def test_loads_v1_artifact_with_default_flag(self, jm):
         # A v1 artifact has a 6-field header and no persisted reorder
-        # settings; loading assumes the documented v1-era default.
-        from repro.core.serialization import V1_AVOID_BANK_CONFLICTS_DEFAULT
+        # settings; loading assumes the documented v1-era defaults.
+        from repro.core.serialization import (
+            PRE_V3_MMA_TILE_DEFAULT,
+            V1_AVOID_BANK_CONFLICTS_DEFAULT,
+        )
 
         buf = io.BytesIO()
         save_jigsaw(jm, buf)
@@ -131,7 +135,93 @@ class TestSerialization:
         buf2.seek(0)
         back = load_jigsaw(buf2)
         assert back.avoid_bank_conflicts is V1_AVOID_BANK_CONFLICTS_DEFAULT
+        assert back.config.mma_tile == PRE_V3_MMA_TILE_DEFAULT
         np.testing.assert_array_equal(back.to_dense(), jm.to_dense())
+
+
+class TestSerializationVersionMatrix:
+    """v1/v2/v3 artifacts all load; unknown versions fail loudly; v3
+    round-trips the full TileConfig (the pre-v3 headers dropped
+    ``mma_tile``, so a non-default MMA_TILE plan aliased a 16-tile one)."""
+
+    @pytest.fixture()
+    def jm(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.85, rng=rng)
+        return JigsawMatrix.build(a, TileConfig(block_tile=32))
+
+    @staticmethod
+    def _downgrade(jm, version: int) -> io.BytesIO:
+        """Rewrite a freshly saved artifact with an older header layout."""
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        data = dict(np.load(buf))
+        fields = {1: 6, 2: 7}[version]
+        data["header"] = np.array(
+            [version, *data["header"][1:fields]], dtype=np.int64
+        )
+        out = io.BytesIO()
+        np.savez_compressed(out, **data)
+        out.seek(0)
+        return out
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_pre_v3_artifacts_still_load(self, jm, version):
+        from repro.core.serialization import PRE_V3_MMA_TILE_DEFAULT
+
+        back = load_jigsaw(self._downgrade(jm, version))
+        assert back.config.mma_tile == PRE_V3_MMA_TILE_DEFAULT
+        assert roundtrip_equal(jm, back)
+        np.testing.assert_array_equal(back.to_dense(), jm.to_dense())
+
+    def test_v2_artifact_keeps_avoid_flag(self, rng):
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.85, rng=rng)
+        jm = JigsawMatrix.build(
+            a, TileConfig(block_tile=32), avoid_bank_conflicts=False
+        )
+        back = load_jigsaw(self._downgrade(jm, 2))
+        assert back.avoid_bank_conflicts is False
+
+    @pytest.mark.parametrize("version", [0, 4, 99])
+    def test_unknown_versions_fail_loudly(self, jm, version):
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        data = dict(np.load(buf))
+        data["header"][0] = version
+        buf2 = io.BytesIO()
+        np.savez_compressed(buf2, **data)
+        buf2.seek(0)
+        with pytest.raises(ValueError, match="version"):
+            load_jigsaw(buf2)
+
+    def test_v3_roundtrips_non_default_mma_tile(self, jm):
+        # The format arrays don't depend on config.mma_tile, so fidelity
+        # of the persisted geometry can be tested by relabeling.
+        jm.config = TileConfig(block_tile=32, mma_tile=8)
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        back = load_jigsaw(buf)
+        assert back.config.mma_tile == 8
+        assert back.config == jm.config
+        assert roundtrip_equal(jm, back)
+
+    def test_roundtrip_equal_checks_block_tile_n(self, jm):
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        back = load_jigsaw(buf)
+        back.config = TileConfig(block_tile=32, block_tile_n=128)
+        assert not roundtrip_equal(jm, back)
+
+    def test_roundtrip_equal_checks_mma_tile(self, jm):
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        back = load_jigsaw(buf)
+        back.config = TileConfig(block_tile=32, mma_tile=8)
+        assert not roundtrip_equal(jm, back)
 
 
 class TestSparseLinear:

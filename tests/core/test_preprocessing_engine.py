@@ -215,15 +215,29 @@ class TestPlanCache:
         assert p.stats.runs[-1].plan_cache == "off"
 
     def test_plan_cache_key_sensitivity(self, rng):
+        """The key must react to every TileConfig field (a pre-v3 key
+        omitted ``mma_tile``, aliasing non-default-MMA_TILE plans)."""
         a = random_vector_sparse(64, 128, v=4, sparsity=0.85, rng=rng)
         cfg = TileConfig(block_tile=64)
         k1 = plan_cache_key(a, cfg, True)
         assert k1 == plan_cache_key(a.copy(), cfg, True)
         assert k1 != plan_cache_key(a, cfg, False)
         assert k1 != plan_cache_key(a, TileConfig(block_tile=32), True)
+        assert k1 != plan_cache_key(a, TileConfig(block_tile=64, block_tile_n=128), True)
+        assert k1 != plan_cache_key(a, TileConfig(block_tile=64, mma_tile=8), True)
         a2 = a.copy()
         a2[0, 0] += np.float16(1.0)
         assert k1 != plan_cache_key(a2, cfg, True)
+
+    def test_plan_cache_key_versioned(self, rng, monkeypatch):
+        """Bumping PLAN_CACHE_KEY_VERSION invalidates every old key."""
+        from repro.core import engine
+
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.85, rng=rng)
+        cfg = TileConfig(block_tile=64)
+        k_now = plan_cache_key(a, cfg, True)
+        monkeypatch.setattr(engine, "PLAN_CACHE_KEY_VERSION", 2)
+        assert plan_cache_key(a, cfg, True) != k_now
 
 
 class TestValidateSweep:

@@ -1,0 +1,243 @@
+"""Tests for the batched executor: grouping, routing, deadlines,
+concurrency, and the aggregated serving stats."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchExecutor, PlanRegistry, ServeStats, SpmmRequest
+from tests.conftest import random_vector_sparse
+
+
+@pytest.fixture()
+def registry(rng, tmp_path):
+    reg = PlanRegistry(cache_dir=tmp_path)
+    reg.register("w0", random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng))
+    reg.register("w1", random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng))
+    return reg
+
+
+def _panel(rng, k=128, n=16):
+    return rng.standard_normal((k, n)).astype(np.float16)
+
+
+def _reference(reg, name, b):
+    return reg.matrix(name).astype(np.float32) @ b.astype(np.float32)
+
+
+class TestBatching:
+    def test_same_matrix_requests_share_one_launch(self, registry, rng):
+        with BatchExecutor(registry, max_batch=8) as ex:
+            reqs = [SpmmRequest("w0", _panel(rng, n=8 + i)) for i in range(6)]
+            results = ex.run(reqs)
+            batches = ex.batch_stats()
+        assert len(batches) == 1
+        assert batches[0].size == 6
+        for res, req in zip(results, reqs):
+            assert res.stats.batch_size == 6
+            assert res.stats.route == "jigsaw"
+            assert res.c.shape == (64, req.b.shape[1])
+            np.testing.assert_allclose(
+                res.c, _reference(registry, "w0", req.b), rtol=1e-3, atol=1e-2
+            )
+
+    def test_full_group_dispatches_at_max_batch(self, registry, rng):
+        with BatchExecutor(registry, max_batch=4) as ex:
+            results = ex.run([SpmmRequest("w0", _panel(rng)) for _ in range(8)])
+            batches = ex.batch_stats()
+        assert len(results) == 8
+        assert len(batches) == 2
+        assert all(b.size == 4 for b in batches)
+
+    def test_different_matrices_do_not_mix(self, registry, rng):
+        with BatchExecutor(registry, max_batch=8) as ex:
+            reqs = [SpmmRequest(f"w{i % 2}", _panel(rng)) for i in range(6)]
+            results = ex.run(reqs)
+            batches = ex.batch_stats()
+        assert sorted(b.matrix for b in batches) == ["w0", "w1"]
+        for res, req in zip(results, reqs):
+            np.testing.assert_allclose(
+                res.c, _reference(registry, req.matrix, req.b), rtol=1e-3, atol=1e-2
+            )
+
+    def test_different_versions_do_not_mix(self, registry, rng):
+        with BatchExecutor(registry, max_batch=8) as ex:
+            ex.run(
+                [
+                    SpmmRequest("w0", _panel(rng), version="v3"),
+                    SpmmRequest("w0", _panel(rng), version="v4"),
+                ]
+            )
+            batches = ex.batch_stats()
+        assert sorted(b.version for b in batches) == ["v3", "v4"]
+
+    def test_linger_window_flushes_without_explicit_flush(self, registry, rng):
+        with BatchExecutor(registry, max_batch=8, batch_window_s=0.01) as ex:
+            fut = ex.spmm("w0", _panel(rng))
+            res = fut.result(timeout=30)  # dispatcher must fire on its own
+        assert res.stats.route == "jigsaw"
+
+
+class TestValidation:
+    def test_unknown_matrix_rejected_at_submit(self, registry, rng):
+        with BatchExecutor(registry) as ex:
+            with pytest.raises(KeyError):
+                ex.spmm("missing", _panel(rng))
+
+    def test_bad_panel_shape_rejected(self, registry, rng):
+        with BatchExecutor(registry) as ex:
+            with pytest.raises(ValueError, match="rows"):
+                ex.spmm("w0", rng.standard_normal((64, 8)).astype(np.float16))
+            with pytest.raises(ValueError, match="2-D"):
+                ex.spmm("w0", np.zeros(128, np.float16))
+
+    def test_unknown_version_rejected(self, registry, rng):
+        with BatchExecutor(registry) as ex:
+            with pytest.raises(ValueError, match="version"):
+                ex.spmm("w0", _panel(rng), version="v9")
+
+    def test_submit_after_close_raises(self, registry, rng):
+        ex = BatchExecutor(registry)
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.spmm("w0", _panel(rng))
+
+
+class TestRouting:
+    def test_expired_deadline_takes_dense_fallback(self, registry, rng):
+        with BatchExecutor(registry, max_batch=8) as ex:
+            b = _panel(rng)
+            res = ex.run([SpmmRequest("w0", b, deadline_s=0.0)])[0]
+        assert res.stats.route == "dense"
+        assert res.stats.deadline_expired
+        np.testing.assert_allclose(
+            res.c, _reference(registry, "w0", b), rtol=1e-3, atol=1e-2
+        )
+
+    def test_generous_deadline_stays_on_jigsaw(self, registry, rng):
+        with BatchExecutor(registry, max_batch=8) as ex:
+            res = ex.run([SpmmRequest("w0", _panel(rng), deadline_s=60.0)])[0]
+        assert res.stats.route == "jigsaw"
+        assert not res.stats.deadline_expired
+
+    def test_failed_reorder_routes_to_hybrid(self, registry, rng):
+        # A fully dense matrix cannot satisfy 2:4 without growing K, so
+        # the reorder reports failure and the batch runs hybrid.
+        dense = (np.abs(rng.standard_normal((32, 64))) + 0.5).astype(np.float16)
+        registry.register("dense", dense)
+        with BatchExecutor(registry, max_batch=4) as ex:
+            reqs = [
+                SpmmRequest("dense", rng.standard_normal((64, 8)).astype(np.float16))
+                for _ in range(3)
+            ]
+            results = ex.run(reqs)
+        for res, req in zip(results, reqs):
+            assert res.stats.route == "hybrid"
+            np.testing.assert_allclose(
+                res.c, _reference(registry, "dense", req.b), rtol=1e-2, atol=0.1
+            )
+
+    def test_mixed_expiry_splits_batch(self, registry, rng):
+        with BatchExecutor(registry, max_batch=8) as ex:
+            reqs = [
+                SpmmRequest("w0", _panel(rng), deadline_s=0.0),
+                SpmmRequest("w0", _panel(rng)),
+                SpmmRequest("w0", _panel(rng), deadline_s=60.0),
+            ]
+            results = ex.run(reqs)
+        routes = [r.stats.route for r in results]
+        assert routes == ["dense", "jigsaw", "jigsaw"]
+        for res, req in zip(results, reqs):
+            np.testing.assert_allclose(
+                res.c, _reference(registry, "w0", req.b), rtol=1e-3, atol=1e-2
+            )
+
+
+class TestConcurrency:
+    def test_threaded_submitters_all_served_correctly(self, registry, rng):
+        panels = [_panel(rng, n=8) for _ in range(32)]
+        futures = [None] * len(panels)
+        with BatchExecutor(registry, max_batch=4, max_workers=4) as ex:
+            def submitter(lo, hi):
+                for i in range(lo, hi):
+                    futures[i] = ex.spmm(f"w{i % 2}", panels[i])
+
+            threads = [
+                threading.Thread(target=submitter, args=(j * 8, (j + 1) * 8))
+                for j in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            ex.flush()
+            results = [f.result(timeout=60) for f in futures]
+        for i, res in enumerate(results):
+            np.testing.assert_allclose(
+                res.c,
+                _reference(registry, f"w{i % 2}", panels[i]),
+                rtol=1e-3,
+                atol=1e-2,
+            )
+        assert registry.reorder_runs <= 6  # one build per (matrix, block_tile)
+
+    @pytest.mark.slow
+    def test_soak_under_small_budget(self, registry, rng, tmp_path):
+        # Longer churn: tiny budget forces constant eviction while four
+        # pool threads execute; everything must stay correct.
+        registry.warm()
+        registry.budget_bytes = registry.resident_bytes() // 2
+        panels = [_panel(rng, n=8) for _ in range(96)]
+        with BatchExecutor(registry, max_batch=8, max_workers=4) as ex:
+            reqs = [
+                SpmmRequest(f"w{i % 2}", panels[i]) for i in range(len(panels))
+            ]
+            results = ex.run(reqs, timeout=300)
+        for i, res in enumerate(results):
+            np.testing.assert_allclose(
+                res.c,
+                _reference(registry, f"w{i % 2}", panels[i]),
+                rtol=1e-3,
+                atol=1e-2,
+            )
+        assert registry.stats.evictions > 0
+        assert registry.reorder_runs <= 6  # never recomputes after warm-up
+
+
+class TestStats:
+    def test_serve_stats_aggregation(self, registry, rng):
+        with BatchExecutor(registry, max_batch=4) as ex:
+            ex.run(
+                [SpmmRequest("w0", _panel(rng)) for _ in range(4)]
+                + [SpmmRequest("w1", _panel(rng), deadline_s=0.0)]
+            )
+            stats = ex.stats()
+        assert stats.requests == 5
+        assert stats.route_counts["jigsaw"] == 4
+        assert stats.route_counts["dense"] == 1
+        assert stats.deadline_expired == 1
+        assert stats.max_batch_size == 4
+        assert stats.batch_kernel_us_total > 0
+        assert stats.avg_queue_wait_s >= 0
+        assert stats.registry_misses >= 1
+
+    def test_render_serving(self, registry, rng):
+        from repro.analysis import render_serving
+
+        with BatchExecutor(registry, max_batch=4) as ex:
+            ex.run([SpmmRequest("w0", _panel(rng))])
+            out = render_serving(ex.stats())
+        assert "route: jigsaw" in out
+        assert "reorder runs" in out
+
+    def test_request_stats_validates_route(self):
+        from repro.serve import RequestStats
+
+        with pytest.raises(ValueError, match="route"):
+            RequestStats(request_id=0, matrix="w", route="warp-drive")
+
+    def test_empty_stats(self):
+        stats = ServeStats.collect([], [])
+        assert stats.avg_batch_size == 0.0
+        assert stats.avg_queue_wait_s == 0.0

@@ -1,0 +1,137 @@
+"""Tests for the budgeted LRU plan registry."""
+
+import numpy as np
+import pytest
+
+from repro.serve import PLAN_OVERHEAD_BYTES, PlanRegistry, plan_resident_bytes
+from tests.conftest import random_vector_sparse
+
+
+def _matrices(rng, n=3, m=64, k=128):
+    return {
+        f"w{i}": random_vector_sparse(m, k, v=4, sparsity=0.9, rng=rng)
+        for i in range(n)
+    }
+
+
+class TestRegistration:
+    def test_register_and_get(self, rng, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path, block_tiles=(64,))
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        reg.register("w", a)
+        plan = reg.get("w")
+        assert plan.shape == a.shape
+        assert reg.stats.misses == 1
+        assert reg.get("w") is plan
+        assert reg.stats.hits == 1
+
+    def test_unknown_name_raises(self, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path)
+        with pytest.raises(KeyError, match="register"):
+            reg.get("nope")
+
+    def test_register_rejects_conflicting_content(self, rng, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path)
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        b = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        reg.register("w", a)
+        reg.register("w", a)  # idempotent
+        with pytest.raises(ValueError, match="different content"):
+            reg.register("w", b)
+
+    def test_register_rejects_1d(self, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path)
+        with pytest.raises(ValueError, match="2-D"):
+            reg.register("w", np.zeros(8, np.float16))
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            PlanRegistry(budget_bytes=0)
+
+
+class TestBudgetAndLru:
+    def test_no_budget_never_evicts(self, rng, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path, block_tiles=(32,))
+        for name, a in _matrices(rng).items():
+            reg.register(name, a)
+        reg.warm()
+        assert reg.resident_plans == 3
+        assert reg.stats.evictions == 0
+
+    def test_budget_evicts_lru_first(self, rng, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path, block_tiles=(32,))
+        for name, a in _matrices(rng).items():
+            reg.register(name, a)
+        reg.warm()  # all resident; sizes known
+        per_plan = plan_resident_bytes(reg.get("w0"))
+        # Budget fits two warm plans; touch order decides the victim.
+        reg.budget_bytes = 2 * per_plan + PLAN_OVERHEAD_BYTES
+        reg.get("w1")
+        reg.get("w2")
+        reg.get("w0")  # LRU order now: w1, w2, w0
+        assert reg.enforce_budget() == 1
+        assert not reg.resident("w1")
+        assert reg.resident("w2") and reg.resident("w0")
+        assert reg.stats.evictions == 1
+
+    def test_mru_plan_survives_tiny_budget(self, rng, tmp_path):
+        reg = PlanRegistry(
+            budget_bytes=1, cache_dir=tmp_path, block_tiles=(32,)
+        )
+        for name, a in _matrices(rng).items():
+            reg.register(name, a)
+        reg.warm()
+        # A budget smaller than any single plan still leaves the most
+        # recent plan resident — serving always has a working set of 1.
+        assert reg.resident_plans == 1
+
+    def test_eviction_readmits_from_disk_without_reorder(self, rng, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path, block_tiles=(32,))
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        reg.register("w", a)
+        reg.warm("w")
+        assert reg.reorder_runs == 1
+        jm_before = reg.get("w").format_for(32)
+        assert reg.evict("w")
+        assert not reg.resident("w")
+        # Re-admission loads the artifact: reorder count frozen.
+        plan = reg.get("w")
+        jm_after = plan.format_for(32)
+        assert reg.reorder_runs == 1
+        assert plan.stats.plan_cache_hits == 1
+        np.testing.assert_array_equal(jm_before.to_dense(), jm_after.to_dense())
+
+    def test_no_cache_dir_eviction_recomputes(self, rng):
+        # Documented trade-off: without a disk cache, eviction costs a
+        # reorder on re-admission.
+        reg = PlanRegistry(block_tiles=(32,))
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        reg.register("w", a)
+        reg.warm("w")
+        reg.evict("w")
+        reg.get("w").format_for(32)
+        assert reg.reorder_runs == 2
+
+    def test_resident_bytes_grows_with_formats(self, rng, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path, block_tiles=(16, 32, 64))
+        a = random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+        reg.register("w", a)
+        plan = reg.get("w")
+        empty = reg.resident_bytes()
+        plan.format_for(64)
+        one = reg.resident_bytes()
+        plan.format_for(32)
+        two = reg.resident_bytes()
+        assert empty == PLAN_OVERHEAD_BYTES
+        assert empty < one < two
+
+    def test_clear(self, rng, tmp_path):
+        reg = PlanRegistry(cache_dir=tmp_path, block_tiles=(32,))
+        for name, a in _matrices(rng).items():
+            reg.register(name, a)
+        reg.warm()
+        reg.clear()
+        assert reg.resident_plans == 0
+        assert reg.stats.evictions == 3
+        # Aggregated counters survive eviction of their plans.
+        assert reg.reorder_runs == 3
