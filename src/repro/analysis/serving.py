@@ -26,6 +26,16 @@ def serving_rows(stats: ServeStats) -> list[list[str]]:
         ["registry misses", str(stats.registry_misses)],
         ["registry evictions", str(stats.registry_evictions)],
         ["reorder runs", str(stats.reorder_runs)],
+        ["kernel retries", str(stats.retries)],
+        ["rejected (shed)", str(stats.rejected)],
+        ["pending peak", str(stats.pending_peak)],
+        ["artifacts quarantined", str(stats.quarantined)],
+        ["artifact store failures", str(stats.store_failures)],
+        ["breaker trips", str(stats.breaker_trips)],
+        [
+            "breakers open/half-open",
+            f"{stats.breaker_open}/{stats.breaker_half_open}",
+        ],
     ]
     return rows
 

@@ -279,6 +279,113 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos_bench(args: argparse.Namespace) -> int:
+    """Chaos drill: inject kernel faults + one corrupt artifact, then heal.
+
+    Phase 1 serves traffic with the fault plan armed (jigsaw kernel
+    faults at ``--fault-rate``, one on-disk artifact corrupted); phase 2
+    disables injection and serves again, demonstrating the half-open
+    breaker probes restoring the fast path.  Exit status is nonzero if
+    any request's future raised.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.analysis import render_serving, render_table
+    from repro.faults import CLOSED, BreakerBoard, FaultPlan
+    from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
+
+    rng = np.random.default_rng(args.seed)
+    cache_dir = Path(args.plan_cache or tempfile.mkdtemp(prefix="jigsaw-chaos-"))
+    fp = FaultPlan(seed=args.seed).add(
+        "executor.kernel.jigsaw", probability=args.fault_rate
+    )
+    fp.disable()  # armed only during the chaos phase
+
+    registry = PlanRegistry(cache_dir=cache_dir, workers=args.workers, fault_plan=fp)
+    matrices = {}
+    for i in range(args.matrices):
+        name = f"w{i}"
+        matrices[name] = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed + i)
+        registry.register(name, matrices[name])
+    registry.warm()  # persist artifacts so there is something to corrupt
+
+    artifacts = sorted(cache_dir.glob("*.npz"))
+    if artifacts:
+        victim = artifacts[0]
+        victim.write_bytes(victim.read_bytes()[: max(64, len(victim.read_bytes()) // 2)])
+    registry.clear()  # force re-admission through the (corrupt) disk cache
+
+    def traffic(executor, n_requests):
+        reqs = [
+            SpmmRequest(
+                matrix=f"w{i % args.matrices}",
+                b=rng.standard_normal((args.k, args.n)).astype(np.float16),
+            )
+            for i in range(n_requests)
+        ]
+        futures = [executor.submit(r) for r in reqs]
+        executor.flush()
+        raised = 0
+        for f in futures:
+            if f.exception(timeout=120) is not None:
+                raised += 1
+        return raised
+
+    breakers = BreakerBoard(
+        failure_threshold=args.breaker_threshold, cooldown_s=args.breaker_cooldown_s
+    )
+    with BatchExecutor(
+        registry,
+        max_batch=args.max_batch,
+        max_workers=args.pool_workers,
+        max_pending=args.max_pending,
+        breakers=breakers,
+        fault_plan=fp,
+    ) as executor:
+        fp.enable()
+        raised_chaos = traffic(executor, args.requests)
+        chaos_stats = executor.stats()
+        fp.disable()
+        import time as _time
+
+        _time.sleep(args.breaker_cooldown_s * 1.5)  # let probe windows open
+        raised_heal = traffic(executor, args.requests)
+        heal_stats = executor.stats()
+
+    heal_routes = {
+        r: heal_stats.route_counts.get(r, 0) - chaos_stats.route_counts.get(r, 0)
+        for r in ("jigsaw", "hybrid", "dense")
+    }
+    reclosed = all(state == CLOSED for state in breakers.snapshot().values())
+    print(render_serving(heal_stats))
+    print()
+    print(
+        render_table(
+            ["chaos drill", "value"],
+            [
+                ["faults injected", str(fp.total_fired)],
+                ["chaos-phase futures raised", str(raised_chaos)],
+                ["heal-phase futures raised", str(raised_heal)],
+                [
+                    "chaos-phase routes (j/h/d)",
+                    "/".join(
+                        str(chaos_stats.route_counts.get(r, 0))
+                        for r in ("jigsaw", "hybrid", "dense")
+                    ),
+                ],
+                [
+                    "heal-phase routes (j/h/d)",
+                    "/".join(str(heal_routes[r]) for r in ("jigsaw", "hybrid", "dense")),
+                ],
+                ["artifacts quarantined", str(heal_stats.quarantined)],
+                ["breakers all re-closed", "yes" if reclosed else "no"],
+            ],
+        )
+    )
+    return 1 if (raised_chaos or raised_heal) else 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Cross-check every system's output against fp32 numpy."""
     from repro.analysis import render_verification, run_verification
@@ -422,6 +529,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_preprocessing_flags(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "chaos-bench",
+        help="fault-injection drill: chaos phase then self-healing phase",
+    )
+    p.add_argument("--matrices", type=int, default=2, help="distinct weight matrices")
+    p.add_argument("--requests", type=int, default=24, help="requests per phase")
+    p.add_argument("--m", type=int, default=256)
+    p.add_argument("--k", type=int, default=512)
+    p.add_argument("--n", type=int, default=64, help="B-panel width per request")
+    p.add_argument("--sparsity", type=float, default=0.9)
+    p.add_argument("--v", type=int, default=8, choices=(2, 4, 8))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.25,
+        help="per-attempt probability of an injected jigsaw kernel fault",
+    )
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--pool-workers", type=int, default=4)
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="admission-control bound on the pending queue",
+    )
+    p.add_argument("--breaker-threshold", type=int, default=3)
+    p.add_argument("--breaker-cooldown-s", type=float, default=0.05)
+    _add_preprocessing_flags(p)
+    p.set_defaults(func=cmd_chaos_bench)
 
     p = sub.add_parser("verify", help="functional cross-check of every system")
     p.set_defaults(func=cmd_verify)

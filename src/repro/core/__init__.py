@@ -21,7 +21,13 @@ from .kernels import (
     run_jigsaw_kernel,
 )
 from .model import LayerRun, SparseLinear, SparseModel
-from .serialization import load_jigsaw, roundtrip_equal, save_jigsaw
+from .serialization import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    load_jigsaw,
+    roundtrip_equal,
+    save_jigsaw,
+)
 from .tuning import TuningTable, estimate_vector_width, matrix_features
 from .metadata import (
     deinterleave_metadata,
@@ -73,6 +79,8 @@ __all__ = [
     "LayerRun",
     "SparseLinear",
     "SparseModel",
+    "ArtifactError",
+    "ArtifactIntegrityError",
     "load_jigsaw",
     "roundtrip_equal",
     "save_jigsaw",

@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.faults import FaultPlan, maybe_inject
 from repro.gpu.device import A100, DeviceSpec
 
 from .engine import PlanStats, PreprocessStats, plan_cache_key, preprocess
@@ -65,6 +66,9 @@ class JigsawPlan:
     #: (paper Section 4.4: "kernels for v0..v3 only support BLOCK_TILE=64").
     FIXED_BLOCK_TILE = 64
 
+    #: Subdirectory of ``cache_dir`` corrupt artifacts are moved into.
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(
         self,
         a: np.ndarray,
@@ -72,6 +76,7 @@ class JigsawPlan:
         avoid_bank_conflicts: bool = True,
         workers: int | None = None,
         cache_dir: str | Path | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if a.ndim != 2:
             raise ValueError("A must be a 2-D matrix")
@@ -86,6 +91,7 @@ class JigsawPlan:
         self.avoid_bank_conflicts = avoid_bank_conflicts
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.fault_plan = fault_plan
         self.stats = PlanStats()
         self._formats: dict[tuple[int, bool], JigsawMatrix] = {}
         self._format_lock = threading.Lock()
@@ -125,21 +131,33 @@ class JigsawPlan:
         if path is not None:
             pstats.plan_cache = "miss"
             self.stats.plan_cache_misses += 1
-            self._store(jm, path)
+            try:
+                self._store(jm, path)
+            except Exception:
+                # A failed persist must not fail the build: the in-memory
+                # format serves, the next construction just rebuilds.
+                self.stats.store_failures += 1
         self.stats.runs.append(pstats)
         return jm
 
     def _try_load(
         self, path: Path, config: TileConfig, avoid: bool
     ) -> JigsawMatrix | None:
-        """Load a cached artifact if present and built with these settings."""
+        """Load a cached artifact if present and built with these settings.
+
+        A corrupt or unreadable artifact is quarantined to
+        ``<cache_dir>/quarantine/`` (keeping the bytes for forensics) and
+        the plan is rebuilt from source instead of crashing the caller.
+        """
         if not path.exists():
             return None
         t0 = time.perf_counter()
         try:
+            maybe_inject("plan.cache.load", self.fault_plan)
             jm = load_jigsaw(path)
         except Exception:
-            return None  # corrupt/stale artifact: rebuild (and overwrite)
+            self._quarantine(path)
+            return None  # rebuild (and re-store a fresh artifact)
         if (
             jm.shape != tuple(self.shape)
             or jm.config != config
@@ -158,8 +176,21 @@ class JigsawPlan:
         )
         return jm
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact aside so it is never loaded again."""
+        dest = path.parent / self.QUARANTINE_DIR / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # Another thread already quarantined it (or the FS is gone);
+            # either way the rebuild below proceeds.
+            return
+        self.stats.quarantined += 1
+
     def _store(self, jm: JigsawMatrix, path: Path) -> None:
         """Atomically persist an artifact (tmp file + rename)."""
+        maybe_inject("plan.cache.store", self.fault_plan)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Keep the .npz suffix: np.savez appends it to anything else.
         # The tmp name must be unique per *call*, not just per process:

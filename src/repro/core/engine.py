@@ -35,8 +35,9 @@ from .tiles import TileConfig
 #: :data:`repro.core.serialization.FORMAT_VERSION` so stale artifacts
 #: from older layouts can never be mistaken for current ones.  v3 folds
 #: ``TileConfig.mma_tile`` into the key (pre-v3 keys omitted it, so a
-#: non-default MMA_TILE plan aliased the default-tile cache entry).
-PLAN_CACHE_KEY_VERSION = 3
+#: non-default MMA_TILE plan aliased the default-tile cache entry); v4
+#: tracks the checksummed artifact layout.
+PLAN_CACHE_KEY_VERSION = 4
 
 
 @dataclass
@@ -79,6 +80,11 @@ class PlanStats:
     reorder_runs: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Corrupt artifacts moved to ``<cache>/quarantine/`` before rebuild.
+    quarantined: int = 0
+    #: Artifact stores that failed (IO/injected faults); the in-memory
+    #: format still serves, so a store failure is a counter, not a crash.
+    store_failures: int = 0
     runs: list[PreprocessStats] = field(default_factory=list)
 
     @property

@@ -7,10 +7,19 @@ model weights.  ``save_jigsaw``/``load_jigsaw`` persist a
 three index levels, the compressed values, and enough header metadata to
 rebuild the object bit-exactly.  Loading validates the structural
 invariants before returning (corrupt artifacts fail loudly).
+
+Integrity: v4 artifacts carry a sha256 content checksum over every
+payload array; ``load_jigsaw`` recomputes and compares it, so silent
+bit-rot surfaces as a typed :class:`ArtifactIntegrityError` instead of a
+wrong answer.  A truncated or non-npz file surfaces as a typed
+:class:`ArtifactError` rather than a raw ``zipfile.BadZipFile`` from
+deep inside numpy — which is what lets the serving plan cache quarantine
+and rebuild instead of crashing.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 from pathlib import Path
 
@@ -23,11 +32,16 @@ from .tiles import MMA_TILE, TileConfig
 #: Format version written into every artifact.  v2 appended the reorder
 #: settings (``avoid_bank_conflicts``); v3 appends ``mma_tile``, which
 #: pre-v3 writers never persisted, so a non-default MMA_TILE artifact
-#: used to round-trip as a 16-tile one.  v1/v2 artifacts are still
-#: readable and assume the documented era defaults
+#: used to round-trip as a 16-tile one.  v4 appends a sha256 content
+#: checksum (the ``checksum`` array) verified on load.  v1–v3 artifacts
+#: are still readable: they predate the checksum, so they load
+#: unverified and assume the documented era defaults
 #: (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`,
 #: :data:`PRE_V3_MMA_TILE_DEFAULT`).
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
+
+#: First version whose artifacts carry the ``checksum`` array.
+CHECKSUM_MIN_VERSION = 4
 
 #: ``avoid_bank_conflicts`` value assumed for version-1 artifacts, which
 #: predate the flag being persisted.  v1 writers only ever built formats
@@ -40,8 +54,33 @@ V1_AVOID_BANK_CONFLICTS_DEFAULT = True
 PRE_V3_MMA_TILE_DEFAULT = MMA_TILE
 
 
+class ArtifactError(ValueError):
+    """A plan artifact could not be read (truncated, not an npz, missing
+    arrays).  Raised instead of the underlying zipfile/OSError so
+    callers can quarantine-and-rebuild on one exception type."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """A v4+ artifact's content no longer matches its sha256 checksum."""
+
+
+def _content_digest(arrays: dict[str, np.ndarray]) -> bytes:
+    """sha256 over every array except the checksum itself, in sorted-key
+    order, covering dtype, shape, and raw bytes."""
+    h = hashlib.sha256()
+    for key in sorted(arrays):
+        if key == "checksum":
+            continue
+        arr = np.asarray(arrays[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(np.asarray(arr.shape, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.digest()
+
+
 def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
-    """Persist a JigsawMatrix as a compressed ``.npz`` artifact."""
+    """Persist a JigsawMatrix as a compressed, checksummed ``.npz``."""
     arrays: dict[str, np.ndarray] = {
         "header": np.array(
             [
@@ -68,28 +107,76 @@ def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
         arrays[f"s{i}_positions"] = slab.positions
         arrays[f"s{i}_meta_words"] = slab.meta_words
         arrays[f"s{i}_meta_interleaved"] = slab.meta_interleaved
+    arrays["checksum"] = np.frombuffer(_content_digest(arrays), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
 
 
-def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
-    """Load a JigsawMatrix artifact; validates before returning."""
-    with np.load(path) as data:
-        header = data["header"]
-        version = int(header[0])
-        if version == 1:
-            avoid_bank_conflicts = V1_AVOID_BANK_CONFLICTS_DEFAULT
-            mma_tile = PRE_V3_MMA_TILE_DEFAULT
-        elif version == 2:
-            avoid_bank_conflicts = bool(header[6])
-            mma_tile = PRE_V3_MMA_TILE_DEFAULT
-        elif version == FORMAT_VERSION:
-            avoid_bank_conflicts = bool(header[6])
-            mma_tile = int(header[7])
+def _read_arrays(path: str | Path | io.BytesIO) -> dict[str, np.ndarray]:
+    """Materialize an artifact's arrays; typed error on unreadable files.
+
+    Opens the file itself: when ``np.load`` raises mid-parse on a
+    corrupt zip it can leave its internally-opened handle dangling, and
+    the quarantine path must not leak (or hold a lock on) the file it
+    is about to ``os.replace``."""
+    fh = None
+    try:
+        source: io.IOBase | io.BytesIO
+        if isinstance(path, (str, Path)):
+            fh = open(path, "rb")
+            source = fh
         else:
-            raise ValueError(
-                f"artifact format version {version} unsupported "
-                f"(this build reads versions 1..{FORMAT_VERSION})"
+            source = path
+        with np.load(source) as data:
+            return {key: data[key] for key in data.files}
+    except ArtifactError:
+        raise
+    except Exception as exc:  # BadZipFile, OSError, pickle errors, ...
+        raise ArtifactError(f"unreadable jigsaw artifact: {exc}") from exc
+    finally:
+        if fh is not None:
+            fh.close()
+
+
+def load_jigsaw(
+    path: str | Path | io.BytesIO, verify: bool = True
+) -> JigsawMatrix:
+    """Load a JigsawMatrix artifact; validates before returning.
+
+    v4+ artifacts are checksum-verified (``verify=False`` skips, for
+    forensics on quarantined files); all versions go through the
+    structural ``validate()``.
+    """
+    arrays = _read_arrays(path)
+    try:
+        header = arrays["header"]
+        version = int(header[0])
+    except (KeyError, IndexError, ValueError) as exc:
+        raise ArtifactError(f"artifact header missing or malformed: {exc}") from exc
+    if version == 1:
+        avoid_bank_conflicts = V1_AVOID_BANK_CONFLICTS_DEFAULT
+        mma_tile = PRE_V3_MMA_TILE_DEFAULT
+    elif version == 2:
+        avoid_bank_conflicts = bool(header[6])
+        mma_tile = PRE_V3_MMA_TILE_DEFAULT
+    elif version in (3, FORMAT_VERSION):
+        avoid_bank_conflicts = bool(header[6])
+        mma_tile = int(header[7])
+    else:
+        raise ValueError(
+            f"artifact format version {version} unsupported "
+            f"(this build reads versions 1..{FORMAT_VERSION})"
+        )
+    if verify and version >= CHECKSUM_MIN_VERSION:
+        stored = arrays.get("checksum")
+        if stored is None:
+            raise ArtifactIntegrityError(
+                f"version-{version} artifact is missing its checksum array"
             )
+        if bytes(np.asarray(stored, dtype=np.uint8)) != _content_digest(arrays):
+            raise ArtifactIntegrityError(
+                "artifact content does not match its sha256 checksum"
+            )
+    try:
         shape = (int(header[1]), int(header[2]))
         config = TileConfig(
             block_tile=int(header[3]),
@@ -106,12 +193,12 @@ def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
             avoid_bank_conflicts=avoid_bank_conflicts,
         )
         for i in range(n_slabs):
-            meta = data[f"s{i}_meta"]
+            meta = arrays[f"s{i}_meta"]
             slab_r = SlabReorder(
                 slab_index=int(meta[0]),
                 num_rows=int(meta[1]),
-                col_ids=data[f"s{i}_col_ids"],
-                tile_perms=data[f"s{i}_tile_perms"],
+                col_ids=arrays[f"s{i}_col_ids"],
+                tile_perms=arrays[f"s{i}_tile_perms"],
                 evictions=int(meta[2]),
                 split_groups=int(meta[3]),
             )
@@ -119,12 +206,14 @@ def load_jigsaw(path: str | Path | io.BytesIO) -> JigsawMatrix:
             jm.slabs.append(
                 JigsawSlab(
                     reorder=slab_r,
-                    values=data[f"s{i}_values"],
-                    positions=data[f"s{i}_positions"],
-                    meta_words=data[f"s{i}_meta_words"],
-                    meta_interleaved=data[f"s{i}_meta_interleaved"],
+                    values=arrays[f"s{i}_values"],
+                    positions=arrays[f"s{i}_positions"],
+                    meta_words=arrays[f"s{i}_meta_words"],
+                    meta_interleaved=arrays[f"s{i}_meta_interleaved"],
                 )
             )
+    except KeyError as exc:
+        raise ArtifactError(f"artifact is missing array {exc}") from exc
     jm.validate()
     return jm
 

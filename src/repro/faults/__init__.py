@@ -1,0 +1,34 @@
+"""Fault injection and self-healing primitives for the serving stack.
+
+Three pieces (see docs/fault_injection.md):
+
+* :class:`FaultPlan` — deterministic, seedable injection at named sites,
+  threaded through the registry/executor/plan-cache via constructor
+  hooks or armed process-wide as a context manager;
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-(matrix, route)
+  closed/open/half-open breakers steering traffic onto the hybrid and
+  dense fallback routes under repeated failures;
+* :class:`RetryPolicy` / :func:`call_with_retry` — bounded retry with
+  exponential backoff + deterministic jitter for transient faults.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+from .errors import FaultInjectedError, TransientError
+from .plan import FaultPlan, FaultSite, active_plan, maybe_inject
+from .retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "FaultInjectedError",
+    "TransientError",
+    "FaultPlan",
+    "FaultSite",
+    "active_plan",
+    "maybe_inject",
+    "RetryPolicy",
+    "call_with_retry",
+]

@@ -1,0 +1,21 @@
+"""Typed errors of the fault-injection and self-healing layer."""
+
+from __future__ import annotations
+
+
+class TransientError(RuntimeError):
+    """A failure that is expected to clear on retry.
+
+    The executor's bounded retry-with-backoff only re-attempts errors of
+    this type; anything else is treated as persistent and goes straight
+    to the circuit breaker / fallback route.
+    """
+
+
+class FaultInjectedError(TransientError):
+    """Raised by an armed :class:`~repro.faults.plan.FaultPlan` site.
+
+    Subclasses :class:`TransientError` because injected faults model the
+    flaky-kernel-launch class of failures; a site can override the error
+    factory to inject a non-transient exception instead.
+    """

@@ -1,0 +1,178 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultPlan` is a set of named injection *sites* with
+probability/count triggers.  Production code marks its failure points
+with :func:`maybe_inject` (or an explicitly threaded plan's
+:meth:`FaultPlan.inject`); when no plan is armed the call is two ``None``
+checks — effectively zero overhead — and when one is armed the site
+raises a :class:`~repro.faults.errors.FaultInjectedError` according to
+its trigger.
+
+Determinism: every site draws from its own ``random.Random`` seeded with
+``(plan seed, site name)``, so the fire/skip sequence *per site* is a
+pure function of the seed and the number of evaluations of that site —
+independent of how concurrently-evaluated sites interleave.  Running the
+same single-threaded workload twice with the same seed injects exactly
+the same faults.
+
+Sites used by the serving stack (see docs/fault_injection.md):
+
+========================  ====================================================
+``executor.kernel.jigsaw``  before each batched Jigsaw launch attempt
+``executor.kernel.hybrid``  before each batched hybrid launch attempt
+``executor.kernel.dense``   before each dense-fallback launch attempt
+``registry.get``            on plan admission in :class:`PlanRegistry.get`
+``plan.cache.load``         before a plan-cache artifact load
+``plan.cache.store``        before a plan-cache artifact store
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import FaultInjectedError
+
+#: Process-wide plan armed by ``with plan: ...`` (None = injection off).
+_ACTIVE: "FaultPlan | None" = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+@dataclass
+class FaultSite:
+    """Trigger configuration + counters of one named injection site."""
+
+    site: str
+    #: Chance each armed evaluation fires, in [0, 1].
+    probability: float = 1.0
+    #: Maximum number of fires (None = unlimited).
+    count: int | None = None
+    #: Evaluations to skip before the site arms.
+    after: int = 0
+    #: Exception factory; None injects :class:`FaultInjectedError`.
+    error: Callable[[str], BaseException] | None = None
+    fired: int = 0
+    evaluated: int = 0
+
+
+class FaultPlan:
+    """Named injection sites with deterministic triggers.
+
+    Thread-safe; usable either as a context manager (arms the
+    process-wide plan consulted by :func:`maybe_inject`) or threaded
+    explicitly through constructors (``BatchExecutor(...,
+    fault_plan=plan)``).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.enabled = True
+        self._sites: dict[str, FaultSite] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        site: str,
+        probability: float = 1.0,
+        count: int | None = None,
+        after: int = 0,
+        error: Callable[[str], BaseException] | None = None,
+    ) -> "FaultPlan":
+        """Register (or replace) one site; returns self for chaining."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if count is not None and count < 0:
+            raise ValueError("count must be >= 0 (or None for unlimited)")
+        if after < 0:
+            raise ValueError("after must be >= 0")
+        with self._lock:
+            self._sites[site] = FaultSite(
+                site=site, probability=probability, count=count, after=after, error=error
+            )
+            self._rngs[site] = random.Random(f"{self.seed}:{site}")
+        return self
+
+    def inject(self, site: str) -> None:
+        """Evaluate one site; raises its error when the trigger fires."""
+        spec = self._sites.get(site)
+        if spec is None or not self.enabled:
+            return
+        with self._lock:
+            spec.evaluated += 1
+            if spec.evaluated <= spec.after:
+                return
+            if spec.count is not None and spec.fired >= spec.count:
+                return
+            if self._rngs[site].random() >= spec.probability:
+                return
+            spec.fired += 1
+            factory = spec.error
+        if factory is not None:
+            raise factory(site)
+        raise FaultInjectedError(f"injected fault at {site!r}")
+
+    # -- introspection ---------------------------------------------------------
+
+    def fire_count(self, site: str) -> int:
+        spec = self._sites.get(site)
+        return spec.fired if spec is not None else 0
+
+    @property
+    def total_fired(self) -> int:
+        with self._lock:
+            return sum(s.fired for s in self._sites.values())
+
+    def counters(self) -> dict[str, tuple[int, int]]:
+        """Per-site (evaluated, fired) counters."""
+        with self._lock:
+            return {s.site: (s.evaluated, s.fired) for s in self._sites.values()}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def disable(self) -> None:
+        """Stop all injection (counters are kept) — 'the faults clear'."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def reset(self) -> None:
+        """Zero every counter and re-seed the per-site RNGs."""
+        with self._lock:
+            for site, spec in self._sites.items():
+                spec.fired = 0
+                spec.evaluated = 0
+                self._rngs[site] = random.Random(f"{self.seed}:{site}")
+
+    def __enter__(self) -> "FaultPlan":
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            if _ACTIVE is not None:
+                raise RuntimeError("another FaultPlan is already armed")
+            _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            _ACTIVE = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The process-wide plan armed by ``with plan:`` (None when off)."""
+    return _ACTIVE
+
+
+def maybe_inject(site: str, plan: FaultPlan | None = None) -> None:
+    """Evaluate ``site`` against an explicit plan or the armed global one.
+
+    The disabled-path cost is two ``None`` checks, so production code can
+    leave its injection sites in place unconditionally.
+    """
+    fp = plan if plan is not None else _ACTIVE
+    if fp is not None:
+        fp.inject(site)

@@ -1,0 +1,78 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Transient kernel faults (flaky launches, injected
+:class:`~repro.faults.errors.TransientError`) are retried a bounded
+number of times before the executor's circuit breaker counts a failure.
+The jitter is *deterministic* — a hash of ``(key, attempt)`` — so two
+runs with the same request stream sleep the same amounts, which keeps
+the chaos benchmarks reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from .errors import TransientError
+
+T = TypeVar("T")
+
+
+def _jitter_frac(key: str, attempt: int) -> float:
+    """Deterministic uniform-ish fraction in [0, 1) from (key, attempt)."""
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule: ``base * multiplier**attempt``,
+    capped at ``max_delay_s``, shrunk by up to ``jitter`` of itself."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.0005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.05
+    #: Fraction of each delay randomized away (0 disables jitter).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, attempt: int, key: str = "") -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        if not self.jitter:
+            return raw
+        return raw * (1.0 - self.jitter * _jitter_frac(key, attempt))
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    key: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    retryable: tuple[type[BaseException], ...] = (TransientError,),
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Run ``fn`` under ``policy``; only ``retryable`` errors re-attempt.
+
+    The final attempt's exception propagates unchanged; non-retryable
+    exceptions propagate immediately.  ``on_retry(attempt, exc)`` fires
+    before each backoff sleep (observability hook).
+    """
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retryable as exc:
+            if attempt == policy.max_attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.backoff_s(attempt, key))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -5,10 +5,15 @@ preprocessing cheap and cacheable; this package serves concurrent SpMM
 traffic against those plans — a budgeted LRU :class:`PlanRegistry`
 backed by the on-disk plan cache, and a :class:`BatchExecutor` that
 groups same-matrix requests into single batched launches with deadlines
-and graceful hybrid/dense fallback.  See docs/serving.md.
+and graceful hybrid/dense fallback.  PR 3 hardened the stack into a
+self-healing one: per-(matrix, route) circuit breakers, bounded
+retry/backoff for transient kernel faults, checksummed plan artifacts
+with quarantine-and-rebuild, and admission control.  See
+docs/serving.md and docs/fault_injection.md.
 """
 
-from .executor import BatchExecutor, ServeResult, SpmmRequest
+from .errors import ExecutorClosedError, RejectedError, ServeError
+from .executor import FALLBACK_CHAIN, BatchExecutor, ServeResult, SpmmRequest
 from .registry import PLAN_OVERHEAD_BYTES, PlanRegistry, plan_resident_bytes
 from .stats import (
     ROUTES,
@@ -19,6 +24,10 @@ from .stats import (
 )
 
 __all__ = [
+    "ExecutorClosedError",
+    "RejectedError",
+    "ServeError",
+    "FALLBACK_CHAIN",
     "BatchExecutor",
     "ServeResult",
     "SpmmRequest",

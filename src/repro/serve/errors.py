@@ -1,0 +1,24 @@
+"""Typed errors raised by the serving engine at the submission boundary.
+
+Load conditions inside the executor never raise — they degrade to the
+hybrid/dense routes.  Errors here are caller-visible contract failures:
+submitting to a closed executor, or being shed by admission control.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base of the serving engine's typed errors."""
+
+
+class ExecutorClosedError(ServeError):
+    """The executor is closed (or closing); the request was not accepted."""
+
+
+class RejectedError(ServeError):
+    """Admission control shed the request: the pending queue is full.
+
+    Back off and resubmit; the executor counts sheds in
+    :class:`~repro.serve.stats.ServeStats.rejected`.
+    """

@@ -1,4 +1,4 @@
-"""Batched SpMM request executor with deadlines and graceful fallback.
+"""Batched SpMM request executor with deadlines and self-healing fallback.
 
 The serving shape: the sparse operand A is stationary (it was reordered
 and compressed once), and requests arrive carrying only their dense
@@ -11,36 +11,54 @@ stationary-operand batching a Magicube-style serving stack performs).
 Routing (see docs/serving.md):
 
 * ``jigsaw`` — the normal batched v0..v4 path;
-* ``hybrid`` — the plan's reorder failed (``reorder_success == False``),
-  so the Section-4.7 hybrid-granularity kernel serves the group instead
-  of erroring;
-* ``dense`` — the request's deadline expired while queued, so it takes
-  the immediate dense cuBLAS-style fallback rather than waiting on a
-  batch.
+* ``hybrid`` — the plan's reorder failed (``reorder_success == False``)
+  **or** the matrix's jigsaw circuit breaker is open, so the
+  Section-4.7 hybrid-granularity kernel serves the group instead;
+* ``dense`` — the request's deadline expired while queued, the hybrid
+  breaker is open too, or every faster route failed — the dense
+  cuBLAS-style fallback runs per request (failure isolation: one
+  poisoned request never fails its batch-mates).
+
+Fault tolerance (see docs/fault_injection.md): transient kernel faults
+are retried under a bounded exponential-backoff
+:class:`~repro.faults.RetryPolicy` before the per-(matrix, route)
+:class:`~repro.faults.CircuitBreaker` counts a failure; tripped breakers
+steer traffic down the route chain and half-open probes restore the fast
+path once faults clear.  Admission control bounds the pending queue
+(``max_pending``) with a typed :class:`~repro.serve.errors.RejectedError`
+on overflow.
 
 Every completed request emits a :class:`~repro.serve.stats.RequestStats`
 record; :meth:`BatchExecutor.stats` folds them into a
 :class:`~repro.serve.stats.ServeStats` together with the registry's
-hit/miss/eviction counters.
+hit/miss/eviction counters and the resilience counters
+(retries/rejections/quarantines/breaker states).
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+import time
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Callable
 
 import numpy as np
 
 from repro.baselines.cublas import cublas_hgemm
 from repro.core.kernels import ALL_VERSIONS, build_hybrid_plan, run_hybrid_kernel
 from repro.core.kernels.hybrid import HybridPlan
+from repro.faults import BreakerBoard, FaultPlan, RetryPolicy, call_with_retry, maybe_inject
 from repro.gpu.device import A100, DeviceSpec
 
+from .errors import ExecutorClosedError, RejectedError
 from .registry import PlanRegistry
 from .stats import BatchStats, RequestStats, ServeStats
+
+#: Fallback order: a failed (or breaker-opened) route falls to the next.
+FALLBACK_CHAIN: tuple[str, ...] = ("jigsaw", "hybrid", "dense")
 
 
 @dataclass
@@ -91,6 +109,14 @@ class BatchExecutor:
     for company before the dispatcher flushes it.  ``run`` submits a
     burst and flushes synchronously, so tests and benches never depend
     on the linger timer.
+
+    Resilience knobs: ``max_pending`` bounds the pending queue (None =
+    unbounded; overflow raises :class:`RejectedError`); ``retry_policy``
+    governs transient-fault retries; ``breaker_threshold`` /
+    ``breaker_cooldown_s`` configure the per-(matrix, route) circuit
+    breakers (or pass a prebuilt ``breakers`` board, e.g. with a fake
+    clock for tests); ``fault_plan`` threads a
+    :class:`~repro.faults.FaultPlan` through every injection site.
     """
 
     def __init__(
@@ -100,13 +126,29 @@ class BatchExecutor:
         batch_window_s: float = 0.002,
         max_workers: int = 4,
         device: DeviceSpec = A100,
+        max_pending: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 0.25,
+        breakers: BreakerBoard | None = None,
+        fault_plan: FaultPlan | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self.registry = registry
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
         self.device = device
+        self.max_pending = max_pending
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breakers = breakers or BreakerBoard(
+            failure_threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        self.fault_plan = fault_plan
+        self._sleep = sleep
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="serve"
         )
@@ -114,8 +156,12 @@ class BatchExecutor:
         self._groups: dict[tuple[str, str], _Group] = {}
         self._ids = itertools.count()
         self._closed = False
+        self._pending = 0
+        self._pending_peak = 0
         self._request_stats: list[RequestStats] = []
         self._batch_stats: list[BatchStats] = []
+        self._retries = 0
+        self._rejected = 0
         self._stats_lock = threading.Lock()
         self._hybrid_plans: dict[str, HybridPlan] = {}
         self._hybrid_lock = threading.Lock()
@@ -127,7 +173,17 @@ class BatchExecutor:
     # -- submission ------------------------------------------------------------
 
     def submit(self, request: SpmmRequest) -> Future:
-        """Enqueue one request; returns a Future of :class:`ServeResult`."""
+        """Enqueue one request; returns a Future of :class:`ServeResult`.
+
+        Raises :class:`ExecutorClosedError` on a closed executor and
+        :class:`RejectedError` when admission control sheds the request;
+        validation failures (unknown matrix/version, bad panel) raise
+        ``KeyError``/``ValueError`` as before.
+        """
+        # Fast-fail before validation; re-checked under the lock below so
+        # a racing close() can never accept work into a dead executor.
+        if self._closed:
+            raise ExecutorClosedError("executor is closed")
         if request.version not in ALL_VERSIONS:
             raise ValueError(f"unknown kernel version {request.version!r}")
         a = self.registry.matrix(request.matrix)  # raises on unknown name
@@ -147,7 +203,16 @@ class BatchExecutor:
         )
         with self._cond:
             if self._closed:
-                raise RuntimeError("executor is closed")
+                raise ExecutorClosedError("executor is closed")
+            if self.max_pending is not None and self._pending >= self.max_pending:
+                with self._stats_lock:
+                    self._rejected += 1
+                raise RejectedError(
+                    f"pending queue full ({self._pending}/{self.max_pending}); "
+                    f"request shed by admission control"
+                )
+            self._pending += 1
+            self._pending_peak = max(self._pending_peak, self._pending)
             key = (request.matrix, request.version)
             group = self._groups.setdefault(key, _Group())
             group.entries.append(entry)
@@ -155,6 +220,7 @@ class BatchExecutor:
                 self._dispatch_locked(key)
             else:
                 self._cond.notify()
+        entry.future.add_done_callback(self._on_request_done)
         return entry.future
 
     def spmm(
@@ -170,8 +236,28 @@ class BatchExecutor:
         )
 
     def run(self, requests: list[SpmmRequest], timeout: float | None = None) -> list[ServeResult]:
-        """Submit a burst, flush, and wait for every result (in order)."""
-        futures = [self.submit(r) for r in requests]
+        """Submit a burst, flush, and wait for every result (in order).
+
+        If a later submit raises (bad shape, admission shed), the
+        already-submitted futures are cancelled (undispatched) or
+        drained (in flight) before the error re-raises — no pending
+        future is ever leaked to block a later ``close()``.
+        """
+        futures: list[Future] = []
+        try:
+            for r in requests:
+                futures.append(self.submit(r))
+        except BaseException:
+            for f in futures:
+                f.cancel()  # undispatched entries resolve to cancelled
+            self.flush()  # dispatch drops cancelled entries; rest complete
+            for f in futures:
+                if not f.cancelled():
+                    try:
+                        f.exception(timeout=60)
+                    except Exception:
+                        pass
+            raise
         self.flush()
         return [f.result(timeout=timeout) for f in futures]
 
@@ -180,6 +266,16 @@ class BatchExecutor:
         with self._cond:
             for key in list(self._groups):
                 self._dispatch_locked(key)
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet completed."""
+        with self._cond:
+            return self._pending
+
+    def _on_request_done(self, _future: Future) -> None:
+        with self._cond:
+            self._pending -= 1
 
     # -- dispatch --------------------------------------------------------------
 
@@ -216,28 +312,108 @@ class BatchExecutor:
         start = perf_counter()
         live: list[_Entry] = []
         for e in entries:
+            if e.future.cancelled():
+                continue
             e.queue_wait_s = start - e.submit_t
             deadline = e.request.deadline_s
             if deadline is not None and e.queue_wait_s > deadline:
-                self._run_dense(e, batch_size=len(entries), expired=True)
+                self._submit_expired_dense(e, batch_size=len(entries))
             else:
                 live.append(e)
         if not live:
             return
         try:
-            was_resident = self.registry.resident(name)
-            plan = self.registry.get(name)
-            if plan.reorder_success:
-                self._run_jigsaw(plan, name, version, live, was_resident)
-            else:
-                self._run_hybrid(name, version, live, was_resident)
-        except BaseException as exc:  # surface, never swallow
+            self._serve_live(name, version, live)
+        except BaseException as exc:  # defense in depth: never leak a future
             for e in live:
-                if not e.future.done():
-                    e.future.set_exception(exc)
+                self._fail(e, exc)
         finally:
             # v4 autotune may have grown the plan past the budget.
             self.registry.enforce_budget()
+
+    def _submit_expired_dense(self, e: _Entry, batch_size: int) -> None:
+        """Run an expired request's dense fallback on the pool.
+
+        The request already missed its deadline; running it inline here
+        would also delay the live batch it is no longer part of."""
+        try:
+            self._pool.submit(self._run_dense, e, batch_size, True)
+        except RuntimeError:
+            # Pool already shutting down: serve inline rather than drop.
+            self._run_dense(e, batch_size, expired=True)
+
+    def _serve_live(self, name: str, version: str, live: list[_Entry]) -> None:
+        """Walk the route chain for one live batch until everyone is served.
+
+        Breaker-denied routes are skipped; a failed batched route counts
+        a breaker failure and falls to the next; the terminal dense route
+        runs per request, isolating a poisoned request's failure to its
+        own future."""
+        was_resident = self.registry.resident(name)
+        plan = None
+        try:
+            plan = call_with_retry(
+                lambda: self.registry.get(name),
+                self.retry_policy,
+                key=f"{name}:registry",
+                sleep=self._sleep,
+                on_retry=self._count_retry,
+            )
+            routes = (
+                list(FALLBACK_CHAIN)
+                if plan.reorder_success
+                else [r for r in FALLBACK_CHAIN if r != "jigsaw"]
+            )
+        except Exception:
+            # Plan admission (or the reorder itself) is broken: the dense
+            # route needs only the raw matrix, so serve instead of erroring.
+            routes = ["dense"]
+        if sum(e.request.b.shape[1] for e in live) == 0:
+            self._resolve_all_empty(name, live, routes[0])
+            return
+        for route in routes:
+            if route == "dense":
+                for e in live:
+                    self._run_dense(e, batch_size=len(live), expired=False)
+                return
+            breaker = self.breakers.get(name, route)
+            if not breaker.allow():
+                continue
+            try:
+                self._run_batched(route, plan, name, version, live, was_resident)
+            except Exception:
+                breaker.record_failure()
+                continue
+            breaker.record_success()
+            return
+        raise AssertionError("route chain must terminate at dense")  # pragma: no cover
+
+    def _run_batched(
+        self,
+        route: str,
+        plan,
+        name: str,
+        version: str,
+        live: list[_Entry],
+        was_resident: bool,
+    ) -> None:
+        """One batched launch on ``route`` with transient-fault retry."""
+        site = f"executor.kernel.{route}"
+
+        def attempt() -> None:
+            maybe_inject(site, self.fault_plan)
+            if route == "jigsaw":
+                self._run_jigsaw(plan, name, version, live, was_resident)
+            else:
+                self._run_hybrid(name, version, live, was_resident)
+
+        call_with_retry(
+            attempt,
+            self.retry_policy,
+            key=f"{name}:{route}",
+            sleep=self._sleep,
+            on_retry=self._count_retry,
+        )
 
     def _run_jigsaw(
         self, plan, name: str, version: str, live: list[_Entry], was_resident: bool
@@ -268,9 +444,24 @@ class BatchExecutor:
 
     def _run_dense(self, e: _Entry, batch_size: int, expired: bool) -> None:
         try:
+            if e.future.cancelled() or e.future.done():
+                return
             a = self.registry.matrix(e.request.matrix)
-            res = cublas_hgemm(
-                a, np.ascontiguousarray(e.request.b, dtype=np.float16), self.device
+            b = np.ascontiguousarray(e.request.b, dtype=np.float16)
+            if b.shape[1] == 0:
+                self._resolve_empty(e, "dense", batch_size, expired=expired)
+                return
+
+            def attempt():
+                maybe_inject("executor.kernel.dense", self.fault_plan)
+                return cublas_hgemm(a, b, self.device)
+
+            res = call_with_retry(
+                attempt,
+                self.retry_policy,
+                key=f"{e.request.matrix}:dense:{e.request_id}",
+                sleep=self._sleep,
+                on_retry=self._count_retry,
             )
             assert res.c is not None
             stats = RequestStats(
@@ -294,10 +485,9 @@ class BatchExecutor:
                 )
             )
             self._record_request(stats)
-            e.future.set_result(ServeResult(c=res.c, stats=stats))
+            self._resolve(e, ServeResult(c=res.c, stats=stats))
         except BaseException as exc:
-            if not e.future.done():
-                e.future.set_exception(exc)
+            self._fail(e, exc)
 
     def _split(
         self,
@@ -322,10 +512,31 @@ class BatchExecutor:
                 registry="hit" if was_resident else "miss",
             )
             self._record_request(stats)
-            e.future.set_result(
-                ServeResult(c=np.ascontiguousarray(c_cat[:, col : col + w]), stats=stats)
+            self._resolve(
+                e, ServeResult(c=np.ascontiguousarray(c_cat[:, col : col + w]), stats=stats)
             )
             col += w
+
+    def _resolve_all_empty(self, name: str, live: list[_Entry], route: str) -> None:
+        """Serve a batch whose every panel is zero-width: no kernel runs."""
+        for e in live:
+            self._resolve_empty(e, route, batch_size=len(live), expired=False)
+
+    def _resolve_empty(
+        self, e: _Entry, route: str, batch_size: int, expired: bool
+    ) -> None:
+        m = self.registry.matrix(e.request.matrix).shape[0]
+        stats = RequestStats(
+            request_id=e.request_id,
+            matrix=e.request.matrix,
+            route=route,
+            batch_size=batch_size,
+            queue_wait_s=e.queue_wait_s,
+            registry="hit" if self.registry.resident(e.request.matrix) else "miss",
+            deadline_expired=expired,
+        )
+        self._record_request(stats)
+        self._resolve(e, ServeResult(c=np.zeros((m, 0), dtype=np.float16), stats=stats))
 
     def _hybrid_plan_for(self, name: str) -> HybridPlan:
         with self._hybrid_lock:
@@ -335,7 +546,29 @@ class BatchExecutor:
                 self._hybrid_plans[name] = hplan
             return hplan
 
+    # -- future resolution -----------------------------------------------------
+
+    @staticmethod
+    def _resolve(e: _Entry, result: ServeResult) -> None:
+        try:
+            e.future.set_result(result)
+        except InvalidStateError:
+            pass  # cancelled (or already failed) while executing
+
+    @staticmethod
+    def _fail(e: _Entry, exc: BaseException) -> None:
+        if e.future.done():
+            return
+        try:
+            e.future.set_exception(exc)
+        except InvalidStateError:
+            pass
+
     # -- observability ---------------------------------------------------------
+
+    def _count_retry(self, _attempt: int, _exc: BaseException) -> None:
+        with self._stats_lock:
+            self._retries += 1
 
     def _record_request(self, stats: RequestStats) -> None:
         with self._stats_lock:
@@ -357,11 +590,22 @@ class BatchExecutor:
         with self._stats_lock:
             requests = list(self._request_stats)
             batches = list(self._batch_stats)
+            retries = self._retries
+            rejected = self._rejected
+        with self._cond:
+            pending_peak = self._pending_peak
         return ServeStats.collect(
             requests,
             batches,
             registry_stats=self.registry.stats,
             reorder_runs=self.registry.reorder_runs,
+            retries=retries,
+            rejected=rejected,
+            pending_peak=pending_peak,
+            quarantined=self.registry.quarantined,
+            store_failures=self.registry.store_failures,
+            breaker_trips=self.breakers.trips,
+            breaker_states=self.breakers.snapshot(),
         )
 
     def request_stats(self) -> list[RequestStats]:
@@ -375,7 +619,9 @@ class BatchExecutor:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Flush pending work, stop the dispatcher, drain the pool."""
+        """Flush pending work, stop the dispatcher, drain the pool.
+
+        Idempotent: later calls return immediately."""
         with self._cond:
             if self._closed:
                 return

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.api import JigsawPlan
 from repro.core.tiles import BLOCK_TILE_SIZES
+from repro.faults import FaultPlan, maybe_inject
 
 from .stats import RegistryStats
 
@@ -60,6 +61,7 @@ class PlanRegistry:
         block_tiles: tuple[int, ...] = BLOCK_TILE_SIZES,
         avoid_bank_conflicts: bool = True,
         workers: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if budget_bytes is not None and budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive (or None for unlimited)")
@@ -68,6 +70,7 @@ class PlanRegistry:
         self.block_tiles = tuple(block_tiles)
         self.avoid_bank_conflicts = avoid_bank_conflicts
         self.workers = workers
+        self.fault_plan = fault_plan
         self.stats = RegistryStats()
         self._matrices: dict[str, np.ndarray] = {}
         self._plans: OrderedDict[str, JigsawPlan] = OrderedDict()
@@ -76,6 +79,8 @@ class PlanRegistry:
         self._retired_reorder_runs = 0
         self._retired_cache_hits = 0
         self._retired_cache_misses = 0
+        self._retired_quarantined = 0
+        self._retired_store_failures = 0
 
     # -- matrices --------------------------------------------------------------
 
@@ -123,6 +128,7 @@ class PlanRegistry:
         Admission of an evicted plan goes through the on-disk plan cache
         (when ``cache_dir`` is set), so it does zero reorder work.
         """
+        maybe_inject("registry.get", self.fault_plan)
         with self._lock:
             plan = self._plans.get(name)
             if plan is not None:
@@ -136,6 +142,7 @@ class PlanRegistry:
                 avoid_bank_conflicts=self.avoid_bank_conflicts,
                 workers=self.workers,
                 cache_dir=self.cache_dir,
+                fault_plan=self.fault_plan,
             )
             self._plans[name] = plan
             self._evict_over_budget(keep=name)
@@ -211,6 +218,8 @@ class PlanRegistry:
         self._retired_reorder_runs += plan.stats.reorder_runs
         self._retired_cache_hits += plan.stats.plan_cache_hits
         self._retired_cache_misses += plan.stats.plan_cache_misses
+        self._retired_quarantined += plan.stats.quarantined
+        self._retired_store_failures += plan.stats.store_failures
 
     # -- aggregated plan counters ----------------------------------------------
 
@@ -238,4 +247,20 @@ class PlanRegistry:
         with self._lock:
             return self._retired_cache_misses + sum(
                 p.stats.plan_cache_misses for p in self._plans.values()
+            )
+
+    @property
+    def quarantined(self) -> int:
+        """Corrupt artifacts moved to quarantine across all plans."""
+        with self._lock:
+            return self._retired_quarantined + sum(
+                p.stats.quarantined for p in self._plans.values()
+            )
+
+    @property
+    def store_failures(self) -> int:
+        """Failed artifact persists across all plans (served from memory)."""
+        with self._lock:
+            return self._retired_store_failures + sum(
+                p.stats.store_failures for p in self._plans.values()
             )

@@ -83,6 +83,20 @@ class ServeStats:
     registry_misses: int = 0
     registry_evictions: int = 0
     reorder_runs: int = 0
+    #: Kernel retry attempts absorbed by the backoff policy.
+    retries: int = 0
+    #: Requests shed by admission control (pending queue full).
+    rejected: int = 0
+    #: High-water mark of the pending queue.
+    pending_peak: int = 0
+    #: Corrupt plan artifacts quarantined and rebuilt.
+    quarantined: int = 0
+    #: Failed artifact persists (the build still served from memory).
+    store_failures: int = 0
+    #: Circuit-breaker trips (closed/half-open -> open transitions).
+    breaker_trips: int = 0
+    #: Current breaker states, keyed ``"matrix/route"``.
+    breaker_states: dict[str, str] = field(default_factory=dict)
 
     @property
     def avg_batch_size(self) -> float:
@@ -92,6 +106,14 @@ class ServeStats:
     def avg_queue_wait_s(self) -> float:
         return self.queue_wait_total_s / self.requests if self.requests else 0.0
 
+    @property
+    def breaker_open(self) -> int:
+        return sum(1 for s in self.breaker_states.values() if s == "open")
+
+    @property
+    def breaker_half_open(self) -> int:
+        return sum(1 for s in self.breaker_states.values() if s == "half_open")
+
     @classmethod
     def collect(
         cls,
@@ -99,8 +121,24 @@ class ServeStats:
         batch_stats: list[BatchStats],
         registry_stats: RegistryStats | None = None,
         reorder_runs: int = 0,
+        retries: int = 0,
+        rejected: int = 0,
+        pending_peak: int = 0,
+        quarantined: int = 0,
+        store_failures: int = 0,
+        breaker_trips: int = 0,
+        breaker_states: dict[str, str] | None = None,
     ) -> "ServeStats":
-        out = cls(reorder_runs=reorder_runs)
+        out = cls(
+            reorder_runs=reorder_runs,
+            retries=retries,
+            rejected=rejected,
+            pending_peak=pending_peak,
+            quarantined=quarantined,
+            store_failures=store_failures,
+            breaker_trips=breaker_trips,
+            breaker_states=dict(breaker_states or {}),
+        )
         for r in request_stats:
             out.requests += 1
             out.route_counts[r.route] += 1

@@ -104,17 +104,19 @@ class TestSerialization:
         back.avoid_bank_conflicts = not back.avoid_bank_conflicts
         assert not roundtrip_equal(jm, back)
 
-    def test_v3_header_carries_flag_and_mma_tile(self, jm):
+    def test_v4_header_carries_flag_mma_tile_and_checksum(self, jm):
         from repro.core.serialization import FORMAT_VERSION
 
         buf = io.BytesIO()
         save_jigsaw(jm, buf)
         buf.seek(0)
-        header = np.load(buf)["header"]
-        assert header[0] == FORMAT_VERSION == 3
+        data = np.load(buf)
+        header = data["header"]
+        assert header[0] == FORMAT_VERSION == 4
         assert len(header) == 8
         assert header[6] == int(jm.avoid_bank_conflicts)
         assert header[7] == jm.config.mma_tile
+        assert data["checksum"].shape == (32,)  # sha256 digest
 
     def test_loads_v1_artifact_with_default_flag(self, jm):
         # A v1 artifact has a 6-field header and no persisted reorder
@@ -182,7 +184,7 @@ class TestSerializationVersionMatrix:
         back = load_jigsaw(self._downgrade(jm, 2))
         assert back.avoid_bank_conflicts is False
 
-    @pytest.mark.parametrize("version", [0, 4, 99])
+    @pytest.mark.parametrize("version", [0, 5, 99])
     def test_unknown_versions_fail_loudly(self, jm, version):
         buf = io.BytesIO()
         save_jigsaw(jm, buf)
@@ -194,6 +196,64 @@ class TestSerializationVersionMatrix:
         buf2.seek(0)
         with pytest.raises(ValueError, match="version"):
             load_jigsaw(buf2)
+
+    def test_v3_artifact_without_checksum_still_loads(self, jm):
+        # A genuine v3 artifact predates the checksum array entirely.
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        data = dict(np.load(buf))
+        del data["checksum"]
+        data["header"][0] = 3
+        out = io.BytesIO()
+        np.savez_compressed(out, **data)
+        out.seek(0)
+        back = load_jigsaw(out)
+        assert roundtrip_equal(jm, back)
+
+    def test_tampered_payload_fails_integrity(self, jm):
+        from repro.core.serialization import ArtifactIntegrityError
+
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        data = dict(np.load(buf))
+        data["s0_values"] = data["s0_values"].copy()
+        data["s0_values"].flat[0] += np.float16(1.0)
+        out = io.BytesIO()
+        np.savez_compressed(out, **data)
+        out.seek(0)
+        with pytest.raises(ArtifactIntegrityError, match="checksum"):
+            load_jigsaw(out)
+        # Forensics path: verify=False skips the digest check.
+        out.seek(0)
+        load_jigsaw(out, verify=False)
+
+    def test_missing_checksum_on_v4_fails_integrity(self, jm):
+        from repro.core.serialization import ArtifactIntegrityError
+
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        data = dict(np.load(buf))
+        del data["checksum"]
+        out = io.BytesIO()
+        np.savez_compressed(out, **data)
+        out.seek(0)
+        with pytest.raises(ArtifactIntegrityError, match="checksum"):
+            load_jigsaw(out)
+
+    def test_truncated_file_raises_typed_artifact_error(self, jm, tmp_path):
+        from repro.core.serialization import ArtifactError
+
+        path = tmp_path / "layer.npz"
+        save_jigsaw(jm, path)
+        path.write_bytes(path.read_bytes()[:40])  # truncate mid-zip
+        with pytest.raises(ArtifactError, match="unreadable"):
+            load_jigsaw(path)
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(ArtifactError):
+            load_jigsaw(path)
 
     def test_v3_roundtrips_non_default_mma_tile(self, jm):
         # The format arrays don't depend on config.mma_tile, so fidelity

@@ -1,0 +1,111 @@
+"""Tests for the circuit breaker state machine (deterministic fake clock)."""
+
+import pytest
+
+from repro.faults import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, clock):
+        br = CircuitBreaker(clock=clock)
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        br = CircuitBreaker(failure_threshold=3, cooldown_s=1.0, clock=clock)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED
+        br.record_failure()
+        assert br.state == OPEN
+        assert br.trips == 1
+        assert not br.allow()
+
+    def test_success_resets_the_failure_count(self, clock):
+        br = CircuitBreaker(failure_threshold=2, clock=clock)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == CLOSED  # streak broken: 1+1 non-consecutive
+
+    def test_half_open_probe_after_cooldown(self, clock):
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        br.record_failure()
+        assert not br.allow()
+        clock.advance(0.5)
+        assert not br.allow()  # still cooling down
+        clock.advance(0.6)
+        assert br.allow()  # the probe
+        assert br.state == HALF_OPEN
+        assert not br.allow()  # only one probe at a time
+
+    def test_probe_success_closes(self, clock):
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        br.record_failure()
+        clock.advance(2.0)
+        assert br.allow()
+        br.record_success()
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, clock):
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        br.record_failure()
+        clock.advance(2.0)
+        assert br.allow()
+        br.record_failure()
+        assert br.state == OPEN
+        assert br.trips == 2
+        assert not br.allow()
+        clock.advance(1.1)
+        assert br.allow()  # next probe window
+
+    def test_zero_cooldown_probes_immediately(self, clock):
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=0.0, clock=clock)
+        br.record_failure()
+        assert br.allow()
+        assert br.state == HALF_OPEN
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestBreakerBoard:
+    def test_keys_are_independent(self, clock):
+        board = BreakerBoard(failure_threshold=1, cooldown_s=9.0, clock=clock)
+        board.get("w0", "jigsaw").record_failure()
+        assert board.get("w0", "jigsaw").state == OPEN
+        assert board.get("w0", "hybrid").state == CLOSED
+        assert board.get("w1", "jigsaw").state == CLOSED
+
+    def test_same_key_same_breaker(self, clock):
+        board = BreakerBoard(clock=clock)
+        assert board.get("w0", "jigsaw") is board.get("w0", "jigsaw")
+
+    def test_snapshot_and_trips(self, clock):
+        board = BreakerBoard(failure_threshold=1, cooldown_s=9.0, clock=clock)
+        board.get("w0", "jigsaw").record_failure()
+        board.get("w0", "hybrid").allow()
+        snap = board.snapshot()
+        assert snap["w0/jigsaw"] == OPEN
+        assert snap["w0/hybrid"] == CLOSED
+        assert board.trips == 1

@@ -1,0 +1,157 @@
+"""Tests for the deterministic fault-injection plan."""
+
+import os
+
+import pytest
+
+from repro.faults import FaultInjectedError, FaultPlan, TransientError, active_plan, maybe_inject
+
+#: CI's chaos job sweeps this seed; determinism must hold for any value.
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+class TestTriggers:
+    def test_unregistered_site_is_a_no_op(self):
+        fp = FaultPlan(seed=CHAOS_SEED)
+        fp.inject("never.registered")  # must not raise
+
+    def test_probability_one_always_fires(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("s", probability=1.0)
+        for _ in range(5):
+            with pytest.raises(FaultInjectedError, match="'s'"):
+                fp.inject("s")
+        assert fp.fire_count("s") == 5
+
+    def test_probability_zero_never_fires(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("s", probability=0.0)
+        for _ in range(100):
+            fp.inject("s")
+        assert fp.fire_count("s") == 0
+
+    def test_count_bounds_fires(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("s", probability=1.0, count=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjectedError):
+                fp.inject("s")
+        fp.inject("s")  # exhausted: silent
+        assert fp.fire_count("s") == 2
+
+    def test_after_skips_initial_evaluations(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("s", probability=1.0, after=3)
+        for _ in range(3):
+            fp.inject("s")
+        with pytest.raises(FaultInjectedError):
+            fp.inject("s")
+
+    def test_custom_error_factory(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add(
+            "s", error=lambda site: KeyError(f"poisoned {site}")
+        )
+        with pytest.raises(KeyError, match="poisoned"):
+            fp.inject("s")
+
+    def test_injected_error_is_transient(self):
+        assert issubclass(FaultInjectedError, TransientError)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan().add("s", probability=1.5)
+        with pytest.raises(ValueError, match="count"):
+            FaultPlan().add("s", count=-1)
+        with pytest.raises(ValueError, match="after"):
+            FaultPlan().add("s", after=-1)
+
+
+class TestDeterminism:
+    def _pattern(self, seed, site, n=200, p=0.3):
+        fp = FaultPlan(seed=seed).add(site, probability=p)
+        fired = []
+        for _ in range(n):
+            try:
+                fp.inject(site)
+            except FaultInjectedError:
+                fired.append(True)
+            else:
+                fired.append(False)
+        return fired
+
+    def test_same_seed_same_site_same_pattern(self):
+        assert self._pattern(CHAOS_SEED, "a") == self._pattern(CHAOS_SEED, "a")
+
+    def test_different_seeds_differ(self):
+        assert self._pattern(CHAOS_SEED, "a") != self._pattern(CHAOS_SEED + 1, "a")
+
+    def test_sites_draw_independently(self):
+        # Site b's presence must not perturb site a's sequence.
+        fp = FaultPlan(seed=CHAOS_SEED).add("a", probability=0.3).add("b", probability=0.3)
+        fired = []
+        for _ in range(200):
+            try:
+                fp.inject("a")
+            except FaultInjectedError:
+                fired.append(True)
+            else:
+                fired.append(False)
+            try:
+                fp.inject("b")
+            except FaultInjectedError:
+                pass
+        assert fired == self._pattern(CHAOS_SEED, "a")
+
+    def test_reset_replays_the_sequence(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("a", probability=0.3)
+        def collect():
+            out = []
+            for _ in range(50):
+                try:
+                    fp.inject("a")
+                except FaultInjectedError:
+                    out.append(True)
+                else:
+                    out.append(False)
+            return out
+        first = collect()
+        fp.reset()
+        assert collect() == first
+        assert fp.counters()["a"][0] == 50  # evaluated counter re-zeroed then re-run
+
+
+class TestLifecycle:
+    def test_disable_stops_injection_keeps_counters(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("s", probability=1.0)
+        with pytest.raises(FaultInjectedError):
+            fp.inject("s")
+        fp.disable()
+        fp.inject("s")
+        assert fp.fire_count("s") == 1
+        fp.enable()
+        with pytest.raises(FaultInjectedError):
+            fp.inject("s")
+
+    def test_context_manager_arms_global_plan(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("s", probability=1.0)
+        assert active_plan() is None
+        maybe_inject("s")  # disarmed: no-op
+        with fp:
+            assert active_plan() is fp
+            with pytest.raises(FaultInjectedError):
+                maybe_inject("s")
+        assert active_plan() is None
+        maybe_inject("s")
+
+    def test_nested_arming_rejected(self):
+        with FaultPlan() as _fp:
+            with pytest.raises(RuntimeError, match="armed"):
+                FaultPlan().__enter__()
+
+    def test_explicit_plan_overrides_global(self):
+        explicit = FaultPlan(seed=CHAOS_SEED).add("s", probability=1.0)
+        with pytest.raises(FaultInjectedError):
+            maybe_inject("s", explicit)
+
+    def test_total_fired(self):
+        fp = FaultPlan(seed=CHAOS_SEED).add("a", count=1).add("b", count=1)
+        for site in ("a", "b"):
+            with pytest.raises(FaultInjectedError):
+                fp.inject(site)
+        assert fp.total_fired == 2

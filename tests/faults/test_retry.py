@@ -1,0 +1,90 @@
+"""Tests for bounded retry with deterministic-jitter backoff."""
+
+import pytest
+
+from repro.faults import FaultInjectedError, RetryPolicy, TransientError, call_with_retry
+
+
+class Flaky:
+    """Fails the first ``failures`` calls with ``error``, then returns 42."""
+
+    def __init__(self, failures, error=TransientError):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"boom {self.calls}")
+        return 42
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_capped(self):
+        p = RetryPolicy(base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03, jitter=0.0)
+        assert p.backoff_s(0) == pytest.approx(0.01)
+        assert p.backoff_s(1) == pytest.approx(0.02)
+        assert p.backoff_s(2) == pytest.approx(0.03)  # capped
+        assert p.backoff_s(5) == pytest.approx(0.03)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(base_delay_s=0.01, jitter=0.5)
+        d1 = p.backoff_s(0, key="w0:jigsaw")
+        assert d1 == p.backoff_s(0, key="w0:jigsaw")  # same key: same delay
+        assert d1 != p.backoff_s(0, key="w1:jigsaw")  # keyed jitter
+        assert 0.005 <= d1 <= 0.01  # shrinks by at most `jitter` fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+
+
+class TestCallWithRetry:
+    def _policy(self):
+        return RetryPolicy(max_attempts=3, base_delay_s=0.001)
+
+    def test_transient_failures_are_retried(self):
+        sleeps = []
+        fn = Flaky(failures=2)
+        result = call_with_retry(fn, self._policy(), sleep=sleeps.append)
+        assert result == 42
+        assert fn.calls == 3
+        assert len(sleeps) == 2
+        assert all(s > 0 for s in sleeps)
+
+    def test_exhaustion_raises_final_error(self):
+        fn = Flaky(failures=99)
+        with pytest.raises(TransientError, match="boom 3"):
+            call_with_retry(fn, self._policy(), sleep=lambda s: None)
+        assert fn.calls == 3
+
+    def test_injected_faults_count_as_transient(self):
+        fn = Flaky(failures=1, error=FaultInjectedError)
+        assert call_with_retry(fn, self._policy(), sleep=lambda s: None) == 42
+
+    def test_non_transient_errors_propagate_immediately(self):
+        fn = Flaky(failures=1, error=ValueError)
+        with pytest.raises(ValueError):
+            call_with_retry(fn, self._policy(), sleep=lambda s: None)
+        assert fn.calls == 1  # no retry
+
+    def test_on_retry_hook_observes_attempts(self):
+        seen = []
+        fn = Flaky(failures=2)
+        call_with_retry(
+            fn,
+            self._policy(),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert [a for a, _ in seen] == [0, 1]
+
+    def test_single_attempt_policy_never_sleeps(self):
+        sleeps = []
+        fn = Flaky(failures=1)
+        with pytest.raises(TransientError):
+            call_with_retry(fn, RetryPolicy(max_attempts=1), sleep=sleeps.append)
+        assert sleeps == []

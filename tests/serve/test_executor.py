@@ -205,6 +205,136 @@ class TestConcurrency:
         assert registry.reorder_runs <= 6  # never recomputes after warm-up
 
 
+class TestLifecycleEdges:
+    def test_double_close_is_idempotent(self, registry):
+        ex = BatchExecutor(registry)
+        ex.close()
+        ex.close()  # must not raise or hang
+
+    def test_submit_after_close_raises_typed_error(self, registry, rng):
+        from repro.serve import ExecutorClosedError
+
+        ex = BatchExecutor(registry)
+        ex.close()
+        with pytest.raises(ExecutorClosedError):
+            ex.spmm("w0", _panel(rng))
+
+    def test_close_vs_submit_race_never_hangs(self, registry, rng):
+        # Hammer submit from several threads while close() lands in the
+        # middle: every submit must either produce a future that
+        # completes, or raise the typed closed error — no hangs, no
+        # futures stranded pending.
+        from repro.serve import ExecutorClosedError
+
+        for _ in range(5):
+            ex = BatchExecutor(registry, max_batch=2, max_workers=2)
+            futures, errors = [], []
+            lock = threading.Lock()
+            start = threading.Barrier(5)
+
+            def submitter():
+                start.wait()
+                for _ in range(10):
+                    try:
+                        f = ex.spmm("w0", _panel(rng, n=4))
+                    except ExecutorClosedError:
+                        errors.append(1)
+                    else:
+                        with lock:
+                            futures.append(f)
+
+            def closer():
+                start.wait()
+                ex.close()
+
+            threads = [threading.Thread(target=submitter) for _ in range(4)]
+            threads.append(threading.Thread(target=closer))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            ex.close()
+            for f in futures:
+                res = f.result(timeout=60)  # accepted => must complete
+                assert res.c.shape[0] == 64
+
+    def test_run_empty_burst(self, registry):
+        with BatchExecutor(registry) as ex:
+            assert ex.run([]) == []
+
+    def test_run_does_not_leak_futures_when_a_submit_raises(self, registry, rng):
+        # A burst whose 3rd request has a bad shape: run() must cancel or
+        # drain the first two before re-raising, so a close() right after
+        # cannot block on stranded work and pending drains to zero.
+        with BatchExecutor(registry, max_batch=64) as ex:
+            reqs = [
+                SpmmRequest("w0", _panel(rng)),
+                SpmmRequest("w0", _panel(rng)),
+                SpmmRequest("w0", np.zeros((3, 3), np.float16)),  # bad rows
+            ]
+            with pytest.raises(ValueError, match="rows"):
+                ex.run(reqs)
+            deadline = __import__("time").perf_counter() + 60
+            while ex.pending and __import__("time").perf_counter() < deadline:
+                __import__("time").sleep(0.005)
+            assert ex.pending == 0
+
+
+class TestZeroWidthPanels:
+    def test_zero_width_panel_alone(self, registry, rng):
+        with BatchExecutor(registry, max_batch=4) as ex:
+            res = ex.run([SpmmRequest("w0", np.zeros((128, 0), np.float16))])[0]
+        assert res.c.shape == (64, 0)
+        assert res.c.dtype == np.float16
+
+    def test_zero_width_mixed_into_batch(self, registry, rng):
+        with BatchExecutor(registry, max_batch=4) as ex:
+            reqs = [
+                SpmmRequest("w0", _panel(rng, n=8)),
+                SpmmRequest("w0", np.zeros((128, 0), np.float16)),
+                SpmmRequest("w0", _panel(rng, n=4)),
+            ]
+            results = ex.run(reqs)
+        assert [r.c.shape[1] for r in results] == [8, 0, 4]
+        for res, req in zip(results, reqs):
+            if req.b.shape[1]:
+                np.testing.assert_allclose(
+                    res.c, _reference(registry, "w0", req.b), rtol=1e-3, atol=1e-2
+                )
+
+    def test_zero_width_expired_dense(self, registry, rng):
+        with BatchExecutor(registry, max_batch=4) as ex:
+            res = ex.run(
+                [SpmmRequest("w0", np.zeros((128, 0), np.float16), deadline_s=0.0)]
+            )[0]
+        assert res.c.shape == (64, 0)
+        assert res.stats.deadline_expired
+
+
+class TestExpiredDense:
+    def test_expired_request_runs_on_pool_not_inline(self, registry, rng):
+        # The expired request's dense fallback must be handed to the
+        # pool, not run inline ahead of the live batch's kernel launch.
+        submitted_fns = []
+        with BatchExecutor(registry, max_batch=8) as ex:
+            real_submit = ex._pool.submit
+
+            def spying_submit(fn, *a, **kw):
+                submitted_fns.append(fn.__name__)
+                return real_submit(fn, *a, **kw)
+
+            ex._pool.submit = spying_submit
+            results = ex.run(
+                [
+                    SpmmRequest("w0", _panel(rng), deadline_s=0.0),
+                    SpmmRequest("w0", _panel(rng)),
+                ]
+            )
+            ex._pool.submit = real_submit
+        assert [r.stats.route for r in results] == ["dense", "jigsaw"]
+        assert "_run_dense" in submitted_fns
+
+
 class TestStats:
     def test_serve_stats_aggregation(self, registry, rng):
         with BatchExecutor(registry, max_batch=4) as ex:

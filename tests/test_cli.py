@@ -81,3 +81,16 @@ class TestCommands:
         )
         assert rc == 0
         assert "jigsaw" in capsys.readouterr().out
+
+    def test_chaos_bench(self, capsys, tmp_path):
+        rc = main(
+            ["chaos-bench", "--matrices", "1", "--requests", "8", "--m", "64",
+             "--k", "128", "--n", "16", "--v", "4", "--fault-rate", "0.9",
+             "--max-batch", "4", "--breaker-cooldown-s", "0.01",
+             "--plan-cache", str(tmp_path)]
+        )
+        assert rc == 0  # zero raised futures is the exit contract
+        out = capsys.readouterr().out
+        assert "chaos drill" in out
+        assert "artifacts quarantined" in out
+        assert "breakers all re-closed" in out
