@@ -1,0 +1,132 @@
+"""Observability overhead — the disarmed path must cost (almost) nothing.
+
+The tracing instrumentation stays in production code unconditionally
+(the ``NULL_TRACER`` pattern), so the claim to defend is: serving
+throughput with tracing *disabled* regresses < 2% against the identical
+no-op baseline, measured in the same bench run.  A second phase arms the
+tracer and reports what full tracing costs, plus a microbench of the
+disarmed primitives themselves.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.data import expand_to_vector_sparse
+from repro.obs import NULL_TRACER, Tracer
+from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
+
+from conftest import emit
+
+REQUESTS = 16
+REPEATS = 5
+
+
+def _matrix(seed: int, m: int = 128, k: int = 256, sparsity: float = 0.9) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    base = rng.random((m // 4, k)) >= sparsity
+    return expand_to_vector_sparse(base, 4, rng)
+
+
+def _serve_once(registry, rng, tracer) -> float:
+    """Wall seconds to serve REQUESTS requests with the given tracer.
+
+    One matrix and ``max_batch == REQUESTS`` so every run executes as a
+    single launch: the (deterministic) simulated-kernel computation
+    dominates, instead of scheduler-dependent batch groupings.
+    """
+    reqs = [
+        SpmmRequest("w0", rng.standard_normal((256, 512)).astype(np.float16))
+        for _ in range(REQUESTS)
+    ]
+    with BatchExecutor(registry, max_batch=REQUESTS, tracer=tracer) as ex:
+        t0 = time.perf_counter()
+        ex.run(reqs)
+        return time.perf_counter() - t0
+
+
+# Generous over-count of disarmed instrumentation touches per request:
+# submit-side enabled check, queue/batch/kernel add_span skips, the
+# done-callback end_span, plus every metric increment on the path.
+SITES_PER_REQUEST = 50
+
+
+def test_disarmed_tracing_overhead_under_two_percent(tmp_path):
+    """The disarmed instrumentation must cost < 2% of a request's
+    service time.
+
+    Wall-clock A/B of two identical disarmed runs is reported for the
+    record, but the *assertion* uses the noise-free decomposition:
+    (measured per-call cost of a disarmed primitive) x (a generous
+    over-count of instrumentation sites per request) against the
+    measured per-request service time — thread-pool scheduling jitter at
+    the tens-of-ms scale would otherwise dwarf the effect being bounded.
+    """
+    registry = PlanRegistry(cache_dir=tmp_path)
+    registry.register("w0", _matrix(1))
+    rng = np.random.default_rng(7)
+    _serve_once(registry, rng, NULL_TRACER)  # warm-up: plans built, pools up
+
+    # Interleave configurations each round so drift hits all three alike.
+    times = {"base": [], "disarmed": [], "armed": []}
+    for _ in range(REPEATS):
+        times["base"].append(_serve_once(registry, rng, NULL_TRACER))
+        times["disarmed"].append(_serve_once(registry, rng, NULL_TRACER))
+        times["armed"].append(_serve_once(registry, rng, Tracer()))
+    base = min(times["base"])
+    disarmed = min(times["disarmed"])
+    armed = min(times["armed"])
+
+    # Stable per-call cost of the disarmed primitives (tight loop).
+    n = 50_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with NULL_TRACER.span("x"):
+            pass
+        NULL_TRACER.add_span("y", 0.0, 1.0)
+        NULL_TRACER.event("e")
+    per_call = (time.perf_counter() - t0) / (3 * n)
+    per_request = base / REQUESTS
+    bound = SITES_PER_REQUEST * per_call / per_request
+
+    disarmed_reg = disarmed / base - 1.0
+    armed_reg = armed / base - 1.0
+    emit(
+        "Observability overhead (best of %d, %d requests)" % (REPEATS, REQUESTS),
+        render_table(
+            ["measurement", "value", "vs baseline"],
+            [
+                ["no-op baseline (NULL_TRACER)", f"{base:.4f} s", "-"],
+                ["tracing disabled (wall A/B)", f"{disarmed:.4f} s", f"{disarmed_reg:+.2%}"],
+                ["tracing armed (wall)", f"{armed:.4f} s", f"{armed_reg:+.2%}"],
+                ["disarmed primitive", f"{per_call * 1e9:.0f} ns/call", "-"],
+                [
+                    f"disarmed bound ({SITES_PER_REQUEST} sites/req)",
+                    f"{SITES_PER_REQUEST * per_call * 1e6:.2f} us/req",
+                    f"{bound:+.3%}",
+                ],
+            ],
+        ),
+    )
+    assert bound < 0.02, (
+        f"disarmed instrumentation bound {bound:.2%} >= 2% of the "
+        f"{per_request * 1e3:.2f} ms per-request service time"
+    )
+
+
+def test_null_tracer_primitives_are_cheap():
+    """Disarmed primitives: well under a microsecond per call."""
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with NULL_TRACER.span("x"):
+            pass
+        NULL_TRACER.event("e")
+        NULL_TRACER.add_span("y", 0.0, 1.0)
+    per_call = (time.perf_counter() - t0) / (3 * n)
+    emit(
+        "NULL_TRACER primitive cost",
+        f"{per_call * 1e9:.0f} ns per disarmed call (span/event/add_span avg)",
+    )
+    assert per_call < 5e-6

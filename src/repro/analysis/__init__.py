@@ -6,6 +6,12 @@ from .campaign import (
     render_campaign,
     run_campaign,
 )
+from .dashboard import (
+    counter_rows,
+    histogram_rows,
+    render_dashboard,
+    span_rows,
+)
 from .export import result_rows, to_csv, to_json
 from .figures import (
     Fig1Point,
@@ -69,6 +75,10 @@ __all__ = [
     "CampaignResult",
     "render_campaign",
     "run_campaign",
+    "counter_rows",
+    "histogram_rows",
+    "render_dashboard",
+    "span_rows",
     "result_rows",
     "to_csv",
     "to_json",

@@ -1,0 +1,133 @@
+"""ASCII observability dashboard over the metrics registry + span buffer.
+
+``render_dashboard`` is the terminal view of what the ``--metrics-out``
+and ``--trace-out`` artifacts export: counters and gauges as tables,
+histograms with their p50/p95/p99 estimates (queue wait above all — the
+quantiles the serving acceptance criteria read), and a per-span-name
+roll-up of the trace (count, total and mean duration) so "where did the
+time go?" has a one-screen answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    SpanBuffer,
+    Tracer,
+    get_metrics,
+)
+
+from .report import render_table
+
+
+def _fmt(v: float) -> str:
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def counter_rows(registry: MetricsRegistry) -> list[list[str]]:
+    """One row per (counter-or-gauge, label set)."""
+    rows = []
+    for metric in registry.metrics():
+        if not isinstance(metric, (Counter, Gauge)):
+            continue
+        for labels, value in metric.samples():
+            rows.append([metric.name, _fmt_labels(labels), _fmt(value)])
+    return rows
+
+
+def histogram_rows(registry: MetricsRegistry) -> list[list[str]]:
+    """One row per (histogram, label set) with count/sum/p50/p95/p99."""
+    rows = []
+    for metric in registry.metrics():
+        if not isinstance(metric, Histogram):
+            continue
+        for labels, _counts, total, count in metric.series():
+            kw = dict(labels)
+            p = metric.percentiles(**kw)
+            rows.append(
+                [
+                    metric.name,
+                    _fmt_labels(labels),
+                    str(count),
+                    f"{total:.6g}",
+                    f"{p['p50']:.6g}",
+                    f"{p['p95']:.6g}",
+                    f"{p['p99']:.6g}",
+                ]
+            )
+    return rows
+
+
+def span_rows(spans: Iterable[Span]) -> list[list[str]]:
+    """Per-span-name roll-up: count, total seconds, mean seconds."""
+    agg: dict[str, tuple[int, float]] = {}
+    for s in spans:
+        n, total = agg.get(s.name, (0, 0.0))
+        agg[s.name] = (n + 1, total + s.duration_s)
+    return [
+        [name, str(n), f"{total:.6g}", f"{total / n:.6g}"]
+        for name, (n, total) in sorted(agg.items())
+    ]
+
+
+def render_dashboard(
+    metrics: MetricsRegistry | None = None,
+    spans: Tracer | SpanBuffer | Iterable[Span] | None = None,
+) -> str:
+    """The whole observability state as one ASCII report.
+
+    ``metrics=None`` reads the process-global registry; ``spans`` may be
+    a tracer, a span buffer, or an iterable of spans (None = no trace
+    section).  Empty registries render explicit "(no ...)" placeholders
+    rather than empty tables.
+    """
+    registry = metrics if metrics is not None else get_metrics()
+    blocks: list[str] = []
+
+    rows = counter_rows(registry)
+    blocks.append("== counters / gauges ==")
+    blocks.append(
+        render_table(["metric", "labels", "value"], rows) if rows else "(no metrics)"
+    )
+
+    hrows = histogram_rows(registry)
+    blocks.append("")
+    blocks.append("== histograms (quantiles are bucket-interpolated) ==")
+    blocks.append(
+        render_table(
+            ["histogram", "labels", "count", "sum", "p50", "p95", "p99"], hrows
+        )
+        if hrows
+        else "(no histograms)"
+    )
+
+    if spans is not None:
+        if isinstance(spans, Tracer):
+            span_list = spans.buffer.snapshot()
+        elif isinstance(spans, SpanBuffer):
+            span_list = spans.snapshot()
+        else:
+            span_list = list(spans)
+        srows = span_rows(span_list)
+        blocks.append("")
+        blocks.append("== spans ==")
+        blocks.append(
+            render_table(["span", "count", "total_s", "mean_s"], srows)
+            if srows
+            else "(no spans)"
+        )
+    return "\n".join(blocks)

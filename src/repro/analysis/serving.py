@@ -17,6 +17,13 @@ def serving_rows(stats: ServeStats) -> list[list[str]]:
     ]
     for route in ROUTES:
         rows.append([f"route: {route}", str(stats.route_counts.get(route, 0))])
+    for route in ROUTES:
+        rows.append(
+            [
+                f"kernel time: {route}",
+                f"{stats.route_kernel_us.get(route, 0.0):.2f} us",
+            ]
+        )
     rows += [
         ["deadline expired", str(stats.deadline_expired)],
         ["avg queue wait", f"{stats.avg_queue_wait_s * 1e3:.3f} ms"],
@@ -24,6 +31,7 @@ def serving_rows(stats: ServeStats) -> list[list[str]]:
         ["simulated kernel time", f"{stats.batch_kernel_us_total:.2f} us"],
         ["registry hits", str(stats.registry_hits)],
         ["registry misses", str(stats.registry_misses)],
+        ["request registry hit/miss", f"{stats.request_registry_hits}/{stats.request_registry_misses}"],
         ["registry evictions", str(stats.registry_evictions)],
         ["reorder runs", str(stats.reorder_runs)],
         ["kernel retries", str(stats.retries)],

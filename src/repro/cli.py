@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 import numpy as np
@@ -219,8 +220,58 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _observability(args: argparse.Namespace):
+    """Arm tracing + a fresh metrics registry for one CLI run.
+
+    Active only when ``--trace-out`` or ``--metrics-out`` was given;
+    otherwise the process keeps the disarmed :data:`NULL_TRACER` and the
+    command pays no tracing cost.  On exit the artifacts are written,
+    the dashboard is printed, and the previous tracer/registry are
+    restored even if the command raised.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield None
+        return
+
+    from repro.analysis import render_dashboard
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        export_metrics,
+        export_spans_jsonl,
+        set_metrics,
+        set_tracer,
+    )
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    prev_tracer = set_tracer(tracer)
+    prev_metrics = set_metrics(registry)
+    try:
+        yield tracer
+    finally:
+        set_tracer(prev_tracer)
+        set_metrics(prev_metrics)
+        print()
+        print(render_dashboard(metrics=registry, spans=tracer))
+        if trace_out:
+            n = export_spans_jsonl(tracer, trace_out)
+            print(f"\n{n} spans written to {trace_out}")
+        if metrics_out:
+            export_metrics(registry, metrics_out)
+            print(f"metrics written to {metrics_out}")
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """Drive the serving engine with synthetic traffic and report stats."""
+    with _observability(args):
+        return _serve_bench(args)
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
     import tempfile
 
     from repro.analysis import render_serving, render_table
@@ -288,6 +339,11 @@ def cmd_chaos_bench(args: argparse.Namespace) -> int:
     breaker probes restoring the fast path.  Exit status is nonzero if
     any request's future raised.
     """
+    with _observability(args):
+        return _chaos_bench(args)
+
+
+def _chaos_bench(args: argparse.Namespace) -> int:
     import tempfile
     from pathlib import Path
 
@@ -444,6 +500,24 @@ def _add_preprocessing_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_flags(p: argparse.ArgumentParser) -> None:
+    """Tracing/metrics export flags shared by the serving commands."""
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="arm the tracer and export a JSONL span trace of the run "
+        "(one JSON object per completed span)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="collect into a fresh metrics registry and export it in "
+        "Prometheus text exposition format",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -528,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request queue deadline; expired requests take the dense fallback",
     )
     _add_preprocessing_flags(p)
+    _add_observability_flags(p)
     p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser(
@@ -559,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breaker-threshold", type=int, default=3)
     p.add_argument("--breaker-cooldown-s", type=float, default=0.05)
     _add_preprocessing_flags(p)
+    _add_observability_flags(p)
     p.set_defaults(func=cmd_chaos_bench)
 
     p = sub.add_parser("verify", help="functional cross-check of every system")

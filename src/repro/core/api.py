@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.faults import FaultPlan, maybe_inject
 from repro.gpu.device import A100, DeviceSpec
+from repro.obs import get_metrics, get_tracer
 
 from .engine import PlanStats, PreprocessStats, plan_cache_key, preprocess
 from .format import JigsawMatrix
@@ -131,12 +132,19 @@ class JigsawPlan:
         if path is not None:
             pstats.plan_cache = "miss"
             self.stats.plan_cache_misses += 1
+            get_metrics().counter(
+                "repro_plan_cache_total", "persistent plan-cache lookups by outcome"
+            ).inc(outcome="miss")
             try:
                 self._store(jm, path)
             except Exception:
                 # A failed persist must not fail the build: the in-memory
                 # format serves, the next construction just rebuilds.
                 self.stats.store_failures += 1
+                get_metrics().counter(
+                    "repro_plan_artifact_events_total",
+                    "plan artifact incidents (quarantine, failed persist)",
+                ).inc(event="store_failure")
         self.stats.runs.append(pstats)
         return jm
 
@@ -164,16 +172,32 @@ class JigsawPlan:
             or jm.avoid_bank_conflicts != avoid
         ):
             return None
+        t1 = time.perf_counter()
         self.stats.plan_cache_hits += 1
         self.stats.runs.append(
             PreprocessStats(
                 shape=jm.shape,
                 block_tile=config.block_tile,
-                load_seconds=time.perf_counter() - t0,
+                load_seconds=t1 - t0,
                 slabs=len(jm.slabs),
                 plan_cache="hit",
             )
         )
+        get_metrics().counter(
+            "repro_plan_cache_total", "persistent plan-cache lookups by outcome"
+        ).inc(outcome="hit")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "preprocess.load",
+                start_s=t0,
+                end_s=t1,
+                attrs={
+                    "block_tile": config.block_tile,
+                    "plan_cache": "hit",
+                    "slabs": len(jm.slabs),
+                },
+            )
         return jm
 
     def _quarantine(self, path: Path) -> None:
@@ -187,6 +211,11 @@ class JigsawPlan:
             # either way the rebuild below proceeds.
             return
         self.stats.quarantined += 1
+        get_metrics().counter(
+            "repro_plan_artifact_events_total",
+            "plan artifact incidents (quarantine, failed persist)",
+        ).inc(event="quarantined")
+        get_tracer().event("plan.artifact.quarantined", attrs={"path": path.name})
 
     def _store(self, jm: JigsawMatrix, path: Path) -> None:
         """Atomically persist an artifact (tmp file + rename)."""

@@ -24,8 +24,11 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
+
+from repro.obs import get_metrics, get_tracer
 
 from .format import JigsawMatrix
 from .reorder import reorder_matrix
@@ -119,22 +122,30 @@ def preprocess(
     config: TileConfig | None = None,
     avoid_bank_conflicts: bool = True,
     workers: int | None = None,
+    clock: Callable[[], float] | None = None,
 ) -> tuple[JigsawMatrix, PreprocessStats]:
     """Reorder + compress ``a`` with per-stage timing.
 
     Equivalent to ``JigsawMatrix.build`` (bit-identical output) but also
     returns the :class:`PreprocessStats` observability record.
+
+    ``clock`` injects the stage timer (default ``time.perf_counter``);
+    when the process-wide :class:`~repro.obs.Tracer` is armed, a
+    ``preprocess`` span with ``preprocess.reorder`` /
+    ``preprocess.compress`` children is recorded in that clock's domain,
+    carrying the cover-cache outcome as span attrs.
     """
     config = config or TileConfig()
-    t0 = time.perf_counter()
+    clock = clock or time.perf_counter
+    t0 = clock()
     reorder = reorder_matrix(
         a, config, avoid_bank_conflicts=avoid_bank_conflicts, workers=workers
     )
-    t1 = time.perf_counter()
+    t1 = clock()
     jm = JigsawMatrix.from_reorder(
         a, reorder, avoid_bank_conflicts=avoid_bank_conflicts
     )
-    t2 = time.perf_counter()
+    t2 = clock()
     stats = PreprocessStats(
         shape=jm.shape,
         block_tile=config.block_tile,
@@ -147,7 +158,48 @@ def preprocess(
         cover_cache_hits=reorder.cover_cache_hits,
         cover_cache_misses=reorder.cover_cache_misses,
     )
+    _observe_preprocess(stats, t0, t1, t2)
     return jm, stats
+
+
+def _observe_preprocess(
+    stats: PreprocessStats, t0: float, t1: float, t2: float
+) -> None:
+    """Emit the preprocess span tree + stage metrics for one build."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        root = tracer.add_span(
+            "preprocess",
+            start_s=t0,
+            end_s=t2,
+            attrs={
+                "shape": list(stats.shape),
+                "block_tile": stats.block_tile,
+                "workers_used": stats.workers_used,
+                "slabs": stats.slabs,
+                "cover_cache_hits": stats.cover_cache_hits,
+                "cover_cache_misses": stats.cover_cache_misses,
+                "plan_cache": stats.plan_cache,
+            },
+        )
+        tracer.add_span("preprocess.reorder", start_s=t0, end_s=t1, parent=root)
+        tracer.add_span("preprocess.compress", start_s=t1, end_s=t2, parent=root)
+    metrics = get_metrics()
+    seconds = metrics.counter(
+        "repro_preprocess_seconds_total", "wall seconds per preprocessing stage"
+    )
+    seconds.inc(stats.reorder_seconds, stage="reorder")
+    seconds.inc(stats.compress_seconds, stage="compress")
+    metrics.counter(
+        "repro_preprocess_runs_total", "preprocessing executions (reorder+compress)"
+    ).inc()
+    cover = metrics.counter(
+        "repro_cover_cache_total", "tile-cover memo cache lookups by outcome"
+    )
+    if stats.cover_cache_hits:
+        cover.inc(stats.cover_cache_hits, outcome="hit")
+    if stats.cover_cache_misses:
+        cover.inc(stats.cover_cache_misses, outcome="miss")
 
 
 def plan_cache_key(

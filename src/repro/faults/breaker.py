@@ -23,6 +23,8 @@ import threading
 from time import monotonic
 from typing import Callable
 
+from repro.obs import get_metrics, get_tracer
+
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
@@ -32,7 +34,10 @@ class CircuitBreaker:
     """Closed/open/half-open breaker with a single-probe half-open state.
 
     ``clock`` is injectable for deterministic tests (defaults to
-    ``time.monotonic``).
+    ``time.monotonic``).  ``name`` labels the breaker in emitted
+    observability events (the executor uses ``"matrix/route"``); every
+    state transition is emitted as a ``breaker.transition`` trace event
+    and counted in ``repro_breaker_transitions_total``.
     """
 
     def __init__(
@@ -40,6 +45,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown_s: float = 0.25,
         clock: Callable[[], float] = monotonic,
+        name: str = "",
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -48,6 +54,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self.clock = clock
+        self.name = name
         self.trips = 0
         self._state = CLOSED
         self._failures = 0
@@ -60,30 +67,51 @@ class CircuitBreaker:
         with self._lock:
             return self._state
 
+    def _emit_transition(self, old: str, new: str) -> None:
+        """Emit one state transition (called outside the breaker lock)."""
+        get_tracer().event(
+            "breaker.transition",
+            attrs={"breaker": self.name, "from": old, "to": new},
+        )
+        get_metrics().counter(
+            "repro_breaker_transitions_total",
+            "circuit-breaker state transitions by destination state",
+        ).inc(to=new)
+
     def allow(self) -> bool:
         """Whether a request (or probe) may take this route now."""
+        transition = None
         with self._lock:
             if self._state == CLOSED:
                 return True
             if self._state == OPEN:
                 if self.clock() - self._opened_at < self.cooldown_s:
                     return False
+                transition = (OPEN, HALF_OPEN)
                 self._state = HALF_OPEN
                 self._probe_in_flight = True
-                return True
-            # half-open: one probe at a time.
-            if self._probe_in_flight:
+            elif self._probe_in_flight:
+                # half-open: one probe at a time.
                 return False
-            self._probe_in_flight = True
-            return True
+            else:
+                self._probe_in_flight = True
+        if transition is not None:
+            self._emit_transition(*transition)
+        return True
 
     def record_success(self) -> None:
+        transition = None
         with self._lock:
+            if self._state != CLOSED:
+                transition = (self._state, CLOSED)
             self._failures = 0
             self._probe_in_flight = False
             self._state = CLOSED
+        if transition is not None:
+            self._emit_transition(*transition)
 
     def record_failure(self) -> None:
+        transition = None
         with self._lock:
             self._probe_in_flight = False
             if self._state == CLOSED:
@@ -93,9 +121,13 @@ class CircuitBreaker:
                 self.trips += 1
             elif self._state == HALF_OPEN:
                 self.trips += 1
+            if self._state != OPEN:
+                transition = (self._state, OPEN)
             self._state = OPEN
             self._failures = 0
             self._opened_at = self.clock()
+        if transition is not None:
+            self._emit_transition(*transition)
 
 
 class BreakerBoard:
@@ -126,6 +158,7 @@ class BreakerBoard:
                     failure_threshold=self.failure_threshold,
                     cooldown_s=self.cooldown_s,
                     clock=self.clock,
+                    name=f"{matrix}/{route}",
                 )
                 self._breakers[key] = br
             return br

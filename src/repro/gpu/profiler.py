@@ -49,16 +49,32 @@ class KernelProfile:
     def smem_bank_conflicts(self) -> int:
         return self.smem.conflicts
 
+    #: Candidate duration bounds in tie-break priority order: when two
+    #: components contribute exactly the same cycle count, the earlier
+    #: name wins (compute > memory > smem > issue > stall), so ``bound``
+    #: is deterministic rather than dict-insertion-order dependent.
+    BOUND_PRIORITY: tuple[str, ...] = ("compute", "memory", "smem", "issue", "stall")
+
     @property
     def bound(self) -> str:
-        """Which resource bound the duration: compute / memory / smem / issue."""
+        """Which resource bound the duration.
+
+        One of ``compute`` / ``memory`` / ``smem`` / ``issue`` /
+        ``stall`` (exposed latency stalls, Nsight's "no eligible warp"
+        case).  Ties resolve by :data:`BOUND_PRIORITY`.
+        """
         bounds = {
             "compute": self.compute_limited_cycles,
             "memory": self.memory_limited_cycles,
             "smem": self.smem_limited_cycles,
             "issue": self.issue_limited_cycles,
+            "stall": self.exposed_stall_cycles,
         }
-        return max(bounds, key=bounds.get)  # type: ignore[arg-type]
+        best = self.BOUND_PRIORITY[0]
+        for name in self.BOUND_PRIORITY[1:]:
+            if bounds[name] > bounds[best]:
+                best = name
+        return best
 
     def speedup_over(self, other: "KernelProfile") -> float:
         """``other``'s duration divided by ours (>1 means we are faster)."""
@@ -67,7 +83,11 @@ class KernelProfile:
         return other.duration_us / self.duration_us
 
     def summary(self) -> str:
-        """One-line human-readable digest used by examples and benches."""
+        """One-line human-readable digest used by examples and benches.
+
+        ``bound`` includes the ``stall`` verdict (exposed latency); see
+        :data:`BOUND_PRIORITY` for the deterministic tie-break order.
+        """
         return (
             f"{self.kernel_name}: {self.duration_us:.2f} us "
             f"({self.grid_blocks} blocks x {self.threads_per_block} thr, "

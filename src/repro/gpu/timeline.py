@@ -32,7 +32,13 @@ def pipe_utilization(profile: KernelProfile) -> dict[str, float]:
 
 
 def render_timeline(profile: KernelProfile) -> str:
-    """A speed-of-light style report for one profile."""
+    """A speed-of-light style report for one profile.
+
+    The verdict line uses :attr:`KernelProfile.bound`, which includes
+    the ``stall`` bound (exposed latency dominating) and breaks ties by
+    the documented priority order — the "exposed stalls" bar below shows
+    the same component the verdict is judged on.
+    """
     lines = [
         f"kernel   : {profile.kernel_name}",
         f"duration : {profile.duration_us:.2f} us "

@@ -1,0 +1,90 @@
+"""Unified observability: structured tracing + metrics for the whole stack.
+
+The paper's argument is an amortization/attribution story — one reorder
+paid once, explained through Nsight-style counters — and this package is
+the repro's equivalent instrument: one trace and one metrics namespace
+spanning preprocessing (reorder/compress/load stages, plan-cache
+outcomes), the plan registry (hit/miss/eviction), the batched serving
+executor (queue wait → batch → kernel → fallback hops, retries), and the
+fault layer (breaker transitions).
+
+Three pieces (see docs/observability.md):
+
+* **tracing** — :class:`Tracer` produces :class:`Span` records
+  (trace/span/parent ids, attrs, events) into a thread-safe
+  :class:`SpanBuffer`; the process-wide tracer defaults to
+  :data:`NULL_TRACER` whose methods are constant-time no-ops, mirroring
+  ``FaultPlan.maybe_inject``'s disarmed cost;
+* **metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  (fixed buckets, interpolated p50/p95/p99) in a process-global but
+  resettable :class:`MetricsRegistry`;
+* **export** — JSONL span dumps and Prometheus text exposition, plus
+  :mod:`repro.obs.validate` for CI schema checks and
+  ``repro.analysis.render_dashboard`` for the ASCII view.
+"""
+
+from .export import (
+    escape_label_value,
+    export_metrics,
+    export_spans_jsonl,
+    render_prometheus,
+    spans_to_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricTypeError,
+    get_metrics,
+    set_metrics,
+)
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    ManualClock,
+    NullTracer,
+    Span,
+    SpanBuffer,
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from .validate import (
+    validate_prometheus_text,
+    validate_span_records,
+    validate_spans_jsonl,
+)
+
+__all__ = [
+    "escape_label_value",
+    "export_metrics",
+    "export_spans_jsonl",
+    "render_prometheus",
+    "spans_to_jsonl",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricTypeError",
+    "get_metrics",
+    "set_metrics",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "ManualClock",
+    "NullTracer",
+    "Span",
+    "SpanBuffer",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "validate_prometheus_text",
+    "validate_span_records",
+    "validate_spans_jsonl",
+]

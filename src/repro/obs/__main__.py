@@ -1,0 +1,12 @@
+"""``python -m repro.obs`` — validate exported trace/metrics artifacts.
+
+Prefer this entry over ``python -m repro.obs.validate``: executing the
+submodule directly re-runs a module the package already imported, which
+trips runpy's double-import ``RuntimeWarning`` (fatal under
+``PYTHONWARNINGS=error``, as CI runs).
+"""
+
+from .validate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,319 @@
+"""Process-global (but resettable) metrics: counters, gauges, histograms.
+
+The serving stack's counters today live in per-object records
+(:class:`~repro.serve.stats.ServeStats` and friends); this registry is
+the cross-cutting complement — one namespace every layer increments into
+so a single scrape answers "what did the whole process do?".  The model
+follows Prometheus: a metric is a named *family* holding one numeric
+series per label set, and :func:`repro.obs.export.render_prometheus`
+dumps the registry in text exposition format.
+
+Histograms are fixed-bucket: ``observe`` lands a value in the first
+bucket whose upper bound contains it, and :meth:`Histogram.quantile`
+estimates p50/p95/p99 by linear interpolation inside the winning bucket
+(the standard ``histogram_quantile`` estimate, exact at bucket edges).
+
+All three metric types are thread-safe; the registry is get-or-create
+keyed by metric name, and re-registering a name as a different type is a
+typed error rather than silent aliasing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+#: Default histogram bucket upper bounds, in seconds — tuned for queue
+#: waits and preprocessing stages (0.1 ms .. 10 s; +Inf is implicit).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricTypeError(TypeError):
+    """A metric name was re-registered as a different metric type."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ValueError(f"invalid label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base: a named family of label-keyed series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        with self._lock:
+            return [(dict(k), v) for k, v in sorted(self._values.items())]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Gauge(Metric):
+    """A value that goes up and down (pending queue depth, resident bytes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        with self._lock:
+            return [(dict(k), v) for k, v in sorted(self._values.items())]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class _HistSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.bucket_counts = [0] * (nbuckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with interpolated quantile estimation."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not buckets:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        ordered = tuple(float(b) for b in buckets)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if not all(math.isfinite(b) for b in ordered):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.buckets = ordered
+        self._series: dict[tuple, _HistSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistSeries(len(self.buckets))
+            idx = len(self.buckets)  # +Inf by default
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            series.bucket_counts[idx] += 1
+            series.sum += value
+            series.count += 1
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def total(self, **labels: str) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.sum if series else 0.0
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimated ``q``-quantile (0..1), interpolated within buckets.
+
+        Zero observations estimate 0.0.  Values landing in the +Inf
+        bucket clamp to the largest finite bound (Prometheus's
+        ``histogram_quantile`` behavior).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return 0.0
+            rank = q * series.count
+            cumulative = 0
+            for i, upper in enumerate(self.buckets):
+                prev_cum = cumulative
+                cumulative += series.bucket_counts[i]
+                if cumulative >= rank and series.bucket_counts[i] > 0:
+                    lower = self.buckets[i - 1] if i > 0 else 0.0
+                    frac = (rank - prev_cum) / series.bucket_counts[i]
+                    return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+            return self.buckets[-1]
+
+    def percentiles(self, **labels: str) -> dict[str, float]:
+        """The dashboard's standard p50/p95/p99 triple."""
+        return {
+            "p50": self.quantile(0.50, **labels),
+            "p95": self.quantile(0.95, **labels),
+            "p99": self.quantile(0.99, **labels),
+        }
+
+    def series(self) -> list[tuple[dict[str, str], list[int], float, int]]:
+        """Per-label-set ``(labels, bucket_counts, sum, count)`` rows."""
+        with self._lock:
+            return [
+                (dict(k), list(s.bucket_counts), s.sum, s.count)
+                for k, s in sorted(self._series.items())
+            ]
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        with self._lock:
+            return [(dict(k), s.sum) for k, s in sorted(self._series.items())]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+class MetricsRegistry:
+    """Named metric families, get-or-create, resettable.
+
+    One process-global instance backs :func:`get_metrics`; tests either
+    ``reset()`` it or swap a private one in with :func:`set_metrics`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise MetricTypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> list[Metric]:
+        """Every registered family, sorted by name."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Drop every registration and value — a fresh process view."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_GLOBAL_METRICS = MetricsRegistry()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry instrumentation sites increment into."""
+    return _GLOBAL_METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry (returns the previous one)."""
+    global _GLOBAL_METRICS
+    with _GLOBAL_LOCK:
+        previous = _GLOBAL_METRICS
+        _GLOBAL_METRICS = registry
+    return previous

@@ -1,0 +1,232 @@
+"""Schema validation of exported observability artifacts.
+
+The CI observability job runs ``repro serve-bench --trace-out spans.jsonl
+--metrics-out metrics.prom`` (and a chaos run with tracing on), then
+checks the artifacts with this module::
+
+    python -m repro.obs.validate --spans spans.jsonl --metrics metrics.prom
+
+Span checks: every line parses, required fields are present and typed,
+every span **ends** (``end_s`` set, ``>= start_s``), span ids are unique,
+every ``parent_id`` resolves to a span of the *same* trace, and no trace
+is an orphan (each has at least one root span).  Events must fall inside
+their span's interval.
+
+Exposition checks: every non-comment line matches the sample grammar,
+``# TYPE`` precedes its samples, histogram buckets are cumulative
+(non-decreasing) and end with a ``+Inf`` bucket equal to ``_count``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Iterable
+
+_REQUIRED_SPAN_FIELDS = ("trace_id", "span_id", "name", "start_s", "end_s")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>-?[0-9.eE+]+|\+Inf|-Inf|NaN)$"
+)
+_LABEL_ITEM_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def validate_span_records(records: Iterable[dict]) -> list[str]:
+    """Schema-check parsed span dicts; returns a list of error strings."""
+    errors: list[str] = []
+    spans = list(records)
+    by_trace: dict[str, dict[str, dict]] = {}
+    seen_ids: set[str] = set()
+    for i, rec in enumerate(spans):
+        where = f"span #{i}"
+        missing = [f for f in _REQUIRED_SPAN_FIELDS if f not in rec]
+        if missing:
+            errors.append(f"{where}: missing fields {missing}")
+            continue
+        where = f"span #{i} ({rec.get('name')!r}, id={rec.get('span_id')!r})"
+        if rec["end_s"] is None:
+            errors.append(f"{where}: never ended (end_s is null)")
+            continue
+        if not isinstance(rec["start_s"], (int, float)) or not isinstance(
+            rec["end_s"], (int, float)
+        ):
+            errors.append(f"{where}: non-numeric start_s/end_s")
+            continue
+        if rec["end_s"] < rec["start_s"]:
+            errors.append(f"{where}: ends before it starts")
+        sid = rec["span_id"]
+        if sid in seen_ids:
+            errors.append(f"{where}: duplicate span_id")
+        seen_ids.add(sid)
+        by_trace.setdefault(rec["trace_id"], {})[sid] = rec
+        for ev in rec.get("events", ()):
+            if not isinstance(ev, dict) or "name" not in ev or "t_s" not in ev:
+                errors.append(f"{where}: malformed event {ev!r}")
+                continue
+            if not rec["start_s"] <= ev["t_s"] <= rec["end_s"]:
+                errors.append(
+                    f"{where}: event {ev['name']!r} at {ev['t_s']} outside span"
+                )
+    for trace_id, members in sorted(by_trace.items()):
+        roots = [r for r in members.values() if r.get("parent_id") is None]
+        if not roots:
+            errors.append(f"trace {trace_id!r}: orphan trace (no root span)")
+        for rec in members.values():
+            parent = rec.get("parent_id")
+            if parent is not None and parent not in members:
+                errors.append(
+                    f"trace {trace_id!r}: span {rec['span_id']!r} parent "
+                    f"{parent!r} does not resolve within the trace"
+                )
+    return errors
+
+
+def validate_spans_jsonl(text: str) -> list[str]:
+    """Parse + schema-check a JSONL span export."""
+    errors: list[str] = []
+    records: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc.msg})")
+            continue
+        if not isinstance(rec, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        records.append(rec)
+    return errors + validate_span_records(records)
+
+
+def _parse_labels(raw: str | None) -> dict[str, str] | None:
+    """Parse a ``{k="v",...}`` block; None on malformed content."""
+    if raw is None:
+        return {}
+    body = raw[1:-1].strip()
+    if not body:
+        return {}
+    out: dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        m = _LABEL_ITEM_RE.match(body, pos)
+        if m is None:
+            return None
+        out[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                return None
+            pos += 1
+    return out
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Check an exposition dump for malformed lines and histogram shape."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    # (base name, labels-minus-le) -> list of (le, cumulative count)
+    hist_buckets: dict[tuple[str, tuple], list[tuple[float, float]]] = {}
+    hist_counts: dict[tuple[str, tuple], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {lineno}: malformed TYPE comment")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: malformed sample line {line!r}")
+            continue
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels"))
+        if labels is None:
+            errors.append(f"line {lineno}: malformed label block in {line!r}")
+            continue
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE comment")
+            continue
+        if types.get(base) == "histogram" and name == f"{base}_bucket":
+            le = labels.pop("le", None)
+            if le is None:
+                errors.append(f"line {lineno}: histogram bucket without le label")
+                continue
+            bound = float("inf") if le == "+Inf" else float(le)
+            key = (base, tuple(sorted(labels.items())))
+            hist_buckets.setdefault(key, []).append((bound, float(m.group("value"))))
+        elif types.get(base) == "histogram" and name == f"{base}_count":
+            key = (base, tuple(sorted(labels.items())))
+            hist_counts[key] = float(m.group("value"))
+    for key, buckets in sorted(hist_buckets.items()):
+        name = f"{key[0]}{dict(key[1]) or ''}"
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"histogram {name}: bucket bounds out of order")
+        if counts != sorted(counts):
+            errors.append(f"histogram {name}: bucket counts are not cumulative")
+        if not bounds or bounds[-1] != float("inf"):
+            errors.append(f"histogram {name}: missing +Inf bucket")
+        elif key in hist_counts and counts[-1] != hist_counts[key]:
+            errors.append(
+                f"histogram {name}: +Inf bucket ({counts[-1]:.0f}) != "
+                f"_count ({hist_counts[key]:.0f})"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Schema-validate exported spans.jsonl / metrics.prom artifacts",
+    )
+    parser.add_argument("--spans", type=Path, default=None, help="JSONL span export")
+    parser.add_argument(
+        "--metrics", type=Path, default=None, help="Prometheus exposition dump"
+    )
+    args = parser.parse_args(argv)
+    if args.spans is None and args.metrics is None:
+        parser.error("nothing to validate: pass --spans and/or --metrics")
+    failed = False
+    if args.spans is not None:
+        errors = validate_spans_jsonl(args.spans.read_text())
+        n = sum(1 for line in args.spans.read_text().splitlines() if line.strip())
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{args.spans}: {e}", file=sys.stderr)
+        else:
+            print(f"{args.spans}: {n} spans ok")
+    if args.metrics is not None:
+        errors = validate_prometheus_text(args.metrics.read_text())
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{args.metrics}: {e}", file=sys.stderr)
+        else:
+            print(f"{args.metrics}: exposition ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

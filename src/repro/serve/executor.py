@@ -52,6 +52,7 @@ from repro.core.kernels import ALL_VERSIONS, build_hybrid_plan, run_hybrid_kerne
 from repro.core.kernels.hybrid import HybridPlan
 from repro.faults import BreakerBoard, FaultPlan, RetryPolicy, call_with_retry, maybe_inject
 from repro.gpu.device import A100, DeviceSpec
+from repro.obs import NullTracer, Span, Tracer, get_metrics, get_tracer
 
 from .errors import ExecutorClosedError, RejectedError
 from .registry import PlanRegistry
@@ -88,6 +89,8 @@ class _Entry:
     future: Future
     submit_t: float
     queue_wait_s: float = 0.0
+    #: Request-root trace span (None when tracing is disarmed).
+    span: Span | None = None
 
 
 @dataclass
@@ -133,6 +136,8 @@ class BatchExecutor:
         breakers: BreakerBoard | None = None,
         fault_plan: FaultPlan | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = perf_counter,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -149,6 +154,12 @@ class BatchExecutor:
         )
         self.fault_plan = fault_plan
         self._sleep = sleep
+        #: Injectable wall clock: queue waits, span timestamps, and the
+        #: linger timer all read it, so traces are deterministic in tests.
+        self._clock = clock
+        #: Explicit tracer override; None follows the process-wide tracer
+        #: (so arming ``set_tracer`` after construction still takes effect).
+        self._tracer = tracer
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="serve"
         )
@@ -169,6 +180,11 @@ class BatchExecutor:
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
         self._dispatcher.start()
+
+    @property
+    def tracer(self) -> Tracer | NullTracer:
+        """The tracer in effect: the override or the process-wide one."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # -- submission ------------------------------------------------------------
 
@@ -199,28 +215,59 @@ class BatchExecutor:
             request=request,
             request_id=next(self._ids),
             future=Future(),
-            submit_t=perf_counter(),
+            submit_t=self._clock(),
         )
-        with self._cond:
-            if self._closed:
-                raise ExecutorClosedError("executor is closed")
-            if self.max_pending is not None and self._pending >= self.max_pending:
-                with self._stats_lock:
-                    self._rejected += 1
-                raise RejectedError(
-                    f"pending queue full ({self._pending}/{self.max_pending}); "
-                    f"request shed by admission control"
-                )
-            self._pending += 1
-            self._pending_peak = max(self._pending_peak, self._pending)
-            key = (request.matrix, request.version)
-            group = self._groups.setdefault(key, _Group())
-            group.entries.append(entry)
-            if len(group.entries) >= self.max_batch:
-                self._dispatch_locked(key)
-            else:
-                self._cond.notify()
-        entry.future.add_done_callback(self._on_request_done)
+        tracer = self.tracer
+        if tracer.enabled:
+            # One root span per request, created before the entry can
+            # dispatch (a full group dispatches inside the lock below);
+            # children (queue, kernel, hops) attach as the request moves
+            # through the pipeline, and the done-callback ends it on
+            # every path (ok/error/cancel).
+            entry.span = tracer.start_span(
+                "serve.request",
+                start_s=entry.submit_t,
+                attrs={
+                    "request_id": entry.request_id,
+                    "matrix": request.matrix,
+                    "version": request.version,
+                },
+            )
+        try:
+            with self._cond:
+                if self._closed:
+                    raise ExecutorClosedError("executor is closed")
+                if self.max_pending is not None and self._pending >= self.max_pending:
+                    with self._stats_lock:
+                        self._rejected += 1
+                    get_metrics().counter(
+                        "repro_rejected_total", "requests shed by admission control"
+                    ).inc()
+                    raise RejectedError(
+                        f"pending queue full ({self._pending}/{self.max_pending}); "
+                        f"request shed by admission control"
+                    )
+                self._pending += 1
+                self._pending_peak = max(self._pending_peak, self._pending)
+                get_metrics().gauge(
+                    "repro_pending_requests", "requests submitted but not completed"
+                ).set(self._pending)
+                key = (request.matrix, request.version)
+                group = self._groups.setdefault(key, _Group())
+                group.entries.append(entry)
+                if len(group.entries) >= self.max_batch:
+                    self._dispatch_locked(key)
+                else:
+                    self._cond.notify()
+        except BaseException as exc:
+            if entry.span is not None:
+                entry.span.set_attr("outcome", "rejected")
+                entry.span.set_attr("error_type", type(exc).__name__)
+                tracer.end_span(entry.span, end_s=self._clock())
+            raise
+        entry.future.add_done_callback(
+            lambda f, e=entry: self._on_request_done(e, f)
+        )
         return entry.future
 
     def spmm(
@@ -273,9 +320,26 @@ class BatchExecutor:
         with self._cond:
             return self._pending
 
-    def _on_request_done(self, _future: Future) -> None:
+    def _on_request_done(self, entry: _Entry, future: Future) -> None:
         with self._cond:
             self._pending -= 1
+            get_metrics().gauge(
+                "repro_pending_requests", "requests submitted but not completed"
+            ).set(self._pending)
+        span = entry.span
+        if span is None:
+            return
+        if future.cancelled():
+            span.set_attr("outcome", "cancelled")
+        elif future.exception() is not None:
+            span.set_attr("outcome", "error")
+            span.set_attr("error_type", type(future.exception()).__name__)
+        else:
+            result: ServeResult = future.result()
+            span.set_attr("outcome", "ok")
+            span.set_attr("route", result.stats.route)
+            span.set_attr("batch_size", result.stats.batch_size)
+        self.tracer.end_span(span, end_s=self._clock())
 
     # -- dispatch --------------------------------------------------------------
 
@@ -290,7 +354,7 @@ class BatchExecutor:
             with self._cond:
                 if self._closed:
                     return
-                now = perf_counter()
+                now = self._clock()
                 ripe = [
                     key
                     for key, g in self._groups.items()
@@ -309,14 +373,27 @@ class BatchExecutor:
 
     def _execute_batch(self, key: tuple[str, str], entries: list[_Entry]) -> None:
         name, version = key
-        start = perf_counter()
+        start = self._clock()
+        tracer = self.tracer
+        queue_hist = get_metrics().histogram(
+            "repro_queue_wait_seconds", "seconds a request waited before its batch"
+        )
         live: list[_Entry] = []
         for e in entries:
             if e.future.cancelled():
                 continue
             e.queue_wait_s = start - e.submit_t
+            queue_hist.observe(e.queue_wait_s)
+            if e.span is not None:
+                tracer.add_span(
+                    "serve.queue", start_s=e.submit_t, end_s=start, parent=e.span
+                )
             deadline = e.request.deadline_s
             if deadline is not None and e.queue_wait_s > deadline:
+                if e.span is not None:
+                    e.span.add_event(
+                        "deadline.expired", start, deadline_s=deadline
+                    )
                 self._submit_expired_dense(e, batch_size=len(entries))
             else:
                 live.append(e)
@@ -378,11 +455,13 @@ class BatchExecutor:
                 return
             breaker = self.breakers.get(name, route)
             if not breaker.allow():
+                self._note_hop(live, route, "breaker_open")
                 continue
             try:
                 self._run_batched(route, plan, name, version, live, was_resident)
-            except Exception:
+            except Exception as exc:
                 breaker.record_failure()
+                self._note_hop(live, route, "failed", error=type(exc).__name__)
                 continue
             breaker.record_success()
             return
@@ -407,12 +486,16 @@ class BatchExecutor:
             else:
                 self._run_hybrid(name, version, live, was_resident)
 
+        def on_retry(attempt_no: int, exc: BaseException) -> None:
+            self._count_retry(attempt_no, exc)
+            self._note_retry(live, route, attempt_no, exc)
+
         call_with_retry(
             attempt,
             self.retry_policy,
             key=f"{name}:{route}",
             sleep=self._sleep,
-            on_retry=self._count_retry,
+            on_retry=on_retry,
         )
 
     def _run_jigsaw(
@@ -423,10 +506,14 @@ class BatchExecutor:
             [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
             axis=1,
         )
+        k0 = self._clock()
         res = plan.run(b_cat, version=version, device=self.device)
+        k1 = self._clock()
         assert res.c is not None
         self._record_batch(name, version, "jigsaw", live, res.profile.duration_us)
-        self._split(live, res.c, widths, "jigsaw", res.profile.duration_us, was_resident)
+        self._split(
+            live, res.c, widths, "jigsaw", res.profile.duration_us, was_resident, k0, k1
+        )
 
     def _run_hybrid(
         self, name: str, version: str, live: list[_Entry], was_resident: bool
@@ -437,10 +524,14 @@ class BatchExecutor:
             [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
             axis=1,
         )
+        k0 = self._clock()
         res = run_hybrid_kernel(hplan, b_cat, self.device)
+        k1 = self._clock()
         assert res.c is not None
         self._record_batch(name, version, "hybrid", live, res.profile.duration_us)
-        self._split(live, res.c, widths, "hybrid", res.profile.duration_us, was_resident)
+        self._split(
+            live, res.c, widths, "hybrid", res.profile.duration_us, was_resident, k0, k1
+        )
 
     def _run_dense(self, e: _Entry, batch_size: int, expired: bool) -> None:
         try:
@@ -456,13 +547,19 @@ class BatchExecutor:
                 maybe_inject("executor.kernel.dense", self.fault_plan)
                 return cublas_hgemm(a, b, self.device)
 
+            def on_retry(attempt_no: int, exc: BaseException) -> None:
+                self._count_retry(attempt_no, exc)
+                self._note_retry([e], "dense", attempt_no, exc)
+
+            k0 = self._clock()
             res = call_with_retry(
                 attempt,
                 self.retry_policy,
                 key=f"{e.request.matrix}:dense:{e.request_id}",
                 sleep=self._sleep,
-                on_retry=self._count_retry,
+                on_retry=on_retry,
             )
+            k1 = self._clock()
             assert res.c is not None
             stats = RequestStats(
                 request_id=e.request_id,
@@ -475,6 +572,7 @@ class BatchExecutor:
                 registry="hit" if self.registry.resident(e.request.matrix) else "miss",
                 deadline_expired=expired,
             )
+            self._trace_kernel(e, "dense", k0, k1, stats)
             self._record_batch_raw(
                 BatchStats(
                     matrix=e.request.matrix,
@@ -497,6 +595,8 @@ class BatchExecutor:
         route: str,
         batch_us: float,
         was_resident: bool,
+        kernel_start_s: float,
+        kernel_end_s: float,
     ) -> None:
         total = sum(widths)
         col = 0
@@ -511,6 +611,7 @@ class BatchExecutor:
                 batch_kernel_us=batch_us,
                 registry="hit" if was_resident else "miss",
             )
+            self._trace_kernel(e, route, kernel_start_s, kernel_end_s, stats)
             self._record_request(stats)
             self._resolve(
                 e, ServeResult(c=np.ascontiguousarray(c_cat[:, col : col + w]), stats=stats)
@@ -569,10 +670,65 @@ class BatchExecutor:
     def _count_retry(self, _attempt: int, _exc: BaseException) -> None:
         with self._stats_lock:
             self._retries += 1
+        get_metrics().counter(
+            "repro_retries_total", "kernel retry attempts absorbed by backoff"
+        ).inc()
+
+    def _note_hop(self, live: list[_Entry], route: str, reason: str, **attrs) -> None:
+        """Record a fallback hop (skipped or failed route) on each request."""
+        t = self._clock()
+        for e in live:
+            if e.span is not None:
+                e.span.add_event("route.fallback", t, route=route, reason=reason, **attrs)
+
+    def _note_retry(
+        self, live: list[_Entry], route: str, attempt: int, exc: BaseException
+    ) -> None:
+        """Record one retry attempt as an event on each affected request."""
+        t = self._clock()
+        for e in live:
+            if e.span is not None:
+                e.span.add_event(
+                    "retry", t, route=route, attempt=attempt, error=type(exc).__name__
+                )
+
+    def _trace_kernel(
+        self, e: _Entry, route: str, start_s: float, end_s: float, stats: RequestStats
+    ) -> None:
+        """Attach batch-membership + kernel child spans to one request."""
+        if e.span is None:
+            return
+        tracer = self.tracer
+        batch_start = e.submit_t + e.queue_wait_s
+        batch = tracer.add_span(
+            "serve.batch",
+            start_s=min(batch_start, start_s),
+            end_s=end_s,
+            parent=e.span,
+            attrs={"route": route, "batch_size": stats.batch_size},
+        )
+        tracer.add_span(
+            "serve.kernel",
+            start_s=start_s,
+            end_s=end_s,
+            parent=batch,
+            attrs={
+                "route": route,
+                "kernel_us": stats.kernel_us,
+                "batch_kernel_us": stats.batch_kernel_us,
+            },
+        )
 
     def _record_request(self, stats: RequestStats) -> None:
         with self._stats_lock:
             self._request_stats.append(stats)
+        metrics = get_metrics()
+        metrics.counter(
+            "repro_requests_total", "requests served by route"
+        ).inc(route=stats.route)
+        metrics.counter(
+            "repro_kernel_us_total", "simulated kernel microseconds attributed by route"
+        ).inc(stats.kernel_us, route=stats.route)
 
     def _record_batch(
         self, name: str, version: str, route: str, live: list[_Entry], us: float
@@ -584,6 +740,11 @@ class BatchExecutor:
     def _record_batch_raw(self, stats: BatchStats) -> None:
         with self._stats_lock:
             self._batch_stats.append(stats)
+        get_metrics().histogram(
+            "repro_batch_size",
+            "requests per simulated launch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        ).observe(stats.size)
 
     def stats(self) -> ServeStats:
         """Aggregate of everything served so far + registry counters."""

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.api import JigsawPlan
 from repro.core.tiles import BLOCK_TILE_SIZES
 from repro.faults import FaultPlan, maybe_inject
+from repro.obs import get_metrics, get_tracer
 
 from .stats import RegistryStats
 
@@ -129,23 +130,30 @@ class PlanRegistry:
         (when ``cache_dir`` is set), so it does zero reorder work.
         """
         maybe_inject("registry.get", self.fault_plan)
+        lookups = get_metrics().counter(
+            "repro_registry_lookups_total", "plan-registry lookups by outcome"
+        )
         with self._lock:
             plan = self._plans.get(name)
             if plan is not None:
                 self.stats.hits += 1
+                lookups.inc(outcome="hit")
                 self._plans.move_to_end(name)
                 return plan
             self.stats.misses += 1
-            plan = JigsawPlan(
-                self.matrix(name),
-                block_tiles=self.block_tiles,
-                avoid_bank_conflicts=self.avoid_bank_conflicts,
-                workers=self.workers,
-                cache_dir=self.cache_dir,
-                fault_plan=self.fault_plan,
-            )
-            self._plans[name] = plan
-            self._evict_over_budget(keep=name)
+            lookups.inc(outcome="miss")
+            with get_tracer().span("registry.admit", attrs={"matrix": name}):
+                plan = JigsawPlan(
+                    self.matrix(name),
+                    block_tiles=self.block_tiles,
+                    avoid_bank_conflicts=self.avoid_bank_conflicts,
+                    workers=self.workers,
+                    cache_dir=self.cache_dir,
+                    fault_plan=self.fault_plan,
+                )
+                self._plans[name] = plan
+                self._evict_over_budget(keep=name)
+            self._update_gauges_locked()
             return plan
 
     def warm(self, name: str | None = None) -> None:
@@ -169,6 +177,11 @@ class PlanRegistry:
                 return False
             self._retire(plan)
             self.stats.evictions += 1
+            get_metrics().counter(
+                "repro_registry_evictions_total", "plans evicted from residency"
+            ).inc()
+            get_tracer().event("registry.evict", attrs={"matrix": name})
+            self._update_gauges_locked()
             return True
 
     def clear(self) -> None:
@@ -213,6 +226,16 @@ class PlanRegistry:
             self.evict(victim)
             evicted += 1
         return evicted
+
+    def _update_gauges_locked(self) -> None:
+        """Refresh the residency gauges (caller holds the lock)."""
+        metrics = get_metrics()
+        metrics.gauge(
+            "repro_registry_resident_plans", "plans currently resident in memory"
+        ).set(len(self._plans))
+        metrics.gauge(
+            "repro_registry_resident_bytes", "bytes charged to resident plans"
+        ).set(sum(plan_resident_bytes(p) for p in self._plans.values()))
 
     def _retire(self, plan: JigsawPlan) -> None:
         self._retired_reorder_runs += plan.stats.reorder_runs

@@ -18,6 +18,9 @@ from dataclasses import dataclass, field
 #: failed), or the dense cuBLAS-style fallback (deadline expired).
 ROUTES: tuple[str, ...] = ("jigsaw", "hybrid", "dense")
 
+#: Registry-residency outcomes a request can observe at lookup time.
+REGISTRY_OUTCOMES: tuple[str, ...] = ("hit", "miss")
+
 
 @dataclass
 class RequestStats:
@@ -41,6 +44,11 @@ class RequestStats:
     def __post_init__(self) -> None:
         if self.route not in ROUTES:
             raise ValueError(f"unknown route {self.route!r}; choose from {ROUTES}")
+        if self.registry not in REGISTRY_OUTCOMES:
+            raise ValueError(
+                f"unknown registry outcome {self.registry!r}; "
+                f"choose from {REGISTRY_OUTCOMES}"
+            )
 
 
 @dataclass
@@ -72,6 +80,16 @@ class ServeStats:
     route_counts: dict[str, int] = field(
         default_factory=lambda: {r: 0 for r in ROUTES}
     )
+    #: Per-route totals of the kernel time *attributed* to requests
+    #: (each request's width-proportional share of its batch launch).
+    route_kernel_us: dict[str, float] = field(
+        default_factory=lambda: {r: 0.0 for r in ROUTES}
+    )
+    #: Request-level registry residency observed at lookup time (distinct
+    #: from the registry's own hit/miss counters: one batched lookup can
+    #: serve many requests).
+    request_registry_hits: int = 0
+    request_registry_misses: int = 0
     deadline_expired: int = 0
     queue_wait_total_s: float = 0.0
     queue_wait_max_s: float = 0.0
@@ -142,6 +160,11 @@ class ServeStats:
         for r in request_stats:
             out.requests += 1
             out.route_counts[r.route] += 1
+            out.route_kernel_us[r.route] += r.kernel_us
+            if r.registry == "hit":
+                out.request_registry_hits += 1
+            else:
+                out.request_registry_misses += 1
             out.deadline_expired += int(r.deadline_expired)
             out.queue_wait_total_s += r.queue_wait_s
             out.queue_wait_max_s = max(out.queue_wait_max_s, r.queue_wait_s)

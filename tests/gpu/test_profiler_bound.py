@@ -1,0 +1,69 @@
+"""The KernelProfile.bound verdict: stall bound + deterministic ties."""
+
+import pytest
+
+from repro.gpu import KernelProfile
+
+
+def _profile(**cycles) -> KernelProfile:
+    return KernelProfile(
+        kernel_name="k",
+        duration_cycles=100.0,
+        duration_us=1.0,
+        grid_blocks=1,
+        threads_per_block=128,
+        blocks_per_sm=1,
+        waves=1.0,
+        **cycles,
+    )
+
+
+class TestBoundVerdict:
+    @pytest.mark.parametrize(
+        "field,name",
+        [
+            ("compute_limited_cycles", "compute"),
+            ("memory_limited_cycles", "memory"),
+            ("smem_limited_cycles", "smem"),
+            ("issue_limited_cycles", "issue"),
+            ("exposed_stall_cycles", "stall"),
+        ],
+    )
+    def test_largest_component_wins(self, field, name):
+        p = _profile(**{field: 50.0})
+        assert p.bound == name
+
+    def test_stall_bound_reaches_summary_and_timeline(self):
+        from repro.gpu import render_timeline
+
+        p = _profile(exposed_stall_cycles=80.0, compute_limited_cycles=10.0)
+        assert p.bound == "stall"
+        assert "bound=stall" in p.summary()
+        assert "stall-bound" in render_timeline(p)
+
+    def test_tie_breaks_by_priority_order(self):
+        # All-equal components resolve to the first priority, not to
+        # whichever dict insertion order happens to yield.
+        p = _profile(
+            compute_limited_cycles=25.0,
+            memory_limited_cycles=25.0,
+            smem_limited_cycles=25.0,
+            issue_limited_cycles=25.0,
+            exposed_stall_cycles=25.0,
+        )
+        assert p.bound == "compute"
+        # A pairwise tie later in the order resolves to the earlier name.
+        p2 = _profile(issue_limited_cycles=30.0, exposed_stall_cycles=30.0)
+        assert p2.bound == "issue"
+
+    def test_priority_covers_every_component(self):
+        assert KernelProfile.BOUND_PRIORITY == (
+            "compute",
+            "memory",
+            "smem",
+            "issue",
+            "stall",
+        )
+
+    def test_all_zero_defaults_to_first_priority(self):
+        assert _profile().bound == "compute"

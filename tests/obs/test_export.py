@@ -1,0 +1,136 @@
+"""Tests for the exporters: JSONL spans and Prometheus exposition.
+
+The exposition test is a golden-file comparison: the exact text a small,
+fully-specified registry must render, covering HELP/TYPE comments, label
+escaping, and cumulative histogram buckets ending at ``+Inf``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    escape_label_value,
+    export_metrics,
+    export_spans_jsonl,
+    render_prometheus,
+    spans_to_jsonl,
+    validate_prometheus_text,
+    validate_spans_jsonl,
+)
+
+GOLDEN_EXPOSITION = """\
+# HELP repro_latency_seconds request latency
+# TYPE repro_latency_seconds histogram
+repro_latency_seconds_bucket{le="0.1",route="jigsaw"} 2
+repro_latency_seconds_bucket{le="1",route="jigsaw"} 3
+repro_latency_seconds_bucket{le="+Inf",route="jigsaw"} 4
+repro_latency_seconds_sum{route="jigsaw"} 8.90625
+repro_latency_seconds_count{route="jigsaw"} 4
+# HELP repro_pending_requests queued requests
+# TYPE repro_pending_requests gauge
+repro_pending_requests 3
+# HELP repro_requests_total requests served
+# TYPE repro_requests_total counter
+repro_requests_total{matrix="w1",route="dense"} 1
+repro_requests_total{matrix="w\\\\0 \\"a\\"\\nx",route="jigsaw"} 2
+"""
+
+
+def _golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_requests_total", help="requests served")
+    c.inc(2, route="jigsaw", matrix='w\\0 "a"\nx')
+    c.inc(route="dense", matrix="w1")
+    reg.gauge("repro_pending_requests", help="queued requests").set(3)
+    h = reg.histogram(
+        "repro_latency_seconds", help="request latency", buckets=(0.1, 1.0)
+    )
+    # Exactly representable observations so the golden _sum is stable.
+    for v in (0.0625, 0.09375, 0.75, 8.0):
+        h.observe(v, route="jigsaw")
+    return reg
+
+
+class TestPrometheusGolden:
+    def test_exact_exposition_text(self):
+        assert render_prometheus(_golden_registry()) == GOLDEN_EXPOSITION
+
+    def test_golden_text_passes_validator(self):
+        assert validate_prometheus_text(GOLDEN_EXPOSITION) == []
+
+    def test_buckets_are_cumulative_and_end_at_count(self):
+        lines = render_prometheus(_golden_registry()).splitlines()
+        buckets = [
+            float(ln.rsplit(" ", 1)[1])
+            for ln in lines
+            if ln.startswith("repro_latency_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        count = next(
+            float(ln.rsplit(" ", 1)[1])
+            for ln in lines
+            if ln.startswith("repro_latency_seconds_count")
+        )
+        assert buckets[-1] == count
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_export_writes_file(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        text = export_metrics(_golden_registry(), out)
+        assert out.read_text() == text == GOLDEN_EXPOSITION
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw,escaped",
+        [
+            ('plain', 'plain'),
+            ('back\\slash', 'back\\\\slash'),
+            ('quo"te', 'quo\\"te'),
+            ('new\nline', 'new\\nline'),
+        ],
+    )
+    def test_escape_label_value(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+
+
+class TestSpanJsonl:
+    def _traced(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer", attrs={"k": "v"}):
+            clock.advance(1.0)
+            tracer.event("tick")
+            with tracer.span("inner"):
+                clock.advance(0.5)
+        return tracer
+
+    def test_roundtrips_through_json(self):
+        tracer = self._traced()
+        lines = spans_to_jsonl(tracer).splitlines()
+        recs = [json.loads(ln) for ln in lines]
+        assert [r["name"] for r in recs] == ["inner", "outer"]
+        inner, outer = recs
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["trace_id"] == outer["trace_id"]
+        assert outer["attrs"] == {"k": "v"}
+        assert outer["events"][0]["name"] == "tick"
+
+    def test_export_counts_and_validates(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        n = export_spans_jsonl(self._traced(), out)
+        assert n == 2
+        assert validate_spans_jsonl(out.read_text()) == []
+
+    def test_accepts_buffer_and_iterable_sources(self):
+        tracer = self._traced()
+        from_tracer = spans_to_jsonl(tracer)
+        from_buffer = spans_to_jsonl(tracer.buffer)
+        from_list = spans_to_jsonl(tracer.buffer.snapshot())
+        assert from_tracer == from_buffer == from_list

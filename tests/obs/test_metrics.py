@@ -1,0 +1,162 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricTypeError,
+    get_metrics,
+    set_metrics,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increments_per_label_set(self, registry):
+        c = registry.counter("repro_requests_total")
+        c.inc(route="jigsaw")
+        c.inc(2, route="jigsaw")
+        c.inc(route="dense")
+        assert c.value(route="jigsaw") == 3
+        assert c.value(route="dense") == 1
+        assert c.value(route="hybrid") == 0
+
+    def test_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_label_order_does_not_matter(self, registry):
+        c = registry.counter("c_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_rejects_bad_names(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok").inc(**{"0bad": "x"})
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        g = registry.gauge("repro_pending")
+        g.set(5)
+        g.add(-2)
+        assert g.value() == 3
+
+    def test_samples_sorted_by_labels(self, registry):
+        g = registry.gauge("g")
+        g.set(2, k="b")
+        g.set(1, k="a")
+        assert g.samples() == [({"k": "a"}, 1.0), ({"k": "b"}, 2.0)]
+
+
+class TestHistogram:
+    def test_observe_and_count(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.total() == 105.0
+
+    def test_quantile_interpolates_within_bucket(self, registry):
+        h = registry.histogram("h", buckets=(0.0, 10.0))
+        # 10 observations uniformly inside (0, 10]: rank q*10 lands at
+        # depth frac = q into the bucket -> estimate ~ q * 10.
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_exact_at_bucket_edges(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_empty_histogram_estimates_zero(self, registry):
+        h = registry.histogram("h")
+        assert h.quantile(0.99) == 0.0
+        assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_percentiles_are_monotone(self, registry):
+        h = registry.histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+        for i in range(100):
+            h.observe(0.001 * (i + 1))
+        p = h.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+    def test_rejects_bad_buckets(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("c", buckets=(1.0, float("inf")))
+
+    def test_q_out_of_range(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h").quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_conflict_is_a_typed_error(self, registry):
+        registry.counter("m")
+        with pytest.raises(MetricTypeError):
+            registry.gauge("m")
+        with pytest.raises(MetricTypeError):
+            registry.histogram("m")
+
+    def test_metrics_sorted_and_reset(self, registry):
+        registry.counter("b")
+        registry.gauge("a")
+        assert [m.name for m in registry.metrics()] == ["a", "b"]
+        registry.reset()
+        assert registry.metrics() == []
+        assert registry.get("a") is None
+
+    def test_global_swap_restores(self):
+        mine = MetricsRegistry()
+        prev = set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+        finally:
+            set_metrics(prev)
+        assert get_metrics() is prev
+
+    def test_counter_is_thread_safe(self, registry):
+        c = registry.counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000
+
+    def test_kind_tags(self):
+        assert Counter("c").kind == "counter"
+        assert Gauge("g").kind == "gauge"
+        assert Histogram("h").kind == "histogram"

@@ -1,0 +1,195 @@
+"""Tests for the tracer: span lifecycle, parenting, events, arming."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    ManualClock,
+    NullTracer,
+    Span,
+    SpanBuffer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestManualClock:
+    def test_advances_monotonically(self, clock):
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+
+    def test_rejects_negative_advance(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+
+class TestSpanLifecycle:
+    def test_start_end_records_into_buffer(self, tracer, clock):
+        s = tracer.start_span("work", attrs={"k": 1})
+        clock.advance(2.0)
+        tracer.end_span(s)
+        assert len(tracer.buffer) == 1
+        assert s.duration_s == 2.0
+        assert s.attrs == {"k": 1}
+        assert s.trace_id and s.span_id
+        assert s.parent_id is None
+
+    def test_end_is_idempotent(self, tracer, clock):
+        s = tracer.start_span("work")
+        tracer.end_span(s)
+        clock.advance(5.0)
+        tracer.end_span(s)
+        assert len(tracer.buffer) == 1
+        assert s.end_s == 0.0
+
+    def test_end_clamps_to_start(self, tracer):
+        s = tracer.start_span("work", start_s=10.0)
+        tracer.end_span(s, end_s=7.0)
+        assert s.end_s == s.start_s == 10.0
+
+    def test_unended_span_is_not_recorded(self, tracer):
+        tracer.start_span("pending")
+        assert len(tracer.buffer) == 0
+
+
+class TestParenting:
+    def test_context_manager_nesting_auto_parents(self, tracer):
+        with tracer.span("outer") as outer:
+            assert tracer.current_span is outer
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        assert tracer.current_span is None
+        assert [s.name for s in tracer.buffer.snapshot()] == ["inner", "outer"]
+
+    def test_sibling_traces_get_distinct_trace_ids(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.buffer.snapshot()
+        assert a.trace_id != b.trace_id
+
+    def test_explicit_parent_overrides_ambient(self, tracer):
+        root = tracer.start_span("root")
+        with tracer.span("ambient"):
+            child = tracer.start_span("child", parent=root)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+
+    def test_add_span_records_retroactively(self, tracer):
+        root = tracer.start_span("root", start_s=0.0)
+        child = tracer.add_span("child", start_s=1.0, end_s=3.0, parent=root)
+        assert child.ended
+        assert child.duration_s == 2.0
+        assert child.parent_id == root.span_id
+        assert tracer.buffer.snapshot() == [child]
+
+    def test_exception_marks_error_and_still_records(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (s,) = tracer.buffer.snapshot()
+        assert s.attrs["error"] is True
+        assert s.ended
+
+    def test_parenting_is_per_thread(self, tracer):
+        seen = {}
+
+        def worker():
+            seen["ambient"] = tracer.current_span
+
+        with tracer.span("outer"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["ambient"] is None
+
+
+class TestEvents:
+    def test_event_attaches_to_ambient_span(self, tracer, clock):
+        with tracer.span("outer") as s:
+            clock.advance(1.0)
+            tracer.event("retry", {"attempt": 1})
+        assert [e.name for e in s.events] == ["retry"]
+        assert s.events[0].t_s == 1.0
+        assert s.events[0].attrs == {"attempt": 1}
+
+    def test_event_without_scope_records_instant_root_span(self, tracer, clock):
+        clock.advance(4.0)
+        tracer.event("breaker.transition", {"to": "open"})
+        (s,) = tracer.buffer.snapshot()
+        assert s.name == "breaker.transition"
+        assert s.start_s == s.end_s == 4.0
+        assert s.parent_id is None
+
+
+class TestBuffer:
+    def test_drain_empties(self):
+        buf = SpanBuffer()
+        buf.add(Span("t1", "s1", None, "x", 0.0, end_s=1.0))
+        assert len(buf) == 1
+        assert [s.name for s in buf.drain()] == ["x"]
+        assert len(buf) == 0
+
+    def test_snapshot_is_a_copy(self):
+        buf = SpanBuffer()
+        buf.add(Span("t1", "s1", None, "x", 0.0, end_s=1.0))
+        snap = buf.snapshot()
+        buf.clear()
+        assert len(snap) == 1
+
+
+class TestArming:
+    def test_default_global_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_tracer_is_inert(self):
+        t = NullTracer()
+        with t.span("nothing") as s:
+            assert s is NULL_SPAN
+            s.set_attr("k", 1)
+            s.add_event("e", 0.0)
+        assert t.add_span("x", 0.0, 1.0) is NULL_SPAN
+        t.event("e")
+        assert len(t.buffer) == 0
+        assert t.current_span is None
+
+    def test_use_tracer_scopes_and_restores(self):
+        armed = Tracer(clock=ManualClock())
+        with use_tracer(armed) as t:
+            assert get_tracer() is armed is t
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        armed = Tracer(clock=ManualClock())
+        prev = set_tracer(armed)
+        try:
+            assert prev is NULL_TRACER
+            assert get_tracer() is armed
+        finally:
+            set_tracer(prev)
+
+    def test_set_tracer_none_disarms(self):
+        prev = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(prev)

@@ -1,0 +1,156 @@
+"""Tests for the artifact validator: span schema and exposition grammar."""
+
+import json
+
+from repro.obs import (
+    validate_prometheus_text,
+    validate_span_records,
+    validate_spans_jsonl,
+)
+from repro.obs.validate import main
+
+
+def _span(**over):
+    rec = {
+        "trace_id": "t1",
+        "span_id": "s1",
+        "parent_id": None,
+        "name": "work",
+        "start_s": 0.0,
+        "end_s": 1.0,
+        "attrs": {},
+        "events": [],
+    }
+    rec.update(over)
+    return rec
+
+
+class TestSpanValidation:
+    def test_clean_records_pass(self):
+        recs = [
+            _span(),
+            _span(span_id="s2", parent_id="s1", name="child"),
+        ]
+        assert validate_span_records(recs) == []
+
+    def test_missing_fields(self):
+        errs = validate_span_records([{"name": "x"}])
+        assert len(errs) == 1 and "missing fields" in errs[0]
+
+    def test_unended_span(self):
+        errs = validate_span_records([_span(end_s=None)])
+        assert any("never ended" in e for e in errs)
+
+    def test_end_before_start(self):
+        errs = validate_span_records([_span(start_s=5.0, end_s=1.0)])
+        assert any("ends before it starts" in e for e in errs)
+
+    def test_duplicate_span_id(self):
+        errs = validate_span_records([_span(), _span()])
+        assert any("duplicate span_id" in e for e in errs)
+
+    def test_unresolvable_parent(self):
+        errs = validate_span_records([_span(parent_id="missing")])
+        assert any("does not resolve" in e for e in errs)
+
+    def test_orphan_trace_without_root(self):
+        recs = [
+            _span(parent_id="s2"),
+            _span(span_id="s2", parent_id="s1"),
+        ]
+        errs = validate_span_records(recs)
+        assert any("orphan trace" in e for e in errs)
+
+    def test_event_outside_span_interval(self):
+        errs = validate_span_records(
+            [_span(events=[{"name": "late", "t_s": 2.0, "attrs": {}}])]
+        )
+        assert any("outside span" in e for e in errs)
+
+    def test_jsonl_reports_bad_lines(self):
+        text = json.dumps(_span()) + "\nnot json\n"
+        errs = validate_spans_jsonl(text)
+        assert any("invalid JSON" in e for e in errs)
+
+    def test_jsonl_skips_blank_lines(self):
+        text = json.dumps(_span()) + "\n\n"
+        assert validate_spans_jsonl(text) == []
+
+
+class TestExpositionValidation:
+    def test_clean_text_passes(self):
+        text = (
+            "# TYPE repro_x_total counter\n"
+            'repro_x_total{route="jigsaw"} 3\n'
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_sample_without_type_comment(self):
+        errs = validate_prometheus_text("repro_x_total 3\n")
+        assert any("no TYPE comment" in e for e in errs)
+
+    def test_malformed_sample_line(self):
+        errs = validate_prometheus_text(
+            "# TYPE repro_x counter\nrepro_x three\n"
+        )
+        assert any("malformed sample" in e for e in errs)
+
+    def test_malformed_type_comment(self):
+        errs = validate_prometheus_text("# TYPE repro_x summary\n")
+        assert any("malformed TYPE" in e for e in errs)
+
+    def test_noncumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+        )
+        errs = validate_prometheus_text(text)
+        assert any("not cumulative" in e for e in errs)
+
+    def test_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        errs = validate_prometheus_text(text)
+        assert any("missing +Inf" in e for e in errs)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 2\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        errs = validate_prometheus_text(text)
+        assert any("!= " in e and "_count" in e for e in errs)
+
+    def test_escaped_label_values_parse(self):
+        text = (
+            "# TYPE repro_x counter\n"
+            'repro_x{matrix="w\\\\0 \\"a\\"\\nx"} 1\n'
+        )
+        assert validate_prometheus_text(text) == []
+
+
+class TestCliEntry:
+    def test_ok_artifacts_exit_zero(self, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        spans.write_text(json.dumps(_span()) + "\n")
+        prom = tmp_path / "metrics.prom"
+        prom.write_text("# TYPE repro_x counter\nrepro_x 1\n")
+        assert main(["--spans", str(spans), "--metrics", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "1 spans ok" in out and "exposition ok" in out
+
+    def test_bad_artifact_exits_nonzero(self, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        spans.write_text(json.dumps(_span(end_s=None)) + "\n")
+        assert main(["--spans", str(spans)]) == 1
+        assert "never ended" in capsys.readouterr().err

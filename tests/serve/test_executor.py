@@ -367,7 +367,44 @@ class TestStats:
         with pytest.raises(ValueError, match="route"):
             RequestStats(request_id=0, matrix="w", route="warp-drive")
 
+    def test_request_stats_validates_registry_outcome(self):
+        from repro.serve import RequestStats
+
+        with pytest.raises(ValueError, match="registry outcome"):
+            RequestStats(request_id=0, matrix="w", route="jigsaw", registry="maybe")
+        # Both documented outcomes construct fine.
+        for outcome in ("hit", "miss"):
+            RequestStats(request_id=0, matrix="w", route="jigsaw", registry=outcome)
+
+    def test_collect_aggregates_per_route_kernel_time(self):
+        from repro.serve import RequestStats
+
+        reqs = [
+            RequestStats(0, "w", "jigsaw", kernel_us=10.0, registry="hit"),
+            RequestStats(1, "w", "jigsaw", kernel_us=5.0, registry="miss"),
+            RequestStats(2, "w", "dense", kernel_us=2.5, registry="hit"),
+        ]
+        stats = ServeStats.collect(reqs, [])
+        assert stats.route_kernel_us == {"jigsaw": 15.0, "hybrid": 0.0, "dense": 2.5}
+        assert stats.request_registry_hits == 2
+        assert stats.request_registry_misses == 1
+
+    def test_per_route_kernel_time_rendered(self):
+        from repro.analysis import render_serving
+        from repro.serve import RequestStats
+
+        stats = ServeStats.collect(
+            [RequestStats(0, "w", "hybrid", kernel_us=7.0, registry="miss")], []
+        )
+        out = render_serving(stats)
+        assert "kernel time: hybrid" in out
+        assert "7.00 us" in out
+        assert "request registry hit/miss" in out
+
     def test_empty_stats(self):
         stats = ServeStats.collect([], [])
         assert stats.avg_batch_size == 0.0
         assert stats.avg_queue_wait_s == 0.0
+        assert stats.route_kernel_us == {"jigsaw": 0.0, "hybrid": 0.0, "dense": 0.0}
+        assert stats.request_registry_hits == 0
+        assert stats.request_registry_misses == 0
