@@ -1,5 +1,12 @@
 """Experiment harness: figure/table builders and reporting."""
 
+from .benchjson import (
+    BENCH_SERVING_SCHEMA,
+    build_bench_serving,
+    percentile,
+    scenario_record,
+    write_bench_serving,
+)
 from .campaign import (
     CampaignRecord,
     CampaignResult,
@@ -71,6 +78,11 @@ from .verification import (
 )
 
 __all__ = [
+    "BENCH_SERVING_SCHEMA",
+    "build_bench_serving",
+    "percentile",
+    "scenario_record",
+    "write_bench_serving",
     "CampaignRecord",
     "CampaignResult",
     "render_campaign",

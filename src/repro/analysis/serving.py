@@ -44,7 +44,17 @@ def serving_rows(stats: ServeStats) -> list[list[str]]:
             "breakers open/half-open",
             f"{stats.breaker_open}/{stats.breaker_half_open}",
         ],
+        ["throttled (rate limit)", str(stats.throttled)],
+        ["promoted (EDF)", str(stats.promoted)],
     ]
+    for tenant in sorted(stats.tenant_counts):
+        served = stats.tenant_counts[tenant]
+        shed = stats.throttled_by_tenant.get(tenant, 0)
+        rows.append([f"tenant: {tenant}", f"{served} served / {shed} throttled"])
+    for tenant in sorted(set(stats.throttled_by_tenant) - set(stats.tenant_counts)):
+        rows.append(
+            [f"tenant: {tenant}", f"0 served / {stats.throttled_by_tenant[tenant]} throttled"]
+        )
     return rows
 
 

@@ -273,8 +273,15 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
 def _serve_bench(args: argparse.Namespace) -> int:
     import tempfile
+    from time import perf_counter
 
-    from repro.analysis import render_serving, render_table
+    from repro.analysis import (
+        build_bench_serving,
+        render_serving,
+        render_table,
+        scenario_record,
+        write_bench_serving,
+    )
     from repro.core import JigsawPlan
     from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
 
@@ -310,9 +317,33 @@ def _serve_bench(args: argparse.Namespace) -> int:
     with BatchExecutor(
         registry, max_batch=args.max_batch, max_workers=args.pool_workers
     ) as executor:
+        wall_t0 = perf_counter()
         executor.run(requests)
+        wall_s = perf_counter() - wall_t0
         stats = executor.stats()
+        latencies = [
+            r.queue_wait_s + r.batch_kernel_us / 1e6
+            for r in executor.request_stats()
+        ]
 
+    if args.bench_json:
+        path = write_bench_serving(
+            build_bench_serving(
+                [
+                    scenario_record(
+                        "serve",
+                        stats,
+                        latencies,
+                        wall_s,
+                        deadline_requests=(
+                            len(requests) if args.deadline_ms else 0
+                        ),
+                    )
+                ]
+            ),
+            args.bench_json,
+        )
+        print(f"bench report written to {path}")
     print(render_serving(stats))
     print()
     batched_us = stats.batch_kernel_us_total
@@ -324,6 +355,135 @@ def _serve_bench(args: argparse.Namespace) -> int:
                 [f"sequential ({len(requests)} launches)", f"{seq_us:.2f} us"],
                 [f"batched ({stats.batches} launches)", f"{batched_us:.2f} us"],
                 ["batching speedup", f"{speed:.2f}x"],
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_sched_bench(args: argparse.Namespace) -> int:
+    """SLO drill: FIFO baseline vs EDF + cost-model scheduling.
+
+    Drives a skewed two-tenant workload (a minority ``svc`` tenant with
+    launch deadlines, a majority ``bulk`` tenant without) through the
+    same executor twice — once FIFO (no scheduler), once with the full
+    :class:`~repro.sched.Scheduler` — and writes the machine-readable
+    ``BENCH_serving.json`` comparison CI schema-checks.
+    """
+    with _observability(args):
+        return _sched_bench(args)
+
+
+def _sched_bench(args: argparse.Namespace) -> int:
+    import tempfile
+    from time import perf_counter
+
+    from repro.analysis import (
+        build_bench_serving,
+        render_serving,
+        render_table,
+        scenario_record,
+        write_bench_serving,
+    )
+    from repro.sched import AdmissionController, CostModel, Scheduler
+    from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
+
+    rng = np.random.default_rng(args.seed)
+    cache_dir = args.plan_cache or tempfile.mkdtemp(prefix="jigsaw-sched-")
+    registry = PlanRegistry(cache_dir=cache_dir, workers=args.workers)
+    for i in range(args.matrices):
+        registry.register(
+            f"w{i}", _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed + i)
+        )
+    registry.warm()  # pre-build plans so both scenarios measure scheduling alone
+
+    # Skewed two-tenant load: every 4th request is the interactive
+    # tenant carrying a launch deadline; the rest are bulk background
+    # traffic keeping the linger windows busy.
+    deadline_s = args.deadline_ms / 1e3
+    requests = [
+        SpmmRequest(
+            matrix=f"w{i % args.matrices}",
+            b=rng.standard_normal((args.k, args.n)).astype(np.float16),
+            deadline_s=deadline_s if i % 4 == 0 else None,
+            tenant="svc" if i % 4 == 0 else "bulk",
+        )
+        for i in range(args.requests)
+    ]
+    deadline_requests = sum(1 for r in requests if r.deadline_s is not None)
+
+    def make_scheduler() -> Scheduler:
+        admission = AdmissionController()
+        admission.configure("svc", priority="interactive")
+        if args.bulk_rate is not None:
+            admission.configure(
+                "bulk",
+                priority="best_effort",
+                rate_per_s=args.bulk_rate,
+                burst=args.bulk_burst,
+            )
+        else:
+            admission.configure("bulk", priority="best_effort")
+        return Scheduler(
+            admission=admission,
+            cost_model=CostModel(),
+            promote_margin_s=args.promote_margin_ms / 1e3,
+        )
+
+    def run_scenario(name: str, scheduler: Scheduler | None):
+        with BatchExecutor(
+            registry,
+            max_batch=args.max_batch,
+            batch_window_s=args.window_ms / 1e3,
+            max_workers=args.pool_workers,
+            scheduler=scheduler,
+        ) as executor:
+            wall_t0 = perf_counter()
+            # partial mode: throttled bulk requests become holes, the
+            # rest of the burst proceeds (the report records both).
+            report = executor.submit_many(requests, on_error="partial")
+            for f in report.accepted_futures():
+                f.result(timeout=180)
+            wall_s = perf_counter() - wall_t0
+            stats = executor.stats()
+            latencies = [
+                r.queue_wait_s + r.batch_kernel_us / 1e6
+                for r in executor.request_stats()
+            ]
+        record = scenario_record(name, stats, latencies, wall_s, deadline_requests)
+        return record, stats
+
+    fifo_record, _ = run_scenario("fifo", None)
+    edf_record, edf_stats = run_scenario("edf_cost", make_scheduler())
+
+    doc = build_bench_serving(
+        [fifo_record, edf_record], baseline="fifo", contender="edf_cost"
+    )
+    path = write_bench_serving(doc, args.bench_json)
+    print(f"bench report written to {path}")
+    print()
+    print(render_serving(edf_stats))
+    print()
+    comp = doc["comparison"]
+    print(
+        render_table(
+            ["scheduling", "fifo", "edf_cost"],
+            [
+                [
+                    "deadline miss rate",
+                    f"{comp['baseline_miss_rate']:.1%}",
+                    f"{comp['contender_miss_rate']:.1%}",
+                ],
+                [
+                    "p99 latency",
+                    f"{fifo_record['latency_s']['p99'] * 1e3:.1f} ms",
+                    f"{edf_record['latency_s']['p99'] * 1e3:.1f} ms",
+                ],
+                [
+                    "throttled / promoted",
+                    f"{fifo_record['throttled']} / {fifo_record['promoted']}",
+                    f"{edf_record['throttled']} / {edf_record['promoted']}",
+                ],
             ],
         )
     )
@@ -601,9 +761,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-request queue deadline; expired requests take the dense fallback",
     )
+    p.add_argument(
+        "--bench-json",
+        metavar="FILE",
+        default=None,
+        help="write a machine-readable repro.bench_serving/v1 report",
+    )
     _add_preprocessing_flags(p)
     _add_observability_flags(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "sched-bench",
+        help="SLO drill: FIFO vs EDF + cost-model scheduling on two tenants",
+    )
+    p.add_argument("--matrices", type=int, default=3, help="distinct weight matrices")
+    p.add_argument("--requests", type=int, default=48, help="total SpMM requests")
+    p.add_argument("--m", type=int, default=256)
+    p.add_argument("--k", type=int, default=512)
+    p.add_argument("--n", type=int, default=64, help="B-panel width per request")
+    p.add_argument("--sparsity", type=float, default=0.9)
+    p.add_argument("--v", type=int, default=8, choices=(2, 4, 8))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="group-size cap; keep it above requests/matrices so dispatch "
+        "happens on the linger timer (where scheduling policy matters)",
+    )
+    p.add_argument("--pool-workers", type=int, default=4)
+    p.add_argument(
+        "--window-ms",
+        type=float,
+        default=250.0,
+        help="batch linger window (FIFO holds partial groups this long)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=60.0,
+        help="interactive-tenant launch deadline (below the linger window, "
+        "so FIFO misses and EDF promotion meets it)",
+    )
+    p.add_argument(
+        "--promote-margin-ms",
+        type=float,
+        default=20.0,
+        help="how long before a deadline EDF promotes its group",
+    )
+    p.add_argument(
+        "--bulk-rate",
+        type=float,
+        default=None,
+        help="token-bucket rate limit for the bulk tenant (requests/s); "
+        "omit for unlimited",
+    )
+    p.add_argument(
+        "--bulk-burst",
+        type=float,
+        default=16.0,
+        help="bulk tenant's bucket capacity when --bulk-rate is set",
+    )
+    p.add_argument(
+        "--bench-json",
+        metavar="FILE",
+        default="BENCH_serving.json",
+        help="machine-readable repro.bench_serving/v1 comparison report",
+    )
+    _add_preprocessing_flags(p)
+    _add_observability_flags(p)
+    p.set_defaults(func=cmd_sched_bench)
 
     p = sub.add_parser(
         "chaos-bench",

@@ -54,6 +54,8 @@ from .trace import (
     use_tracer,
 )
 from .validate import (
+    validate_bench_serving,
+    validate_bench_serving_text,
     validate_prometheus_text,
     validate_span_records,
     validate_spans_jsonl,
@@ -84,6 +86,8 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "validate_bench_serving",
+    "validate_bench_serving_text",
     "validate_prometheus_text",
     "validate_span_records",
     "validate_spans_jsonl",

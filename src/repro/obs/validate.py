@@ -15,6 +15,12 @@ their span's interval.
 Exposition checks: every non-comment line matches the sample grammar,
 ``# TYPE`` precedes its samples, histogram buckets are cumulative
 (non-decreasing) and end with a ``+Inf`` bucket equal to ``_count``.
+
+Bench checks (``--bench BENCH_serving.json``, produced by ``repro
+sched-bench`` / ``serve-bench --bench-json``): the schema tag matches,
+every scenario carries typed throughput / tail-latency / miss-rate /
+route-mix fields with sane ranges, and the comparison block (when
+present) references real scenarios.
 """
 
 from __future__ import annotations
@@ -195,6 +201,96 @@ def validate_prometheus_text(text: str) -> list[str]:
     return errors
 
 
+_BENCH_SCHEMA = "repro.bench_serving/v1"
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate_bench_serving(doc) -> list[str]:
+    """Schema-check a parsed ``BENCH_serving.json`` document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != _BENCH_SCHEMA:
+        errors.append(
+            f"schema is {doc.get('schema')!r}, expected {_BENCH_SCHEMA!r}"
+        )
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        return errors + ["scenarios must be a non-empty list"]
+    names: list[str] = []
+    for i, s in enumerate(scenarios):
+        where = f"scenario #{i}"
+        if not isinstance(s, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty name")
+        else:
+            where = f"scenario {name!r}"
+            if name in names:
+                errors.append(f"{where}: duplicate scenario name")
+            names.append(name)
+        if not isinstance(s.get("requests"), int) or s.get("requests", -1) < 0:
+            errors.append(f"{where}: requests must be a non-negative integer")
+        if not _is_num(s.get("throughput_rps")) or s["throughput_rps"] < 0:
+            errors.append(f"{where}: throughput_rps must be a non-negative number")
+        lat = s.get("latency_s")
+        if not isinstance(lat, dict):
+            errors.append(f"{where}: latency_s must be an object")
+        else:
+            for q in ("p50", "p99"):
+                if not _is_num(lat.get(q)) or lat[q] < 0:
+                    errors.append(f"{where}: latency_s.{q} must be a non-negative number")
+            if _is_num(lat.get("p50")) and _is_num(lat.get("p99")) and lat["p50"] > lat["p99"]:
+                errors.append(f"{where}: latency_s.p50 exceeds p99")
+        miss = s.get("deadline_miss_rate")
+        if not _is_num(miss) or not 0.0 <= miss <= 1.0:
+            errors.append(f"{where}: deadline_miss_rate must be in [0, 1]")
+        mix = s.get("route_mix")
+        if not isinstance(mix, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v >= 0 for k, v in mix.items()
+        ):
+            errors.append(f"{where}: route_mix must map route -> non-negative int")
+        elif isinstance(s.get("requests"), int) and sum(mix.values()) != s["requests"]:
+            errors.append(
+                f"{where}: route_mix sums to {sum(mix.values())}, "
+                f"requests is {s['requests']}"
+            )
+        for field in ("throttled", "promoted"):
+            if not isinstance(s.get(field), int) or s.get(field, -1) < 0:
+                errors.append(f"{where}: {field} must be a non-negative integer")
+    comp = doc.get("comparison")
+    if comp is not None:
+        if not isinstance(comp, dict):
+            errors.append("comparison must be an object")
+        else:
+            for role in ("baseline", "contender"):
+                ref = comp.get(role)
+                if ref not in names:
+                    errors.append(f"comparison: {role} {ref!r} is not a scenario")
+            for field in (
+                "baseline_miss_rate",
+                "contender_miss_rate",
+                "miss_rate_improvement",
+            ):
+                if not _is_num(comp.get(field)):
+                    errors.append(f"comparison: {field} must be a number")
+    return errors
+
+
+def validate_bench_serving_text(text: str) -> list[str]:
+    """Parse + schema-check a ``BENCH_serving.json`` export."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON ({exc.msg})"]
+    return validate_bench_serving(doc)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
@@ -204,9 +300,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--metrics", type=Path, default=None, help="Prometheus exposition dump"
     )
+    parser.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        help="BENCH_serving.json bench report (repro sched-bench output)",
+    )
     args = parser.parse_args(argv)
-    if args.spans is None and args.metrics is None:
-        parser.error("nothing to validate: pass --spans and/or --metrics")
+    if args.spans is None and args.metrics is None and args.bench is None:
+        parser.error("nothing to validate: pass --spans, --metrics, and/or --bench")
     failed = False
     if args.spans is not None:
         errors = validate_spans_jsonl(args.spans.read_text())
@@ -225,6 +327,14 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{args.metrics}: {e}", file=sys.stderr)
         else:
             print(f"{args.metrics}: exposition ok")
+    if args.bench is not None:
+        errors = validate_bench_serving_text(args.bench.read_text())
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{args.bench}: {e}", file=sys.stderr)
+        else:
+            print(f"{args.bench}: bench report ok")
     return 1 if failed else 0
 
 

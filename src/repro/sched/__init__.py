@@ -1,0 +1,42 @@
+"""SLO-aware multi-tenant scheduling for the serving stack.
+
+Three layers the :class:`~repro.serve.executor.BatchExecutor` consults
+when constructed with a :class:`Scheduler` (see docs/scheduling.md):
+
+* **tenancy** — per-tenant token-bucket rate limits and weighted
+  priority classes (``interactive`` / ``batch`` / ``best_effort``),
+  shedding excess traffic with a typed :class:`ThrottledError`;
+* **EDF batch forming** — ready groups dispatch earliest-deadline-first
+  within priority class, and groups whose tightest deadline would
+  expire inside the linger window are promoted early;
+* **cost-model routing** — per-(matrix, route) EWMA latency estimators
+  fed from the executor's kernel timings order the fallback chain
+  cheapest-first; breakers and the fault fallback remain the safety
+  net underneath.
+"""
+
+from .cost import CostModel, EwmaEstimator
+from .errors import SchedError, ThrottledError
+from .scheduler import DEFAULT_WEIGHT, Scheduler, group_sort_key
+from .tenancy import (
+    PRIORITY_CLASSES,
+    PRIORITY_WEIGHTS,
+    AdmissionController,
+    TenantConfig,
+    TokenBucket,
+)
+
+__all__ = [
+    "CostModel",
+    "EwmaEstimator",
+    "SchedError",
+    "ThrottledError",
+    "DEFAULT_WEIGHT",
+    "Scheduler",
+    "group_sort_key",
+    "PRIORITY_CLASSES",
+    "PRIORITY_WEIGHTS",
+    "AdmissionController",
+    "TenantConfig",
+    "TokenBucket",
+]

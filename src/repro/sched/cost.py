@@ -1,0 +1,173 @@
+"""Learned route costs: per-(matrix, route) EWMA latency estimators.
+
+The serving executor can run a group on three routes (jigsaw / hybrid /
+dense) and, until now, always tried them in a static order.  But the
+whole premise of structured-sparse serving — VENOM's vectorized N:M
+kernels, the 2:4 Sparse-Tensor-Core line of work — is that the cheap
+route depends on the *matrix*: its sparsity, its vector structure, how
+well the reorder packed it.  The executor has been measuring per-route
+kernel time on every launch and throwing it away; :class:`CostModel`
+keeps it.
+
+Costs are stored as **microseconds per B-panel column** in an
+exponentially-weighted moving average, so observations from different
+batch widths compare: a route's estimated cost for a new group is
+``ewma_us_per_col * cols``.  Routes the model has never measured keep
+their static fallback-chain position (the chain order is the prior);
+once at least ``min_samples`` observations exist the measurement wins.
+Optionally, every ``explore_every``-th decision for a matrix re-probes
+the least-sampled route so a stale estimate cannot pin traffic to a
+route that has since regressed.
+
+The model only *orders* candidates — circuit breakers and the fault
+fallback chain in the executor remain the safety net underneath, and
+``dense`` remains universally available as the terminal route.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+
+class EwmaEstimator:
+    """Exponentially-weighted moving average with an observation count."""
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value: float | None = None
+        self._count = 0
+
+    def update(self, x: float) -> float:
+        if self._value is None:
+            self._value = float(x)
+        else:
+            self._value += self.alpha * (float(x) - self._value)
+        self._count += 1
+        return self._value
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+class CostModel:
+    """Per-(matrix, route) cost estimates + route planning.
+
+    ``chain`` is the static prior order (fastest-first) used for routes
+    without measurements; ``min_samples`` is how many observations a
+    route needs before its estimate outranks the prior; a non-``None``
+    ``explore_every`` re-probes the least-sampled non-terminal route on
+    every Nth plan for a matrix (deterministic: keyed on a per-matrix
+    decision counter, not randomness).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        min_samples: int = 1,
+        explore_every: int | None = None,
+        chain: Sequence[str] = ("jigsaw", "hybrid", "dense"),
+    ) -> None:
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if explore_every is not None and explore_every < 2:
+            raise ValueError("explore_every must be >= 2 (or None to disable)")
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.explore_every = explore_every
+        self.chain = tuple(chain)
+        self._est: dict[tuple[str, str], EwmaEstimator] = {}
+        self._decisions: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- feeding ---------------------------------------------------------------
+
+    def observe(self, matrix: str, route: str, us: float, cols: int) -> None:
+        """Record one launch: ``us`` simulated kernel time over ``cols`` columns."""
+        if cols <= 0 or us < 0:
+            return
+        key = (matrix, route)
+        with self._lock:
+            est = self._est.get(key)
+            if est is None:
+                est = self._est[key] = EwmaEstimator(self.alpha)
+            est.update(us / cols)
+
+    # -- reading ---------------------------------------------------------------
+
+    def samples(self, matrix: str, route: str) -> int:
+        with self._lock:
+            est = self._est.get((matrix, route))
+            return est.count if est else 0
+
+    def estimate_us(self, matrix: str, route: str, cols: int) -> float | None:
+        """Estimated launch cost for ``cols`` columns; None if unmeasured."""
+        with self._lock:
+            est = self._est.get((matrix, route))
+            if est is None or est.count < self.min_samples or est.value is None:
+                return None
+            return est.value * cols
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``matrix -> route -> ewma us/col`` for dashboards and benches."""
+        out: dict[str, dict[str, float]] = {}
+        with self._lock:
+            for (matrix, route), est in sorted(self._est.items()):
+                if est.value is not None:
+                    out.setdefault(matrix, {})[route] = est.value
+        return out
+
+    # -- planning --------------------------------------------------------------
+
+    def _chain_index(self, route: str) -> int:
+        try:
+            return self.chain.index(route)
+        except ValueError:
+            return len(self.chain)
+
+    def plan(self, matrix: str, candidates: Iterable[str], cols: int) -> list[str]:
+        """Order ``candidates`` cheapest-first.
+
+        Measured routes rank by estimated cost; unmeasured routes keep
+        the static chain order *after* every measured route that is
+        already known (an unmeasured route is only reached when the
+        measured ones fail or trip their breakers — conservative, no
+        surprise detours).  Exploration, when enabled, deliberately
+        front-runs the least-sampled route on a fixed cadence instead.
+        """
+        cands = list(candidates)
+        if not cands:
+            return cands
+        with self._lock:
+            n = self._decisions.get(matrix, 0)
+            self._decisions[matrix] = n + 1
+
+        def key(route: str):
+            est = self.estimate_us(matrix, route, cols)
+            if est is None:
+                return (1, self._chain_index(route), 0.0)
+            return (0, 0, est)
+
+        ordered = sorted(cands, key=key)
+        if (
+            self.explore_every is not None
+            and n > 0
+            and n % self.explore_every == 0
+        ):
+            probe = self._least_sampled(matrix, [r for r in ordered if r != "dense"])
+            if probe is not None and probe != ordered[0]:
+                ordered.remove(probe)
+                ordered.insert(0, probe)
+        return ordered
+
+    def _least_sampled(self, matrix: str, candidates: list[str]) -> str | None:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (self.samples(matrix, r), self._chain_index(r)))

@@ -1,0 +1,30 @@
+"""Typed errors raised by the scheduling layer at the submission boundary.
+
+Scheduling errors, like the serving engine's own, surface at ``submit``
+time only: once a request is admitted, load conditions degrade through
+the route chain rather than raise.
+"""
+
+from __future__ import annotations
+
+
+class SchedError(RuntimeError):
+    """Base of the scheduler's typed errors."""
+
+
+class ThrottledError(SchedError):
+    """A tenant's token bucket is empty: the request was rate-limited.
+
+    Distinct from :class:`~repro.serve.errors.RejectedError` (global
+    pending-queue overflow): throttling is a *per-tenant* verdict and
+    carries ``retry_after_s``, the earliest time resubmission can
+    succeed if no other request drains the bucket first.
+    """
+
+    def __init__(self, tenant: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(
+            f"tenant {tenant!r} throttled by admission control; "
+            f"retry after {retry_after_s:.3f}s"
+        )
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s

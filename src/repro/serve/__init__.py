@@ -8,12 +8,21 @@ groups same-matrix requests into single batched launches with deadlines
 and graceful hybrid/dense fallback.  PR 3 hardened the stack into a
 self-healing one: per-(matrix, route) circuit breakers, bounded
 retry/backoff for transient kernel faults, checksummed plan artifacts
-with quarantine-and-rebuild, and admission control.  See
-docs/serving.md and docs/fault_injection.md.
+with quarantine-and-rebuild, and admission control.  PR 5 made it
+SLO-aware: construct the executor with a
+:class:`~repro.sched.Scheduler` for per-tenant rate limits, EDF batch
+forming, and cost-model routing.  See docs/serving.md,
+docs/fault_injection.md, and docs/scheduling.md.
 """
 
 from .errors import ExecutorClosedError, RejectedError, ServeError
-from .executor import FALLBACK_CHAIN, BatchExecutor, ServeResult, SpmmRequest
+from .executor import (
+    FALLBACK_CHAIN,
+    BatchExecutor,
+    ServeResult,
+    SpmmRequest,
+    SubmitReport,
+)
 from .registry import PLAN_OVERHEAD_BYTES, PlanRegistry, plan_resident_bytes
 from .stats import (
     ROUTES,
@@ -31,6 +40,7 @@ __all__ = [
     "BatchExecutor",
     "ServeResult",
     "SpmmRequest",
+    "SubmitReport",
     "PLAN_OVERHEAD_BYTES",
     "PlanRegistry",
     "plan_resident_bytes",

@@ -19,6 +19,17 @@ Routing (see docs/serving.md):
   cuBLAS-style fallback runs per request (failure isolation: one
   poisoned request never fails its batch-mates).
 
+Scheduling (see docs/scheduling.md): constructed with a
+:class:`~repro.sched.Scheduler`, the executor becomes SLO-aware —
+per-tenant token buckets shed excess traffic at submit time with a
+typed :class:`~repro.sched.ThrottledError`, ready groups dispatch in
+priority-weighted earliest-deadline-first order (a group whose tightest
+deadline would expire inside the linger window is *promoted* early
+instead of discovered-expired at dequeue), and the
+:class:`~repro.sched.CostModel` orders the route chain by measured
+cost.  Without a scheduler the executor keeps the original FIFO /
+static-chain behavior.
+
 Fault tolerance (see docs/fault_injection.md): transient kernel faults
 are retried under a bounded exponential-backoff
 :class:`~repro.faults.RetryPolicy` before the per-(matrix, route)
@@ -53,6 +64,7 @@ from repro.core.kernels.hybrid import HybridPlan
 from repro.faults import BreakerBoard, FaultPlan, RetryPolicy, call_with_retry, maybe_inject
 from repro.gpu.device import A100, DeviceSpec
 from repro.obs import NullTracer, Span, Tracer, get_metrics, get_tracer
+from repro.sched import DEFAULT_WEIGHT, Scheduler, ThrottledError, group_sort_key
 
 from .errors import ExecutorClosedError, RejectedError
 from .registry import PlanRegistry
@@ -69,9 +81,21 @@ class SpmmRequest:
     matrix: str
     b: np.ndarray
     version: str = "v4"
-    #: Maximum seconds the request may wait in the queue; expired
-    #: requests take the dense fallback instead of their batch.
+    #: Launch deadline in seconds from submission.  The budget covers
+    #: everything between submit and the kernel *launch* — queue wait,
+    #: batch formation, and plan admission — and is checked at both
+    #: batch formation and again immediately before launch, so a
+    #: request can never ride the fast path after its deadline passed
+    #: while its batch was forming or its plan was admitting.  An
+    #: expired request is re-routed to the per-request dense fallback
+    #: and marked ``deadline_expired`` (it is still served).  Kernel
+    #: *completion* time is not bounded: a launch that starts within
+    #: the deadline counts as met.
     deadline_s: float | None = None
+    #: Owning tenant, resolved against the scheduler's
+    #: :class:`~repro.sched.AdmissionController` for rate limits and
+    #: priority class; ignored when the executor has no scheduler.
+    tenant: str = "default"
 
 
 @dataclass
@@ -83,11 +107,44 @@ class ServeResult:
 
 
 @dataclass
+class SubmitReport:
+    """Typed outcome of :meth:`BatchExecutor.submit_many`.
+
+    ``futures`` is index-aligned with the submitted request list; a
+    ``None`` hole marks a request that was not accepted, with the
+    matching ``(index, exception)`` recorded in ``errors``.
+    """
+
+    futures: list[Future | None]
+    errors: list[tuple[int, Exception]] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for f in self.futures if f is not None)
+
+    @property
+    def rejected(self) -> int:
+        return len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def accepted_futures(self) -> list[Future]:
+        """The live futures, holes dropped (original order kept)."""
+        return [f for f in self.futures if f is not None]
+
+
+@dataclass
 class _Entry:
     request: SpmmRequest
     request_id: int
     future: Future
     submit_t: float
+    #: Absolute launch deadline (``submit_t + deadline_s``), or None.
+    deadline_t: float | None = None
+    #: Priority-class weight of the owning tenant (lower = more urgent).
+    weight: int = DEFAULT_WEIGHT
     queue_wait_s: float = 0.0
     #: Request-root trace span (None when tracing is disarmed).
     span: Span | None = None
@@ -102,6 +159,17 @@ class _Group:
     @property
     def oldest_t(self) -> float:
         return self.entries[0].submit_t
+
+    @property
+    def min_deadline_t(self) -> float | None:
+        """Tightest absolute deadline among members (None if none set)."""
+        ts = [e.deadline_t for e in self.entries if e.deadline_t is not None]
+        return min(ts) if ts else None
+
+    @property
+    def weight(self) -> int:
+        """Most-urgent member's priority weight decides the group's."""
+        return min(e.weight for e in self.entries)
 
 
 class BatchExecutor:
@@ -135,6 +203,7 @@ class BatchExecutor:
         breaker_cooldown_s: float = 0.25,
         breakers: BreakerBoard | None = None,
         fault_plan: FaultPlan | None = None,
+        scheduler: Scheduler | None = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = perf_counter,
         tracer: Tracer | NullTracer | None = None,
@@ -153,6 +222,9 @@ class BatchExecutor:
             failure_threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
         )
         self.fault_plan = fault_plan
+        #: SLO policy (admission + EDF forming + cost routing); None
+        #: keeps the original FIFO / static-chain behavior.
+        self.scheduler = scheduler
         self._sleep = sleep
         #: Injectable wall clock: queue waits, span timestamps, and the
         #: linger timer all read it, so traces are deterministic in tests.
@@ -191,8 +263,10 @@ class BatchExecutor:
     def submit(self, request: SpmmRequest) -> Future:
         """Enqueue one request; returns a Future of :class:`ServeResult`.
 
-        Raises :class:`ExecutorClosedError` on a closed executor and
-        :class:`RejectedError` when admission control sheds the request;
+        Raises :class:`ExecutorClosedError` on a closed executor,
+        :class:`~repro.sched.ThrottledError` when the scheduler's
+        per-tenant rate limit sheds the request, and
+        :class:`RejectedError` when global admission control does;
         validation failures (unknown matrix/version, bad panel) raise
         ``KeyError``/``ValueError`` as before.
         """
@@ -211,13 +285,25 @@ class BatchExecutor:
                 f"B has {b.shape[0]} rows; matrix {request.matrix!r} has "
                 f"{a.shape[1]} columns"
             )
+        submit_t = self._clock()
         entry = _Entry(
             request=request,
             request_id=next(self._ids),
             future=Future(),
-            submit_t=self._clock(),
+            submit_t=submit_t,
+            deadline_t=(
+                submit_t + request.deadline_s
+                if request.deadline_s is not None
+                else None
+            ),
+            weight=(
+                self.scheduler.weight(request.tenant)
+                if self.scheduler is not None
+                else DEFAULT_WEIGHT
+            ),
         )
         tracer = self.tracer
+        self._admit(request, tracer)
         if tracer.enabled:
             # One root span per request, created before the entry can
             # dispatch (a full group dispatches inside the lock below);
@@ -231,6 +317,7 @@ class BatchExecutor:
                     "request_id": entry.request_id,
                     "matrix": request.matrix,
                     "version": request.version,
+                    "tenant": request.tenant,
                 },
             )
         try:
@@ -270,16 +357,43 @@ class BatchExecutor:
         )
         return entry.future
 
+    def _admit(self, request: SpmmRequest, tracer: Tracer | NullTracer) -> None:
+        """Scheduler admission for one request, traced as ``sched.admit``."""
+        if self.scheduler is None:
+            return
+        t0 = self._clock()
+        try:
+            self.scheduler.admit(request.tenant, t0)
+        except ThrottledError:
+            if tracer.enabled:
+                tracer.add_span(
+                    "sched.admit",
+                    start_s=t0,
+                    end_s=self._clock(),
+                    attrs={"tenant": request.tenant, "outcome": "throttled"},
+                )
+            raise
+        if tracer.enabled:
+            tracer.add_span(
+                "sched.admit",
+                start_s=t0,
+                end_s=self._clock(),
+                attrs={"tenant": request.tenant, "outcome": "ok"},
+            )
+
     def spmm(
         self,
         matrix: str,
         b: np.ndarray,
         version: str = "v4",
         deadline_s: float | None = None,
+        tenant: str = "default",
     ) -> Future:
         """Convenience wrapper building the :class:`SpmmRequest`."""
         return self.submit(
-            SpmmRequest(matrix=matrix, b=b, version=version, deadline_s=deadline_s)
+            SpmmRequest(
+                matrix=matrix, b=b, version=version, deadline_s=deadline_s, tenant=tenant
+            )
         )
 
     def run(self, requests: list[SpmmRequest], timeout: float | None = None) -> list[ServeResult]:
@@ -290,28 +404,61 @@ class BatchExecutor:
         drained (in flight) before the error re-raises — no pending
         future is ever leaked to block a later ``close()``.
         """
-        futures: list[Future] = []
+        report = self.submit_many(requests, on_error="cancel")
+        self.flush()
+        return [f.result(timeout=timeout) for f in report.futures]
+
+    def submit_many(
+        self, requests: list[SpmmRequest], on_error: str = "cancel"
+    ) -> SubmitReport:
+        """Submit a burst, with a typed contract for mid-list failures.
+
+        ``on_error="cancel"``: a failing submit (bad shape, throttle,
+        admission shed) cancels the undispatched earlier futures, drains
+        the in-flight ones, and re-raises — all-or-nothing, nothing
+        orphaned.  ``on_error="partial"``: failing requests become
+        ``None`` holes in the returned :class:`SubmitReport` (the typed
+        error recorded per index) and the rest proceed — the caller
+        decides what to resubmit.
+        """
+        if on_error not in ("cancel", "partial"):
+            raise ValueError('on_error must be "cancel" or "partial"')
+        futures: list[Future | None] = []
+        errors: list[tuple[int, Exception]] = []
         try:
-            for r in requests:
-                futures.append(self.submit(r))
+            for i, r in enumerate(requests):
+                try:
+                    futures.append(self.submit(r))
+                except Exception as exc:
+                    if on_error != "partial":
+                        raise
+                    futures.append(None)
+                    errors.append((i, exc))
         except BaseException:
+            # cancel-and-raise (and any non-Exception even in partial
+            # mode): never leave an earlier future orphaned to the
+            # caller — cancel the undispatched, drain the in-flight.
             for f in futures:
-                f.cancel()  # undispatched entries resolve to cancelled
+                if f is not None:
+                    f.cancel()  # undispatched entries resolve to cancelled
             self.flush()  # dispatch drops cancelled entries; rest complete
             for f in futures:
-                if not f.cancelled():
+                if f is not None and not f.cancelled():
                     try:
                         f.exception(timeout=60)
                     except Exception:
                         pass
             raise
-        self.flush()
-        return [f.result(timeout=timeout) for f in futures]
+        return SubmitReport(futures=futures, errors=errors)
 
     def flush(self) -> None:
-        """Dispatch every pending group now (don't wait out the linger)."""
+        """Dispatch every pending group now (don't wait out the linger).
+
+        With a scheduler attached, groups leave in priority-weighted
+        EDF order, so a flush cannot invert priorities either.
+        """
         with self._cond:
-            for key in list(self._groups):
+            for key, _g in self._ordered_groups(list(self._groups.items())):
                 self._dispatch_locked(key)
 
     @property
@@ -349,25 +496,61 @@ class BatchExecutor:
             return
         self._pool.submit(self._execute_batch, key, group.entries)
 
+    def _group_due_t(self, g: _Group) -> float:
+        """When a group should dispatch: linger expiry, or the scheduler's
+        earlier EDF-promotion time when a member deadline demands it."""
+        if self.scheduler is not None:
+            return self.scheduler.due_t(
+                g.oldest_t, self.batch_window_s, g.min_deadline_t
+            )
+        return g.oldest_t + self.batch_window_s
+
+    def _ordered_groups(self, items: list[tuple]) -> list[tuple]:
+        """Dispatch order for ready groups: FIFO, or weighted EDF."""
+        if self.scheduler is None:
+            return items
+        return sorted(
+            items,
+            key=lambda kv: group_sort_key(
+                kv[1].weight,
+                kv[1].min_deadline_t,
+                kv[1].oldest_t + self.batch_window_s,
+            ),
+        )
+
+    def _note_promotion(self, g: _Group, now: float) -> None:
+        """Record an EDF promotion (dispatch ahead of the linger window)."""
+        s = self.scheduler
+        if s is None or now >= g.oldest_t + self.batch_window_s:
+            return  # normal ripeness, not a promotion
+        promoted = [e for e in g.entries if e.deadline_t is not None]
+        if not promoted:
+            return
+        s.note_promoted(len(promoted))
+        for e in promoted:
+            if e.span is not None:
+                e.span.add_event("sched.promote", now, slack_s=e.deadline_t - now)
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._cond:
                 if self._closed:
                     return
                 now = self._clock()
-                ripe = [
-                    key
+                due = [
+                    (key, g)
                     for key, g in self._groups.items()
-                    if g.entries and now - g.oldest_t >= self.batch_window_s
+                    if g.entries and now >= self._group_due_t(g)
                 ]
-                for key in ripe:
+                for key, g in self._ordered_groups(due):
+                    self._note_promotion(g, now)
                     self._dispatch_locked(key)
                 waits = [
-                    g.oldest_t + self.batch_window_s - now
+                    self._group_due_t(g) - now
                     for g in self._groups.values()
                     if g.entries
                 ]
-                self._cond.wait(timeout=min(waits) if waits else None)
+                self._cond.wait(timeout=max(min(waits), 0.0) if waits else None)
 
     # -- execution -------------------------------------------------------------
 
@@ -377,6 +560,10 @@ class BatchExecutor:
         tracer = self.tracer
         queue_hist = get_metrics().histogram(
             "repro_queue_wait_seconds", "seconds a request waited before its batch"
+        )
+        slack_hist = get_metrics().histogram(
+            "repro_sched_slack_seconds",
+            "deadline slack remaining when a request's batch dispatched",
         )
         live: list[_Entry] = []
         for e in entries:
@@ -389,6 +576,8 @@ class BatchExecutor:
                     "serve.queue", start_s=e.submit_t, end_s=start, parent=e.span
                 )
             deadline = e.request.deadline_s
+            if deadline is not None:
+                slack_hist.observe(max(deadline - e.queue_wait_s, 0.0))
             if deadline is not None and e.queue_wait_s > deadline:
                 if e.span is not None:
                     e.span.add_event(
@@ -407,6 +596,30 @@ class BatchExecutor:
         finally:
             # v4 autotune may have grown the plan past the budget.
             self.registry.enforce_budget()
+
+    def _shed_expired_at_launch(self, live: list[_Entry]) -> list[_Entry]:
+        """Drop entries whose deadline passed since batch formation.
+
+        The formation-time check (above) covers queue wait; this one,
+        run right before the kernel launch, additionally covers plan
+        admission and route planning.  Expired entries take the dense
+        fallback and are marked ``deadline_expired``.
+        """
+        now = self._clock()
+        still: list[_Entry] = []
+        for e in live:
+            if e.deadline_t is not None and now - e.submit_t > e.request.deadline_s:
+                if e.span is not None:
+                    e.span.add_event(
+                        "deadline.expired",
+                        now,
+                        deadline_s=e.request.deadline_s,
+                        at="launch",
+                    )
+                self._submit_expired_dense(e, batch_size=len(live))
+            else:
+                still.append(e)
+        return still
 
     def _submit_expired_dense(self, e: _Entry, batch_size: int) -> None:
         """Run an expired request's dense fallback on the pool.
@@ -445,9 +658,19 @@ class BatchExecutor:
             # Plan admission (or the reorder itself) is broken: the dense
             # route needs only the raw matrix, so serve instead of erroring.
             routes = ["dense"]
-        if sum(e.request.b.shape[1] for e in live) == 0:
+        # Plan admission may have consumed the rest of a member's deadline
+        # budget (a cold plan can reorder for longer than any SLO): recheck
+        # total elapsed time (submit -> launch) so a request never rides
+        # the fast path past its deadline.
+        live = self._shed_expired_at_launch(live)
+        if not live:
+            return
+        total_cols = sum(e.request.b.shape[1] for e in live)
+        if total_cols == 0:
             self._resolve_all_empty(name, live, routes[0])
             return
+        if self.scheduler is not None and len(routes) > 1:
+            routes = self.scheduler.plan_routes(name, routes, total_cols)
         for route in routes:
             if route == "dense":
                 for e in live:
@@ -561,6 +784,10 @@ class BatchExecutor:
             )
             k1 = self._clock()
             assert res.c is not None
+            if self.scheduler is not None:
+                self.scheduler.observe(
+                    e.request.matrix, "dense", res.profile.duration_us, b.shape[1]
+                )
             stats = RequestStats(
                 request_id=e.request_id,
                 matrix=e.request.matrix,
@@ -571,6 +798,7 @@ class BatchExecutor:
                 batch_kernel_us=res.profile.duration_us,
                 registry="hit" if self.registry.resident(e.request.matrix) else "miss",
                 deadline_expired=expired,
+                tenant=e.request.tenant,
             )
             self._trace_kernel(e, "dense", k0, k1, stats)
             self._record_batch_raw(
@@ -580,6 +808,7 @@ class BatchExecutor:
                     route="dense",
                     size=1,
                     kernel_us=res.profile.duration_us,
+                    weight=e.weight,
                 )
             )
             self._record_request(stats)
@@ -610,6 +839,7 @@ class BatchExecutor:
                 kernel_us=batch_us * (w / total if total else 0.0),
                 batch_kernel_us=batch_us,
                 registry="hit" if was_resident else "miss",
+                tenant=e.request.tenant,
             )
             self._trace_kernel(e, route, kernel_start_s, kernel_end_s, stats)
             self._record_request(stats)
@@ -635,6 +865,7 @@ class BatchExecutor:
             queue_wait_s=e.queue_wait_s,
             registry="hit" if self.registry.resident(e.request.matrix) else "miss",
             deadline_expired=expired,
+            tenant=e.request.tenant,
         )
         self._record_request(stats)
         self._resolve(e, ServeResult(c=np.zeros((m, 0), dtype=np.float16), stats=stats))
@@ -733,8 +964,19 @@ class BatchExecutor:
     def _record_batch(
         self, name: str, version: str, route: str, live: list[_Entry], us: float
     ) -> None:
+        if self.scheduler is not None:
+            self.scheduler.observe(
+                name, route, us, sum(e.request.b.shape[1] for e in live)
+            )
         self._record_batch_raw(
-            BatchStats(matrix=name, version=version, route=route, size=len(live), kernel_us=us)
+            BatchStats(
+                matrix=name,
+                version=version,
+                route=route,
+                size=len(live),
+                kernel_us=us,
+                weight=min(e.weight for e in live),
+            )
         )
 
     def _record_batch_raw(self, stats: BatchStats) -> None:
@@ -767,6 +1009,11 @@ class BatchExecutor:
             store_failures=self.registry.store_failures,
             breaker_trips=self.breakers.trips,
             breaker_states=self.breakers.snapshot(),
+            throttled=self.scheduler.throttled if self.scheduler else 0,
+            throttled_by_tenant=(
+                self.scheduler.throttled_by_tenant() if self.scheduler else {}
+            ),
+            promoted=self.scheduler.promoted if self.scheduler else 0,
         )
 
     def request_stats(self) -> list[RequestStats]:

@@ -40,6 +40,8 @@ class RequestStats:
     #: Whether the plan was resident in the registry at lookup time.
     registry: str = "hit"
     deadline_expired: bool = False
+    #: Owning tenant (see :mod:`repro.sched.tenancy`).
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.route not in ROUTES:
@@ -60,6 +62,9 @@ class BatchStats:
     route: str
     size: int
     kernel_us: float
+    #: Priority weight of the batch's most-urgent member (lower = more
+    #: urgent; see :data:`repro.sched.PRIORITY_WEIGHTS`).
+    weight: int = 1
 
 
 @dataclass
@@ -115,6 +120,14 @@ class ServeStats:
     breaker_trips: int = 0
     #: Current breaker states, keyed ``"matrix/route"``.
     breaker_states: dict[str, str] = field(default_factory=dict)
+    #: Requests shed by per-tenant rate limits (scheduler admission).
+    throttled: int = 0
+    #: Throttle verdicts per tenant.
+    throttled_by_tenant: dict[str, int] = field(default_factory=dict)
+    #: Requests dispatched ahead of the linger window to meet deadlines.
+    promoted: int = 0
+    #: Served requests per tenant.
+    tenant_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def avg_batch_size(self) -> float:
@@ -146,6 +159,9 @@ class ServeStats:
         store_failures: int = 0,
         breaker_trips: int = 0,
         breaker_states: dict[str, str] | None = None,
+        throttled: int = 0,
+        throttled_by_tenant: dict[str, int] | None = None,
+        promoted: int = 0,
     ) -> "ServeStats":
         out = cls(
             reorder_runs=reorder_runs,
@@ -156,10 +172,14 @@ class ServeStats:
             store_failures=store_failures,
             breaker_trips=breaker_trips,
             breaker_states=dict(breaker_states or {}),
+            throttled=throttled,
+            throttled_by_tenant=dict(throttled_by_tenant or {}),
+            promoted=promoted,
         )
         for r in request_stats:
             out.requests += 1
             out.route_counts[r.route] += 1
+            out.tenant_counts[r.tenant] = out.tenant_counts.get(r.tenant, 0) + 1
             out.route_kernel_us[r.route] += r.kernel_us
             if r.registry == "hit":
                 out.request_registry_hits += 1

@@ -1,0 +1,128 @@
+"""Learned route costs: EWMA estimators and cost-model planning."""
+
+import pytest
+
+from repro.sched import CostModel, EwmaEstimator
+
+
+class TestEwmaEstimator:
+    def test_first_observation_is_the_value(self):
+        est = EwmaEstimator(alpha=0.25)
+        assert est.value is None
+        assert est.update(8.0) == 8.0
+        assert est.count == 1
+
+    def test_smoothing_moves_toward_new_observations(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.update(10.0)
+        assert est.update(20.0) == pytest.approx(15.0)
+        assert est.update(20.0) == pytest.approx(17.5)
+
+    def test_alpha_one_tracks_latest(self):
+        est = EwmaEstimator(alpha=1.0)
+        est.update(10.0)
+        assert est.update(3.0) == 3.0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+
+
+class TestCostModelObservation:
+    def test_estimate_scales_with_cols(self):
+        cm = CostModel()
+        cm.observe("w", "jigsaw", us=100.0, cols=10)  # 10 us/col
+        assert cm.estimate_us("w", "jigsaw", cols=3) == pytest.approx(30.0)
+
+    def test_unmeasured_route_has_no_estimate(self):
+        cm = CostModel()
+        assert cm.estimate_us("w", "jigsaw", cols=8) is None
+
+    def test_zero_col_observation_ignored(self):
+        cm = CostModel()
+        cm.observe("w", "jigsaw", us=100.0, cols=0)
+        assert cm.samples("w", "jigsaw") == 0
+
+    def test_min_samples_gate(self):
+        cm = CostModel(min_samples=2)
+        cm.observe("w", "jigsaw", us=10.0, cols=1)
+        assert cm.estimate_us("w", "jigsaw", cols=1) is None
+        cm.observe("w", "jigsaw", us=10.0, cols=1)
+        assert cm.estimate_us("w", "jigsaw", cols=1) == pytest.approx(10.0)
+
+    def test_snapshot_is_per_matrix_per_route(self):
+        cm = CostModel()
+        cm.observe("a", "jigsaw", us=10.0, cols=1)
+        cm.observe("a", "dense", us=40.0, cols=1)
+        cm.observe("b", "hybrid", us=5.0, cols=1)
+        snap = cm.snapshot()
+        assert snap == {
+            "a": {"jigsaw": 10.0, "dense": 40.0},
+            "b": {"hybrid": 5.0},
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(min_samples=0)
+        with pytest.raises(ValueError):
+            CostModel(explore_every=1)
+
+
+class TestCostModelPlanning:
+    CHAIN = ["jigsaw", "hybrid", "dense"]
+
+    def test_cold_start_keeps_static_chain_order(self):
+        cm = CostModel()
+        assert cm.plan("w", self.CHAIN, cols=8) == self.CHAIN
+        # Also when candidates arrive in a different order.
+        assert cm.plan("w", ["dense", "jigsaw", "hybrid"], cols=8) == self.CHAIN
+
+    def test_measured_routes_rank_cheapest_first(self):
+        cm = CostModel()
+        cm.observe("w", "jigsaw", us=50.0, cols=1)
+        cm.observe("w", "hybrid", us=10.0, cols=1)
+        cm.observe("w", "dense", us=20.0, cols=1)
+        assert cm.plan("w", self.CHAIN, cols=4) == ["hybrid", "dense", "jigsaw"]
+
+    def test_unmeasured_routes_sort_after_measured_in_chain_order(self):
+        cm = CostModel()
+        cm.observe("w", "hybrid", us=10.0, cols=1)
+        # hybrid measured -> first; jigsaw/dense unmeasured keep chain order.
+        assert cm.plan("w", self.CHAIN, cols=4) == ["hybrid", "jigsaw", "dense"]
+
+    def test_costs_are_per_matrix(self):
+        cm = CostModel()
+        cm.observe("a", "hybrid", us=1.0, cols=1)
+        assert cm.plan("a", self.CHAIN, cols=4)[0] == "hybrid"
+        assert cm.plan("b", self.CHAIN, cols=4) == self.CHAIN
+
+    def test_exploration_reprobes_least_sampled_on_cadence(self):
+        cm = CostModel(explore_every=3)
+        for _ in range(5):
+            cm.observe("w", "hybrid", us=1.0, cols=1)
+        # Decisions 0..5: every 3rd (n=3) front-runs the least-sampled
+        # non-dense route (jigsaw, zero samples) ahead of measured hybrid.
+        firsts = [cm.plan("w", self.CHAIN, cols=4)[0] for _ in range(6)]
+        assert firsts == ["hybrid", "hybrid", "hybrid", "jigsaw", "hybrid", "hybrid"]
+
+    def test_exploration_never_probes_dense(self):
+        cm = CostModel(explore_every=2)
+        cm.observe("w", "jigsaw", us=1.0, cols=1)
+        cm.observe("w", "hybrid", us=1.0, cols=1)
+        for _ in range(10):
+            assert cm.plan("w", self.CHAIN, cols=4)[0] != "dense"
+
+    def test_plan_preserves_candidate_set(self):
+        cm = CostModel(explore_every=2)
+        cm.observe("w", "hybrid", us=1.0, cols=1)
+        for _ in range(8):
+            assert sorted(cm.plan("w", self.CHAIN, cols=4)) == sorted(self.CHAIN)
+
+    def test_plan_with_restricted_candidates(self):
+        # Reorder-failed groups offer only hybrid/dense; the model must
+        # never resurrect a route the executor excluded.
+        cm = CostModel()
+        cm.observe("w", "jigsaw", us=0.1, cols=1)
+        assert cm.plan("w", ["hybrid", "dense"], cols=4) == ["hybrid", "dense"]

@@ -1,0 +1,122 @@
+"""Scheduler policy object: EDF due times, promotion, sort-key property."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    PRIORITY_WEIGHTS,
+    AdmissionController,
+    CostModel,
+    Scheduler,
+    ThrottledError,
+    group_sort_key,
+)
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+class TestGroupSortKey:
+    def test_priority_class_dominates_deadlines(self):
+        # A best-effort group with an imminent deadline still sorts after
+        # an interactive group with no deadline at all.
+        urgent_low = group_sort_key(2, min_deadline_t=0.001, fallback_t=99.0)
+        relaxed_high = group_sort_key(0, min_deadline_t=None, fallback_t=50.0)
+        assert relaxed_high < urgent_low
+
+    def test_edf_within_class(self):
+        a = group_sort_key(1, min_deadline_t=5.0, fallback_t=99.0)
+        b = group_sort_key(1, min_deadline_t=3.0, fallback_t=0.0)
+        assert b < a
+
+    def test_deadline_less_groups_fall_back_to_linger_expiry(self):
+        a = group_sort_key(1, min_deadline_t=None, fallback_t=2.0)
+        b = group_sort_key(1, min_deadline_t=None, fallback_t=4.0)
+        assert a < b
+
+    def test_no_priority_inversion_property(self):
+        # For any two groups, the lower weight (more urgent class) sorts
+        # first regardless of every other field — fuzzed under the CI
+        # chaos seeds so the property holds for any timing layout.
+        rng = np.random.default_rng(CHAOS_SEED)
+        for _ in range(500):
+            w1, w2 = rng.integers(0, 3, size=2)
+            d1, d2 = rng.uniform(0, 100, size=2)
+            f1, f2 = rng.uniform(0, 100, size=2)
+            k1 = group_sort_key(int(w1), d1 if rng.random() < 0.5 else None, f1)
+            k2 = group_sort_key(int(w2), d2 if rng.random() < 0.5 else None, f2)
+            if w1 < w2:
+                assert k1 < k2
+            elif w2 < w1:
+                assert k2 < k1
+
+
+class TestDueTime:
+    def test_no_deadline_is_linger_expiry(self):
+        s = Scheduler()
+        assert s.due_t(oldest_t=10.0, window_s=0.5, min_deadline_t=None) == 10.5
+
+    def test_deadline_promotes_before_linger(self):
+        s = Scheduler(promote_margin_s=0.01)
+        due = s.due_t(oldest_t=10.0, window_s=0.5, min_deadline_t=10.2)
+        assert due == pytest.approx(10.19)
+
+    def test_late_deadline_keeps_linger(self):
+        s = Scheduler(promote_margin_s=0.01)
+        assert s.due_t(oldest_t=10.0, window_s=0.1, min_deadline_t=99.0) == 10.1
+
+    def test_edf_disabled_ignores_deadlines(self):
+        s = Scheduler(edf=False)
+        assert s.due_t(oldest_t=10.0, window_s=0.5, min_deadline_t=10.01) == 10.5
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(promote_margin_s=-0.1)
+
+
+class TestCounters:
+    def test_promotions_accumulate(self):
+        s = Scheduler()
+        s.note_promoted(2)
+        s.note_promoted(0)  # no-op
+        s.note_promoted(1)
+        assert s.promoted == 3
+
+    def test_admission_passthrough(self):
+        adm = AdmissionController().configure(
+            "t", priority="interactive", rate_per_s=1.0, burst=1
+        )
+        s = Scheduler(admission=adm)
+        s.admit("t", now=0.0)
+        with pytest.raises(ThrottledError):
+            s.admit("t", now=0.0)
+        assert s.throttled == 1
+        assert s.throttled_by_tenant() == {"t": 1}
+        assert s.weight("t") == PRIORITY_WEIGHTS["interactive"]
+
+    def test_no_admission_admits_everyone_at_batch_weight(self):
+        s = Scheduler()
+        s.admit("anyone", now=0.0)
+        assert s.throttled == 0
+        assert s.weight("anyone") == PRIORITY_WEIGHTS["batch"]
+
+
+class TestRoutePlanning:
+    def test_without_cost_model_order_is_untouched(self):
+        s = Scheduler()
+        assert s.plan_routes("w", ["jigsaw", "hybrid", "dense"], cols=8) == [
+            "jigsaw",
+            "hybrid",
+            "dense",
+        ]
+
+    def test_cost_model_reorders_and_observe_feeds_it(self):
+        s = Scheduler(cost_model=CostModel())
+        s.observe("w", "hybrid", us=5.0, cols=1)
+        s.observe("w", "jigsaw", us=50.0, cols=1)
+        assert s.plan_routes("w", ["jigsaw", "hybrid", "dense"], cols=4)[0] == "hybrid"
+
+    def test_single_candidate_skips_planning(self):
+        s = Scheduler(cost_model=CostModel())
+        assert s.plan_routes("w", ["dense"], cols=8) == ["dense"]

@@ -1,0 +1,132 @@
+"""Multi-tenant admission: priority classes, token buckets, throttling."""
+
+import pytest
+
+from repro.sched import (
+    PRIORITY_CLASSES,
+    PRIORITY_WEIGHTS,
+    AdmissionController,
+    TenantConfig,
+    ThrottledError,
+    TokenBucket,
+)
+
+
+class TestTenantConfig:
+    def test_default_is_batch_unlimited(self):
+        cfg = TenantConfig(name="t")
+        assert cfg.priority == "batch"
+        assert cfg.rate_per_s is None
+        assert cfg.weight == PRIORITY_WEIGHTS["batch"]
+
+    def test_priority_weights_order_most_urgent_first(self):
+        weights = [PRIORITY_WEIGHTS[c] for c in PRIORITY_CLASSES]
+        assert weights == sorted(weights)
+        assert PRIORITY_WEIGHTS["interactive"] < PRIORITY_WEIGHTS["batch"]
+        assert PRIORITY_WEIGHTS["batch"] < PRIORITY_WEIGHTS["best_effort"]
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError, match="priority"):
+            TenantConfig(name="t", priority="platinum")
+
+    def test_bad_rate_and_burst_rejected(self):
+        with pytest.raises(ValueError, match="rate_per_s"):
+            TenantConfig(name="t", rate_per_s=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TenantConfig(name="t", rate_per_s=1.0, burst=0.5)
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        tb = TokenBucket(rate_per_s=1.0, burst=2)
+        assert tb.try_acquire(now=0.0)
+        assert tb.try_acquire(now=0.0)
+        assert not tb.try_acquire(now=0.0)
+
+    def test_refills_at_rate(self):
+        tb = TokenBucket(rate_per_s=10.0, burst=1)
+        assert tb.try_acquire(now=0.0)
+        assert not tb.try_acquire(now=0.05)  # 0.5 tokens back
+        assert tb.try_acquire(now=0.1)  # full token back
+
+    def test_refill_caps_at_burst(self):
+        tb = TokenBucket(rate_per_s=100.0, burst=2)
+        assert tb.try_acquire(now=0.0)
+        assert tb.tokens <= 2.0
+        tb.try_acquire(now=1000.0)
+        assert tb.tokens <= 2.0
+
+    def test_retry_after_names_the_wait(self):
+        tb = TokenBucket(rate_per_s=2.0, burst=1)
+        assert tb.retry_after(now=0.0) == 0.0
+        assert tb.try_acquire(now=0.0)
+        assert tb.retry_after(now=0.0) == pytest.approx(0.5)
+
+    def test_clock_going_backwards_does_not_mint_tokens(self):
+        tb = TokenBucket(rate_per_s=1.0, burst=1)
+        assert tb.try_acquire(now=10.0)
+        assert not tb.try_acquire(now=5.0)  # earlier now: no refill
+        before = tb.tokens
+        tb.retry_after(now=5.0)
+        assert tb.tokens == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_unregistered_tenant_uses_default_unlimited(self):
+        adm = AdmissionController()
+        for i in range(100):
+            adm.admit("anyone", now=0.0)  # never raises
+        assert adm.throttled == 0
+
+    def test_rate_limited_tenant_sheds_with_typed_error(self):
+        adm = AdmissionController().configure("t", rate_per_s=1.0, burst=2)
+        adm.admit("t", now=0.0)
+        adm.admit("t", now=0.0)
+        with pytest.raises(ThrottledError) as exc_info:
+            adm.admit("t", now=0.0)
+        assert exc_info.value.tenant == "t"
+        assert exc_info.value.retry_after_s > 0
+        assert adm.throttled == 1
+        assert adm.throttled_by_tenant() == {"t": 1}
+
+    def test_throttle_counts_are_per_tenant(self):
+        adm = (
+            AdmissionController()
+            .configure("a", rate_per_s=1.0, burst=1)
+            .configure("b", rate_per_s=1.0, burst=1)
+        )
+        adm.admit("a", now=0.0)
+        adm.admit("b", now=0.0)
+        for _ in range(2):
+            with pytest.raises(ThrottledError):
+                adm.admit("a", now=0.0)
+        with pytest.raises(ThrottledError):
+            adm.admit("b", now=0.0)
+        assert adm.throttled_by_tenant() == {"a": 2, "b": 1}
+        assert adm.throttled == 3
+
+    def test_reconfigure_rebuilds_the_bucket(self):
+        adm = AdmissionController().configure("t", rate_per_s=1.0, burst=1)
+        adm.admit("t", now=0.0)
+        with pytest.raises(ThrottledError):
+            adm.admit("t", now=0.0)
+        adm.configure("t", rate_per_s=1.0, burst=5)  # fresh, larger bucket
+        for _ in range(5):
+            adm.admit("t", now=0.0)
+
+    def test_weight_lookup_follows_config(self):
+        adm = AdmissionController().configure("ui", priority="interactive")
+        assert adm.weight("ui") == PRIORITY_WEIGHTS["interactive"]
+        assert adm.weight("other") == PRIORITY_WEIGHTS["batch"]
+
+    def test_custom_default_config(self):
+        adm = AdmissionController(
+            default=TenantConfig(name="default", priority="best_effort")
+        )
+        assert adm.weight("stranger") == PRIORITY_WEIGHTS["best_effort"]
