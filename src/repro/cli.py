@@ -299,6 +299,8 @@ def _serve_bench(args: argparse.Namespace) -> int:
         registry.register(name, matrices[name])
 
     names = list(matrices)
+    if args.compare_compiled:
+        return _serve_bench_compare(args, registry, names, rng)
     requests = [
         SpmmRequest(
             matrix=names[i % len(names)],
@@ -359,6 +361,128 @@ def _serve_bench(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _serve_bench_compare(args, registry, names, rng) -> int:
+    """Tile-by-tile baseline vs the cost-model-discovered compiled route.
+
+    Two scenarios over identical steady traffic (one request per matrix
+    per round): ``tile`` pins ``chain=("jigsaw", "hybrid", "dense")`` so
+    the compiled route cannot run, ``compiled_cost`` serves the full
+    chain under a :class:`~repro.sched.CostModel` — no manual pinning;
+    the model has to *discover* the compiled route via its exploration
+    cadence.  Each scenario runs an untimed warmup phase first (formats
+    built, compiled plans lowered, cost model converged), so the timed
+    window measures steady-state serving throughput — the number the
+    committed ``BENCH_serving.json`` records.
+    """
+    from time import perf_counter
+
+    from repro.analysis import (
+        build_bench_serving,
+        render_serving,
+        render_table,
+        scenario_record,
+        write_bench_serving,
+    )
+    from repro.sched import CostModel, Scheduler
+    from repro.serve import FALLBACK_CHAIN, BatchExecutor, SpmmRequest
+
+    registry.warm()  # neither scenario pays reorder/IO inside the timed window
+
+    def make_round():
+        return [
+            SpmmRequest(
+                matrix=name,
+                b=rng.standard_normal((args.k, args.n)).astype(np.float16),
+            )
+            for name in names
+        ]
+
+    timed = max(1, args.requests // len(names))
+    warm_rounds = [make_round() for _ in range(args.warmup_rounds)]
+    timed_rounds = [make_round() for _ in range(timed)]
+
+    def run_scenario(name, chain, scheduler):
+        kwargs = dict(
+            max_batch=args.max_batch,
+            max_workers=args.pool_workers,
+            chain=chain,
+            scheduler=scheduler,
+        )
+        # Warmup in a throwaway executor: the cost model lives on the
+        # scheduler and carries its estimates over, so the timed
+        # executor's stats cover exactly the timed traffic.
+        with BatchExecutor(registry, **kwargs) as executor:
+            for burst in warm_rounds:
+                executor.run(burst)
+        with BatchExecutor(registry, **kwargs) as executor:
+            wall_t0 = perf_counter()
+            for burst in timed_rounds:
+                executor.run(burst)
+            wall_s = perf_counter() - wall_t0
+            stats = executor.stats()
+            latencies = [
+                r.queue_wait_s + r.batch_kernel_us / 1e6
+                for r in executor.request_stats()
+            ]
+        return scenario_record(name, stats, latencies, wall_s, 0), stats, wall_s
+
+    tile_rec, _, tile_wall = run_scenario(
+        "tile", ("jigsaw", "hybrid", "dense"), None
+    )
+    # explore_every=8: the probe cadence discovers the compiled route
+    # during warmup, then costs one re-probe launch per 8 decisions in
+    # steady state.
+    sched = Scheduler(cost_model=CostModel(explore_every=8))
+    comp_rec, comp_stats, comp_wall = run_scenario(
+        "compiled_cost", FALLBACK_CHAIN, sched
+    )
+
+    doc = build_bench_serving(
+        [tile_rec, comp_rec], baseline="tile", contender="compiled_cost"
+    )
+    comp = doc["comparison"]
+    comp["baseline_throughput_rps"] = tile_rec["throughput_rps"]
+    comp["contender_throughput_rps"] = comp_rec["throughput_rps"]
+    comp["throughput_speedup"] = (
+        comp_rec["throughput_rps"] / tile_rec["throughput_rps"]
+        if tile_rec["throughput_rps"]
+        else float("inf")
+    )
+    if args.bench_json:
+        path = write_bench_serving(doc, args.bench_json)
+        print(f"bench report written to {path}")
+    print(render_serving(comp_stats))
+    print()
+    print(
+        render_table(
+            ["steady-state serving", "tile", "compiled_cost"],
+            [
+                [
+                    "throughput",
+                    f"{tile_rec['throughput_rps']:.1f} req/s",
+                    f"{comp_rec['throughput_rps']:.1f} req/s",
+                ],
+                [
+                    "timed wall",
+                    f"{tile_wall * 1e3:.0f} ms",
+                    f"{comp_wall * 1e3:.0f} ms",
+                ],
+                [
+                    "route mix",
+                    _fmt_route_mix(tile_rec["route_mix"]),
+                    _fmt_route_mix(comp_rec["route_mix"]),
+                ],
+                ["throughput speedup", "1.00x", f"{comp['throughput_speedup']:.2f}x"],
+            ],
+        )
+    )
+    return 0
+
+
+def _fmt_route_mix(mix: dict) -> str:
+    return " ".join(f"{r}:{n}" for r, n in mix.items() if n)
 
 
 def cmd_sched_bench(args: argparse.Namespace) -> int:
@@ -766,6 +890,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write a machine-readable repro.bench_serving/v1 report",
+    )
+    p.add_argument(
+        "--compare-compiled",
+        action="store_true",
+        help="steady-state drill: tile-pinned baseline vs the cost-model-"
+        "discovered compiled route (adds a throughput comparison to the report)",
+    )
+    p.add_argument(
+        "--warmup-rounds",
+        type=int,
+        default=10,
+        help="untimed warmup rounds per scenario in --compare-compiled "
+        "(lets the cost model's exploration discover the compiled route)",
     )
     _add_preprocessing_flags(p)
     _add_observability_flags(p)

@@ -1,6 +1,13 @@
 """Jigsaw core: multi-granularity reorder, reorder-aware format, kernels."""
 
 from .api import JigsawPlan, jigsaw_spmm
+from .compiled import (
+    CompiledPlan,
+    compile_plan,
+    compiled_output,
+    expand_tile,
+    run_compiled_kernel,
+)
 from .compatibility import (
     CoverCacheStats,
     CoverSolution,
@@ -57,6 +64,11 @@ from .tiles import (
 __all__ = [
     "JigsawPlan",
     "jigsaw_spmm",
+    "CompiledPlan",
+    "compile_plan",
+    "compiled_output",
+    "expand_tile",
+    "run_compiled_kernel",
     "CoverCacheStats",
     "CoverSolution",
     "clear_cover_cache",

@@ -241,6 +241,33 @@ class JigsawPlan:
         """Paper's Section 4.3 criterion on the fixed-tile format."""
         return self.format_for(self.FIXED_BLOCK_TILE).reorder_success
 
+    def compiled(self):
+        """The plan's whole-plan lowering (see :mod:`repro.core.compiled`).
+
+        Built from (and bit-identical to) the fixed BLOCK_TILE=64
+        format; cached on the format, and pre-populated when the format
+        loaded from a v5 artifact.
+        """
+        return self.format_for(self.FIXED_BLOCK_TILE).compiled_plan()
+
+    def run_compiled(
+        self,
+        b: np.ndarray,
+        device: DeviceSpec = A100,
+        want_output: bool = True,
+    ) -> JigsawRunResult:
+        """One compiled whole-plan launch: flat gathers + batched matmul.
+
+        Steady-state serving path: no per-tile Python, no per-launch
+        autotune.  The output is bit-identical to the BLOCK_TILE=64
+        tile-by-tile route.
+        """
+        from .compiled import run_compiled_kernel
+
+        return run_compiled_kernel(
+            self.compiled(), np.asarray(b), device, want_output=want_output
+        )
+
     def run(
         self,
         b: np.ndarray,

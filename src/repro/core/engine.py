@@ -39,8 +39,9 @@ from .tiles import TileConfig
 #: from older layouts can never be mistaken for current ones.  v3 folds
 #: ``TileConfig.mma_tile`` into the key (pre-v3 keys omitted it, so a
 #: non-default MMA_TILE plan aliased the default-tile cache entry); v4
-#: tracks the checksummed artifact layout.
-PLAN_CACHE_KEY_VERSION = 4
+#: tracks the checksummed artifact layout; v5 tracks the compiled
+#: whole-plan arrays appended to the artifact.
+PLAN_CACHE_KEY_VERSION = 5
 
 
 @dataclass

@@ -75,6 +75,21 @@ class JigsawMatrix:
     #: serialization header (v2) so artifacts built with different
     #: settings can never be confused.
     avoid_bank_conflicts: bool = True
+    #: Lazily-built whole-plan lowering (see :mod:`repro.core.compiled`);
+    #: v5 artifacts persist its arrays, older ones recompile on demand.
+    _compiled: object | None = field(default=None, repr=False, compare=False)
+
+    def compiled_plan(self):
+        """The (cached) :class:`~repro.core.compiled.CompiledPlan`.
+
+        Compiles on first use; loading a v5 artifact pre-populates it
+        with the persisted arrays instead.
+        """
+        if self._compiled is None:
+            from .compiled import compile_plan
+
+            self._compiled = compile_plan(self)
+        return self._compiled
 
     # -- construction -----------------------------------------------------------
 

@@ -39,6 +39,7 @@ from repro.gpu.scheduler import BlockWork, KernelTrace, simulate_launch
 from repro.gpu.shared import SharedMemoryModel, SmemLayout
 from repro.gpu.tensorcore import JIGSAW_SPTC_SHAPE, mma_sp
 
+from ..compiled import expand_tile
 from ..format import JigsawMatrix
 from ..metadata import interleaved_load_addresses, naive_load_addresses
 from ..tiles import MMA_TILE
@@ -81,9 +82,12 @@ class JigsawRunResult:
 def compute_output(jm: JigsawMatrix, b: np.ndarray) -> np.ndarray:
     """Functional SpMM from the compressed representation (fp32 out).
 
-    Works strip by strip: each (strip, group) tile's kept values multiply
-    the B rows selected by the reorder indices — the same gather the
-    hardware selector performs, vectorized.
+    Works strip by strip: each (strip, group) tile's expanded operand
+    (:func:`~repro.core.compiled.expand_tile` — the hardware selector's
+    gather baked into a dense 16x16) multiplies the B rows selected by
+    the reorder indices.  The compiled whole-plan route
+    (:mod:`repro.core.compiled`) replays these exact per-tile GEMMs as
+    one batched matmul, which is what makes the two routes bit-identical.
     """
     m, k = jm.shape
     if b.shape[0] != k:
@@ -106,12 +110,7 @@ def compute_output(jm: JigsawMatrix, b: np.ndarray) -> np.ndarray:
                 bt = np.zeros((MMA_TILE, n), dtype=np.float32)
                 real = ordered >= 0
                 bt[real] = bf[ordered[real]]
-                vals = slab.values[s, g].astype(np.float32)  # (16, 8)
-                pos = slab.positions[s, g].astype(np.int64)
-                quad = np.repeat(np.arange(4), 2)  # kept value -> quad
-                sel = quad[None, :] * 4 + pos  # (16, 8) tile-row index
-                for i in range(MMA_TILE):
-                    acc[i] += vals[i] @ bt[sel[i]]
+                acc += expand_tile(slab.values[s, g], slab.positions[s, g]) @ bt
             c[sr0 : sr0 + rows_here] += acc[:rows_here]
     return c
 

@@ -33,15 +33,20 @@ from .tiles import MMA_TILE, TileConfig
 #: settings (``avoid_bank_conflicts``); v3 appends ``mma_tile``, which
 #: pre-v3 writers never persisted, so a non-default MMA_TILE artifact
 #: used to round-trip as a 16-tile one.  v4 appends a sha256 content
-#: checksum (the ``checksum`` array) verified on load.  v1–v3 artifacts
-#: are still readable: they predate the checksum, so they load
-#: unverified and assume the documented era defaults
-#: (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`,
-#: :data:`PRE_V3_MMA_TILE_DEFAULT`).
-FORMAT_VERSION = 4
+#: checksum (the ``checksum`` array) verified on load.  v5 appends the
+#: compiled whole-plan arrays (``c_*``; see :mod:`repro.core.compiled`)
+#: so a loaded plan serves the compiled route with zero recompilation.
+#: v1–v4 artifacts are still readable: pre-v4 ones load unverified with
+#: the documented era defaults (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`,
+#: :data:`PRE_V3_MMA_TILE_DEFAULT`); pre-v5 ones lazily recompile the
+#: whole-plan arrays on first compiled-route use.
+FORMAT_VERSION = 5
 
 #: First version whose artifacts carry the ``checksum`` array.
 CHECKSUM_MIN_VERSION = 4
+
+#: First version whose artifacts carry the compiled ``c_*`` arrays.
+COMPILED_MIN_VERSION = 5
 
 #: ``avoid_bank_conflicts`` value assumed for version-1 artifacts, which
 #: predate the flag being persisted.  v1 writers only ever built formats
@@ -107,6 +112,11 @@ def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
         arrays[f"s{i}_positions"] = slab.positions
         arrays[f"s{i}_meta_words"] = slab.meta_words
         arrays[f"s{i}_meta_interleaved"] = slab.meta_interleaved
+    # Compiled whole-plan arrays: derived deterministically from the
+    # slabs, persisted so a loaded plan serves the compiled route
+    # without recompiling; the checksum covers them like any payload.
+    for key, arr in jm.compiled_plan().arrays().items():
+        arrays[f"c_{key}"] = arr
     arrays["checksum"] = np.frombuffer(_content_digest(arrays), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
 
@@ -158,7 +168,7 @@ def load_jigsaw(
     elif version == 2:
         avoid_bank_conflicts = bool(header[6])
         mma_tile = PRE_V3_MMA_TILE_DEFAULT
-    elif version in (3, FORMAT_VERSION):
+    elif version in (3, 4, FORMAT_VERSION):
         avoid_bank_conflicts = bool(header[6])
         mma_tile = int(header[7])
     else:
@@ -215,6 +225,17 @@ def load_jigsaw(
     except KeyError as exc:
         raise ArtifactError(f"artifact is missing array {exc}") from exc
     jm.validate()
+    if version >= COMPILED_MIN_VERSION:
+        from .compiled import restore_compiled
+
+        try:
+            payload = {
+                key: arrays[f"c_{key}"]
+                for key in ("w", "b_rows", "strip_idx", "g_starts", "out_rows")
+            }
+        except KeyError as exc:
+            raise ArtifactError(f"artifact is missing array {exc}") from exc
+        jm._compiled = restore_compiled(shape[0], shape[1], payload, jm)
     return jm
 
 

@@ -1,7 +1,7 @@
 """Learned route costs: per-(matrix, route) EWMA latency estimators.
 
-The serving executor can run a group on three routes (jigsaw / hybrid /
-dense) and, until now, always tried them in a static order.  But the
+The serving executor can run a group on four routes (jigsaw / compiled
+/ hybrid / dense) and, until now, always tried them in a static order.  But the
 whole premise of structured-sparse serving — VENOM's vectorized N:M
 kernels, the 2:4 Sparse-Tensor-Core line of work — is that the cheap
 route depends on the *matrix*: its sparsity, its vector structure, how
@@ -26,6 +26,7 @@ fallback chain in the executor remain the safety net underneath, and
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Iterable, Sequence
 
@@ -73,7 +74,7 @@ class CostModel:
         alpha: float = 0.25,
         min_samples: int = 1,
         explore_every: int | None = None,
-        chain: Sequence[str] = ("jigsaw", "hybrid", "dense"),
+        chain: Sequence[str] = ("jigsaw", "compiled", "hybrid", "dense"),
     ) -> None:
         if min_samples < 1:
             raise ValueError("min_samples must be >= 1")
@@ -90,8 +91,15 @@ class CostModel:
     # -- feeding ---------------------------------------------------------------
 
     def observe(self, matrix: str, route: str, us: float, cols: int) -> None:
-        """Record one launch: ``us`` simulated kernel time over ``cols`` columns."""
-        if cols <= 0 or us < 0:
+        """Record one launch: ``us`` simulated kernel time over ``cols`` columns.
+
+        Degenerate observations are dropped rather than folded into the
+        EWMA: ``cols <= 0`` would divide by zero (the executor never
+        observes a zero-width batch, but the guard makes the model safe
+        to feed directly), and a negative or non-finite ``us`` would
+        poison every later estimate for the (matrix, route).
+        """
+        if cols <= 0 or us < 0 or not math.isfinite(us):
             return
         key = (matrix, route)
         with self._lock:

@@ -8,11 +8,15 @@ output columns split back per request — the per-launch fixed cost and
 wave quantization amortize over the whole group (the same
 stationary-operand batching a Magicube-style serving stack performs).
 
-Routing (see docs/serving.md):
+Routing (see docs/serving.md and :mod:`repro.serve.routing`):
 
 * ``jigsaw`` — the normal batched v0..v4 path;
+* ``compiled`` — the whole-plan compiled route (flat precomputed index
+  arrays + one batched matmul; bit-identical to the BLOCK_TILE=64 tile
+  route).  Static chains try it after ``jigsaw``; a cost-model-equipped
+  scheduler discovers it is cheaper and reorders it first;
 * ``hybrid`` — the plan's reorder failed (``reorder_success == False``)
-  **or** the matrix's jigsaw circuit breaker is open, so the
+  **or** the faster routes' circuit breakers are open, so the
   Section-4.7 hybrid-granularity kernel serves the group instead;
 * ``dense`` — the request's deadline expired while queued, the hybrid
   breaker is open too, or every faster route failed — the dense
@@ -44,6 +48,12 @@ record; :meth:`BatchExecutor.stats` folds them into a
 :class:`~repro.serve.stats.ServeStats` together with the registry's
 hit/miss/eviction counters and the resilience counters
 (retries/rejections/quarantines/breaker states).
+
+The implementation is split by concern: request/result shapes in
+:mod:`repro.serve.forming`, group dispatch in
+:mod:`repro.serve.dispatch`, the route chain in
+:mod:`repro.serve.routing`; this module owns lifecycle, submission,
+admission, and aggregation.
 """
 
 from __future__ import annotations
@@ -51,128 +61,36 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import Future, ThreadPoolExecutor
 from time import perf_counter
 from typing import Callable
 
 import numpy as np
 
-from repro.baselines.cublas import cublas_hgemm
-from repro.core.kernels import ALL_VERSIONS, build_hybrid_plan, run_hybrid_kernel
+from repro.core.kernels import ALL_VERSIONS
 from repro.core.kernels.hybrid import HybridPlan
-from repro.faults import BreakerBoard, FaultPlan, RetryPolicy, call_with_retry, maybe_inject
+from repro.faults import BreakerBoard, FaultPlan, RetryPolicy
 from repro.gpu.device import A100, DeviceSpec
-from repro.obs import NullTracer, Span, Tracer, get_metrics, get_tracer
-from repro.sched import DEFAULT_WEIGHT, Scheduler, ThrottledError, group_sort_key
+from repro.obs import NullTracer, Tracer, get_metrics, get_tracer
+from repro.sched import DEFAULT_WEIGHT, Scheduler, ThrottledError
 
+from .dispatch import _DispatchMixin
 from .errors import ExecutorClosedError, RejectedError
+from .forming import ServeResult, SpmmRequest, SubmitReport, _Entry, _Group
 from .registry import PlanRegistry
+from .routing import FALLBACK_CHAIN, _RoutingMixin
 from .stats import BatchStats, RequestStats, ServeStats
 
-#: Fallback order: a failed (or breaker-opened) route falls to the next.
-FALLBACK_CHAIN: tuple[str, ...] = ("jigsaw", "hybrid", "dense")
+__all__ = [
+    "FALLBACK_CHAIN",
+    "BatchExecutor",
+    "ServeResult",
+    "SpmmRequest",
+    "SubmitReport",
+]
 
 
-@dataclass
-class SpmmRequest:
-    """One SpMM against a registered stationary matrix."""
-
-    matrix: str
-    b: np.ndarray
-    version: str = "v4"
-    #: Launch deadline in seconds from submission.  The budget covers
-    #: everything between submit and the kernel *launch* — queue wait,
-    #: batch formation, and plan admission — and is checked at both
-    #: batch formation and again immediately before launch, so a
-    #: request can never ride the fast path after its deadline passed
-    #: while its batch was forming or its plan was admitting.  An
-    #: expired request is re-routed to the per-request dense fallback
-    #: and marked ``deadline_expired`` (it is still served).  Kernel
-    #: *completion* time is not bounded: a launch that starts within
-    #: the deadline counts as met.
-    deadline_s: float | None = None
-    #: Owning tenant, resolved against the scheduler's
-    #: :class:`~repro.sched.AdmissionController` for rate limits and
-    #: priority class; ignored when the executor has no scheduler.
-    tenant: str = "default"
-
-
-@dataclass
-class ServeResult:
-    """Output + observability record of one served request."""
-
-    c: np.ndarray
-    stats: RequestStats
-
-
-@dataclass
-class SubmitReport:
-    """Typed outcome of :meth:`BatchExecutor.submit_many`.
-
-    ``futures`` is index-aligned with the submitted request list; a
-    ``None`` hole marks a request that was not accepted, with the
-    matching ``(index, exception)`` recorded in ``errors``.
-    """
-
-    futures: list[Future | None]
-    errors: list[tuple[int, Exception]] = field(default_factory=list)
-
-    @property
-    def accepted(self) -> int:
-        return sum(1 for f in self.futures if f is not None)
-
-    @property
-    def rejected(self) -> int:
-        return len(self.errors)
-
-    @property
-    def ok(self) -> bool:
-        return not self.errors
-
-    def accepted_futures(self) -> list[Future]:
-        """The live futures, holes dropped (original order kept)."""
-        return [f for f in self.futures if f is not None]
-
-
-@dataclass
-class _Entry:
-    request: SpmmRequest
-    request_id: int
-    future: Future
-    submit_t: float
-    #: Absolute launch deadline (``submit_t + deadline_s``), or None.
-    deadline_t: float | None = None
-    #: Priority-class weight of the owning tenant (lower = more urgent).
-    weight: int = DEFAULT_WEIGHT
-    queue_wait_s: float = 0.0
-    #: Request-root trace span (None when tracing is disarmed).
-    span: Span | None = None
-
-
-@dataclass
-class _Group:
-    """Pending same-(matrix, version) requests awaiting dispatch."""
-
-    entries: list[_Entry] = field(default_factory=list)
-
-    @property
-    def oldest_t(self) -> float:
-        return self.entries[0].submit_t
-
-    @property
-    def min_deadline_t(self) -> float | None:
-        """Tightest absolute deadline among members (None if none set)."""
-        ts = [e.deadline_t for e in self.entries if e.deadline_t is not None]
-        return min(ts) if ts else None
-
-    @property
-    def weight(self) -> int:
-        """Most-urgent member's priority weight decides the group's."""
-        return min(e.weight for e in self.entries)
-
-
-class BatchExecutor:
+class BatchExecutor(_DispatchMixin, _RoutingMixin):
     """Thread-pooled, batching front-end over a :class:`PlanRegistry`.
 
     ``max_batch`` caps a group's size (a full group dispatches
@@ -181,6 +99,11 @@ class BatchExecutor:
     burst and flushes synchronously, so tests and benches never depend
     on the linger timer.
 
+    ``chain`` overrides the route fallback order (default
+    :data:`FALLBACK_CHAIN`); it must end at ``dense``.  Benchmarks pin
+    e.g. ``("jigsaw", "hybrid", "dense")`` to measure the tile-by-tile
+    baseline without the compiled route.
+
     Resilience knobs: ``max_pending`` bounds the pending queue (None =
     unbounded; overflow raises :class:`RejectedError`); ``retry_policy``
     governs transient-fault retries; ``breaker_threshold`` /
@@ -188,6 +111,12 @@ class BatchExecutor:
     breakers (or pass a prebuilt ``breakers`` board, e.g. with a fake
     clock for tests); ``fault_plan`` threads a
     :class:`~repro.faults.FaultPlan` through every injection site.
+
+    ``clock`` is the executor's one time base: queue waits, span
+    timestamps, the linger timer, *and* the default breaker board all
+    read it, so a test's fake clock moves every time-dependent part of
+    the pipeline together (a prebuilt ``breakers`` board keeps its own
+    clock).
     """
 
     def __init__(
@@ -204,6 +133,7 @@ class BatchExecutor:
         breakers: BreakerBoard | None = None,
         fault_plan: FaultPlan | None = None,
         scheduler: Scheduler | None = None,
+        chain: tuple[str, ...] = FALLBACK_CHAIN,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = perf_counter,
         tracer: Tracer | NullTracer | None = None,
@@ -212,23 +142,36 @@ class BatchExecutor:
             raise ValueError("max_batch must be >= 1")
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None for unbounded)")
+        if not chain or chain[-1] != "dense":
+            raise ValueError("route chain must terminate at dense")
+        unknown = [r for r in chain if r not in FALLBACK_CHAIN]
+        if unknown:
+            raise ValueError(f"unknown routes in chain: {unknown}")
         self.registry = registry
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
         self.device = device
         self.max_pending = max_pending
         self.retry_policy = retry_policy or RetryPolicy()
+        self.chain = tuple(chain)
+        self._sleep = sleep
+        #: Injectable wall clock: queue waits, span timestamps, and the
+        #: linger timer all read it, so traces are deterministic in tests.
+        self._clock = clock
+        # The default breaker board shares the executor clock — one time
+        # base for queue waits, spans, and breaker cooldowns (previously
+        # breakers defaulted to time.monotonic while the executor read
+        # perf_counter, so a fake executor clock left cooldowns on real
+        # time).  A caller-provided board is taken as configured.
         self.breakers = breakers or BreakerBoard(
-            failure_threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+            failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+            clock=clock,
         )
         self.fault_plan = fault_plan
         #: SLO policy (admission + EDF forming + cost routing); None
         #: keeps the original FIFO / static-chain behavior.
         self.scheduler = scheduler
-        self._sleep = sleep
-        #: Injectable wall clock: queue waits, span timestamps, and the
-        #: linger timer all read it, so traces are deterministic in tests.
-        self._clock = clock
         #: Explicit tracer override; None follows the process-wide tracer
         #: (so arming ``set_tracer`` after construction still takes effect).
         self._tracer = tracer
@@ -488,414 +431,6 @@ class BatchExecutor:
             span.set_attr("batch_size", result.stats.batch_size)
         self.tracer.end_span(span, end_s=self._clock())
 
-    # -- dispatch --------------------------------------------------------------
-
-    def _dispatch_locked(self, key: tuple[str, str]) -> None:
-        group = self._groups.pop(key, None)
-        if group is None or not group.entries:
-            return
-        self._pool.submit(self._execute_batch, key, group.entries)
-
-    def _group_due_t(self, g: _Group) -> float:
-        """When a group should dispatch: linger expiry, or the scheduler's
-        earlier EDF-promotion time when a member deadline demands it."""
-        if self.scheduler is not None:
-            return self.scheduler.due_t(
-                g.oldest_t, self.batch_window_s, g.min_deadline_t
-            )
-        return g.oldest_t + self.batch_window_s
-
-    def _ordered_groups(self, items: list[tuple]) -> list[tuple]:
-        """Dispatch order for ready groups: FIFO, or weighted EDF."""
-        if self.scheduler is None:
-            return items
-        return sorted(
-            items,
-            key=lambda kv: group_sort_key(
-                kv[1].weight,
-                kv[1].min_deadline_t,
-                kv[1].oldest_t + self.batch_window_s,
-            ),
-        )
-
-    def _note_promotion(self, g: _Group, now: float) -> None:
-        """Record an EDF promotion (dispatch ahead of the linger window)."""
-        s = self.scheduler
-        if s is None or now >= g.oldest_t + self.batch_window_s:
-            return  # normal ripeness, not a promotion
-        promoted = [e for e in g.entries if e.deadline_t is not None]
-        if not promoted:
-            return
-        s.note_promoted(len(promoted))
-        for e in promoted:
-            if e.span is not None:
-                e.span.add_event("sched.promote", now, slack_s=e.deadline_t - now)
-
-    def _dispatch_loop(self) -> None:
-        while True:
-            with self._cond:
-                if self._closed:
-                    return
-                now = self._clock()
-                due = [
-                    (key, g)
-                    for key, g in self._groups.items()
-                    if g.entries and now >= self._group_due_t(g)
-                ]
-                for key, g in self._ordered_groups(due):
-                    self._note_promotion(g, now)
-                    self._dispatch_locked(key)
-                waits = [
-                    self._group_due_t(g) - now
-                    for g in self._groups.values()
-                    if g.entries
-                ]
-                self._cond.wait(timeout=max(min(waits), 0.0) if waits else None)
-
-    # -- execution -------------------------------------------------------------
-
-    def _execute_batch(self, key: tuple[str, str], entries: list[_Entry]) -> None:
-        name, version = key
-        start = self._clock()
-        tracer = self.tracer
-        queue_hist = get_metrics().histogram(
-            "repro_queue_wait_seconds", "seconds a request waited before its batch"
-        )
-        slack_hist = get_metrics().histogram(
-            "repro_sched_slack_seconds",
-            "deadline slack remaining when a request's batch dispatched",
-        )
-        live: list[_Entry] = []
-        for e in entries:
-            if e.future.cancelled():
-                continue
-            e.queue_wait_s = start - e.submit_t
-            queue_hist.observe(e.queue_wait_s)
-            if e.span is not None:
-                tracer.add_span(
-                    "serve.queue", start_s=e.submit_t, end_s=start, parent=e.span
-                )
-            deadline = e.request.deadline_s
-            if deadline is not None:
-                slack_hist.observe(max(deadline - e.queue_wait_s, 0.0))
-            if deadline is not None and e.queue_wait_s > deadline:
-                if e.span is not None:
-                    e.span.add_event(
-                        "deadline.expired", start, deadline_s=deadline
-                    )
-                self._submit_expired_dense(e, batch_size=len(entries))
-            else:
-                live.append(e)
-        if not live:
-            return
-        try:
-            self._serve_live(name, version, live)
-        except BaseException as exc:  # defense in depth: never leak a future
-            for e in live:
-                self._fail(e, exc)
-        finally:
-            # v4 autotune may have grown the plan past the budget.
-            self.registry.enforce_budget()
-
-    def _shed_expired_at_launch(self, live: list[_Entry]) -> list[_Entry]:
-        """Drop entries whose deadline passed since batch formation.
-
-        The formation-time check (above) covers queue wait; this one,
-        run right before the kernel launch, additionally covers plan
-        admission and route planning.  Expired entries take the dense
-        fallback and are marked ``deadline_expired``.
-        """
-        now = self._clock()
-        still: list[_Entry] = []
-        for e in live:
-            if e.deadline_t is not None and now - e.submit_t > e.request.deadline_s:
-                if e.span is not None:
-                    e.span.add_event(
-                        "deadline.expired",
-                        now,
-                        deadline_s=e.request.deadline_s,
-                        at="launch",
-                    )
-                self._submit_expired_dense(e, batch_size=len(live))
-            else:
-                still.append(e)
-        return still
-
-    def _submit_expired_dense(self, e: _Entry, batch_size: int) -> None:
-        """Run an expired request's dense fallback on the pool.
-
-        The request already missed its deadline; running it inline here
-        would also delay the live batch it is no longer part of."""
-        try:
-            self._pool.submit(self._run_dense, e, batch_size, True)
-        except RuntimeError:
-            # Pool already shutting down: serve inline rather than drop.
-            self._run_dense(e, batch_size, expired=True)
-
-    def _serve_live(self, name: str, version: str, live: list[_Entry]) -> None:
-        """Walk the route chain for one live batch until everyone is served.
-
-        Breaker-denied routes are skipped; a failed batched route counts
-        a breaker failure and falls to the next; the terminal dense route
-        runs per request, isolating a poisoned request's failure to its
-        own future."""
-        was_resident = self.registry.resident(name)
-        plan = None
-        try:
-            plan = call_with_retry(
-                lambda: self.registry.get(name),
-                self.retry_policy,
-                key=f"{name}:registry",
-                sleep=self._sleep,
-                on_retry=self._count_retry,
-            )
-            routes = (
-                list(FALLBACK_CHAIN)
-                if plan.reorder_success
-                else [r for r in FALLBACK_CHAIN if r != "jigsaw"]
-            )
-        except Exception:
-            # Plan admission (or the reorder itself) is broken: the dense
-            # route needs only the raw matrix, so serve instead of erroring.
-            routes = ["dense"]
-        # Plan admission may have consumed the rest of a member's deadline
-        # budget (a cold plan can reorder for longer than any SLO): recheck
-        # total elapsed time (submit -> launch) so a request never rides
-        # the fast path past its deadline.
-        live = self._shed_expired_at_launch(live)
-        if not live:
-            return
-        total_cols = sum(e.request.b.shape[1] for e in live)
-        if total_cols == 0:
-            self._resolve_all_empty(name, live, routes[0])
-            return
-        if self.scheduler is not None and len(routes) > 1:
-            routes = self.scheduler.plan_routes(name, routes, total_cols)
-        for route in routes:
-            if route == "dense":
-                for e in live:
-                    self._run_dense(e, batch_size=len(live), expired=False)
-                return
-            breaker = self.breakers.get(name, route)
-            if not breaker.allow():
-                self._note_hop(live, route, "breaker_open")
-                continue
-            try:
-                self._run_batched(route, plan, name, version, live, was_resident)
-            except Exception as exc:
-                breaker.record_failure()
-                self._note_hop(live, route, "failed", error=type(exc).__name__)
-                continue
-            breaker.record_success()
-            return
-        raise AssertionError("route chain must terminate at dense")  # pragma: no cover
-
-    def _run_batched(
-        self,
-        route: str,
-        plan,
-        name: str,
-        version: str,
-        live: list[_Entry],
-        was_resident: bool,
-    ) -> None:
-        """One batched launch on ``route`` with transient-fault retry."""
-        site = f"executor.kernel.{route}"
-
-        def attempt() -> None:
-            maybe_inject(site, self.fault_plan)
-            if route == "jigsaw":
-                self._run_jigsaw(plan, name, version, live, was_resident)
-            else:
-                self._run_hybrid(name, version, live, was_resident)
-
-        def on_retry(attempt_no: int, exc: BaseException) -> None:
-            self._count_retry(attempt_no, exc)
-            self._note_retry(live, route, attempt_no, exc)
-
-        call_with_retry(
-            attempt,
-            self.retry_policy,
-            key=f"{name}:{route}",
-            sleep=self._sleep,
-            on_retry=on_retry,
-        )
-
-    def _run_jigsaw(
-        self, plan, name: str, version: str, live: list[_Entry], was_resident: bool
-    ) -> None:
-        widths = [e.request.b.shape[1] for e in live]
-        b_cat = np.concatenate(
-            [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
-            axis=1,
-        )
-        k0 = self._clock()
-        res = plan.run(b_cat, version=version, device=self.device)
-        k1 = self._clock()
-        assert res.c is not None
-        self._record_batch(name, version, "jigsaw", live, res.profile.duration_us)
-        self._split(
-            live, res.c, widths, "jigsaw", res.profile.duration_us, was_resident, k0, k1
-        )
-
-    def _run_hybrid(
-        self, name: str, version: str, live: list[_Entry], was_resident: bool
-    ) -> None:
-        hplan = self._hybrid_plan_for(name)
-        widths = [e.request.b.shape[1] for e in live]
-        b_cat = np.concatenate(
-            [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
-            axis=1,
-        )
-        k0 = self._clock()
-        res = run_hybrid_kernel(hplan, b_cat, self.device)
-        k1 = self._clock()
-        assert res.c is not None
-        self._record_batch(name, version, "hybrid", live, res.profile.duration_us)
-        self._split(
-            live, res.c, widths, "hybrid", res.profile.duration_us, was_resident, k0, k1
-        )
-
-    def _run_dense(self, e: _Entry, batch_size: int, expired: bool) -> None:
-        try:
-            if e.future.cancelled() or e.future.done():
-                return
-            a = self.registry.matrix(e.request.matrix)
-            b = np.ascontiguousarray(e.request.b, dtype=np.float16)
-            if b.shape[1] == 0:
-                self._resolve_empty(e, "dense", batch_size, expired=expired)
-                return
-
-            def attempt():
-                maybe_inject("executor.kernel.dense", self.fault_plan)
-                return cublas_hgemm(a, b, self.device)
-
-            def on_retry(attempt_no: int, exc: BaseException) -> None:
-                self._count_retry(attempt_no, exc)
-                self._note_retry([e], "dense", attempt_no, exc)
-
-            k0 = self._clock()
-            res = call_with_retry(
-                attempt,
-                self.retry_policy,
-                key=f"{e.request.matrix}:dense:{e.request_id}",
-                sleep=self._sleep,
-                on_retry=on_retry,
-            )
-            k1 = self._clock()
-            assert res.c is not None
-            if self.scheduler is not None:
-                self.scheduler.observe(
-                    e.request.matrix, "dense", res.profile.duration_us, b.shape[1]
-                )
-            stats = RequestStats(
-                request_id=e.request_id,
-                matrix=e.request.matrix,
-                route="dense",
-                batch_size=batch_size,
-                queue_wait_s=e.queue_wait_s,
-                kernel_us=res.profile.duration_us,
-                batch_kernel_us=res.profile.duration_us,
-                registry="hit" if self.registry.resident(e.request.matrix) else "miss",
-                deadline_expired=expired,
-                tenant=e.request.tenant,
-            )
-            self._trace_kernel(e, "dense", k0, k1, stats)
-            self._record_batch_raw(
-                BatchStats(
-                    matrix=e.request.matrix,
-                    version=e.request.version,
-                    route="dense",
-                    size=1,
-                    kernel_us=res.profile.duration_us,
-                    weight=e.weight,
-                )
-            )
-            self._record_request(stats)
-            self._resolve(e, ServeResult(c=res.c, stats=stats))
-        except BaseException as exc:
-            self._fail(e, exc)
-
-    def _split(
-        self,
-        live: list[_Entry],
-        c_cat: np.ndarray,
-        widths: list[int],
-        route: str,
-        batch_us: float,
-        was_resident: bool,
-        kernel_start_s: float,
-        kernel_end_s: float,
-    ) -> None:
-        total = sum(widths)
-        col = 0
-        for e, w in zip(live, widths):
-            stats = RequestStats(
-                request_id=e.request_id,
-                matrix=e.request.matrix,
-                route=route,
-                batch_size=len(live),
-                queue_wait_s=e.queue_wait_s,
-                kernel_us=batch_us * (w / total if total else 0.0),
-                batch_kernel_us=batch_us,
-                registry="hit" if was_resident else "miss",
-                tenant=e.request.tenant,
-            )
-            self._trace_kernel(e, route, kernel_start_s, kernel_end_s, stats)
-            self._record_request(stats)
-            self._resolve(
-                e, ServeResult(c=np.ascontiguousarray(c_cat[:, col : col + w]), stats=stats)
-            )
-            col += w
-
-    def _resolve_all_empty(self, name: str, live: list[_Entry], route: str) -> None:
-        """Serve a batch whose every panel is zero-width: no kernel runs."""
-        for e in live:
-            self._resolve_empty(e, route, batch_size=len(live), expired=False)
-
-    def _resolve_empty(
-        self, e: _Entry, route: str, batch_size: int, expired: bool
-    ) -> None:
-        m = self.registry.matrix(e.request.matrix).shape[0]
-        stats = RequestStats(
-            request_id=e.request_id,
-            matrix=e.request.matrix,
-            route=route,
-            batch_size=batch_size,
-            queue_wait_s=e.queue_wait_s,
-            registry="hit" if self.registry.resident(e.request.matrix) else "miss",
-            deadline_expired=expired,
-            tenant=e.request.tenant,
-        )
-        self._record_request(stats)
-        self._resolve(e, ServeResult(c=np.zeros((m, 0), dtype=np.float16), stats=stats))
-
-    def _hybrid_plan_for(self, name: str) -> HybridPlan:
-        with self._hybrid_lock:
-            hplan = self._hybrid_plans.get(name)
-            if hplan is None:
-                hplan = build_hybrid_plan(self.registry.matrix(name))
-                self._hybrid_plans[name] = hplan
-            return hplan
-
-    # -- future resolution -----------------------------------------------------
-
-    @staticmethod
-    def _resolve(e: _Entry, result: ServeResult) -> None:
-        try:
-            e.future.set_result(result)
-        except InvalidStateError:
-            pass  # cancelled (or already failed) while executing
-
-    @staticmethod
-    def _fail(e: _Entry, exc: BaseException) -> None:
-        if e.future.done():
-            return
-        try:
-            e.future.set_exception(exc)
-        except InvalidStateError:
-            pass
-
     # -- observability ---------------------------------------------------------
 
     def _count_retry(self, _attempt: int, _exc: BaseException) -> None:
@@ -949,44 +484,6 @@ class BatchExecutor:
                 "batch_kernel_us": stats.batch_kernel_us,
             },
         )
-
-    def _record_request(self, stats: RequestStats) -> None:
-        with self._stats_lock:
-            self._request_stats.append(stats)
-        metrics = get_metrics()
-        metrics.counter(
-            "repro_requests_total", "requests served by route"
-        ).inc(route=stats.route)
-        metrics.counter(
-            "repro_kernel_us_total", "simulated kernel microseconds attributed by route"
-        ).inc(stats.kernel_us, route=stats.route)
-
-    def _record_batch(
-        self, name: str, version: str, route: str, live: list[_Entry], us: float
-    ) -> None:
-        if self.scheduler is not None:
-            self.scheduler.observe(
-                name, route, us, sum(e.request.b.shape[1] for e in live)
-            )
-        self._record_batch_raw(
-            BatchStats(
-                matrix=name,
-                version=version,
-                route=route,
-                size=len(live),
-                kernel_us=us,
-                weight=min(e.weight for e in live),
-            )
-        )
-
-    def _record_batch_raw(self, stats: BatchStats) -> None:
-        with self._stats_lock:
-            self._batch_stats.append(stats)
-        get_metrics().histogram(
-            "repro_batch_size",
-            "requests per simulated launch",
-            buckets=(1, 2, 4, 8, 16, 32, 64),
-        ).observe(stats.size)
 
     def stats(self) -> ServeStats:
         """Aggregate of everything served so far + registry counters."""

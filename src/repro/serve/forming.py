@@ -1,0 +1,122 @@
+"""Request/result shapes of the serving tier, plus batch-forming state.
+
+A request names a registered stationary matrix and carries its dense
+B-panel; requests sharing a ``(matrix, version)`` key collect into a
+:class:`_Group` until the group fills (``max_batch``) or its linger
+window expires, at which point the whole group launches as one batch.
+The executor front-end (:mod:`repro.serve.executor`) owns the lifecycle;
+this module owns the plain data.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import Span
+from repro.sched import DEFAULT_WEIGHT
+
+from .stats import RequestStats
+
+
+@dataclass
+class SpmmRequest:
+    """One SpMM against a registered stationary matrix."""
+
+    matrix: str
+    b: np.ndarray
+    version: str = "v4"
+    #: Launch deadline in seconds from submission.  The budget covers
+    #: everything between submit and the kernel *launch* — queue wait,
+    #: batch formation, and plan admission — and is checked at both
+    #: batch formation and again immediately before launch, so a
+    #: request can never ride the fast path after its deadline passed
+    #: while its batch was forming or its plan was admitting.  An
+    #: expired request is re-routed to the per-request dense fallback
+    #: and marked ``deadline_expired`` (it is still served).  Kernel
+    #: *completion* time is not bounded: a launch that starts within
+    #: the deadline counts as met.
+    deadline_s: float | None = None
+    #: Owning tenant, resolved against the scheduler's
+    #: :class:`~repro.sched.AdmissionController` for rate limits and
+    #: priority class; ignored when the executor has no scheduler.
+    tenant: str = "default"
+
+
+@dataclass
+class ServeResult:
+    """Output + observability record of one served request."""
+
+    c: np.ndarray
+    stats: RequestStats
+
+
+@dataclass
+class SubmitReport:
+    """Typed outcome of :meth:`BatchExecutor.submit_many`.
+
+    ``futures`` is index-aligned with the submitted request list; a
+    ``None`` hole marks a request that was not accepted, with the
+    matching ``(index, exception)`` recorded in ``errors``.
+    """
+
+    futures: list[Future | None]
+    errors: list[tuple[int, Exception]] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for f in self.futures if f is not None)
+
+    @property
+    def rejected(self) -> int:
+        return len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def accepted_futures(self) -> list[Future]:
+        """The live futures, holes dropped (original order kept)."""
+        return [f for f in self.futures if f is not None]
+
+
+@dataclass
+class _Entry:
+    request: SpmmRequest
+    request_id: int
+    future: Future
+    submit_t: float
+    #: Absolute launch deadline (``submit_t + deadline_s``), or None.
+    deadline_t: float | None = None
+    #: Priority-class weight of the owning tenant (lower = more urgent).
+    weight: int = DEFAULT_WEIGHT
+    queue_wait_s: float = 0.0
+    #: Request-root trace span (None when tracing is disarmed).
+    span: Span | None = None
+
+
+@dataclass
+class _Group:
+    """Pending same-(matrix, version) requests awaiting dispatch."""
+
+    entries: list[_Entry] = field(default_factory=list)
+
+    @property
+    def oldest_t(self) -> float:
+        return self.entries[0].submit_t
+
+    @property
+    def min_deadline_t(self) -> float | None:
+        """Tightest absolute deadline among members (None if none set)."""
+        ts = [e.deadline_t for e in self.entries if e.deadline_t is not None]
+        return min(ts) if ts else None
+
+    @property
+    def weight(self) -> int:
+        """Most-urgent member's priority weight decides the group's."""
+        return min(e.weight for e in self.entries)
+
+
+__all__ = ["SpmmRequest", "ServeResult", "SubmitReport"]

@@ -75,6 +75,14 @@ class PlanRegistry:
         self.stats = RegistryStats()
         self._matrices: dict[str, np.ndarray] = {}
         self._plans: OrderedDict[str, JigsawPlan] = OrderedDict()
+        #: Cached byte charge per resident plan + its running total.
+        #: Plans grow lazily (v4 autotune builds more formats), so the
+        #: cache is a *snapshot*: ``_recharge_locked`` re-measures every
+        #: resident plan in one O(n) pass, after which budget loops and
+        #: gauges read the cached values instead of re-walking all plans
+        #: per iteration (the eviction loop used to be O(n^2)).
+        self._entry_bytes: dict[str, int] = {}
+        self._resident_total = 0
         self._lock = threading.RLock()
         #: reorder work done by plans that have since been evicted.
         self._retired_reorder_runs = 0
@@ -152,6 +160,7 @@ class PlanRegistry:
                     fault_plan=self.fault_plan,
                 )
                 self._plans[name] = plan
+                self._charge_locked(name, plan)
                 self._evict_over_budget(keep=name)
             self._update_gauges_locked()
             return plan
@@ -175,6 +184,7 @@ class PlanRegistry:
             plan = self._plans.pop(name, None)
             if plan is None:
                 return False
+            self._resident_total -= self._entry_bytes.pop(name, 0)
             self._retire(plan)
             self.stats.evictions += 1
             get_metrics().counter(
@@ -191,9 +201,27 @@ class PlanRegistry:
 
     # -- budget ----------------------------------------------------------------
 
+    def _charge_locked(self, name: str, plan: JigsawPlan) -> None:
+        """(Re)measure one plan's byte charge into the running total."""
+        new = plan_resident_bytes(plan)
+        self._resident_total += new - self._entry_bytes.get(name, 0)
+        self._entry_bytes[name] = new
+
+    def _recharge_locked(self) -> None:
+        """One O(n) re-measure of every resident plan's byte charge.
+
+        Needed because formats build lazily: a plan admitted at one size
+        can grow after a v4 autotune run without the registry hearing
+        about it.  Budget loops call this once and then work off the
+        cached total.
+        """
+        for name, plan in self._plans.items():
+            self._charge_locked(name, plan)
+
     def resident_bytes(self) -> int:
         with self._lock:
-            return sum(plan_resident_bytes(p) for p in self._plans.values())
+            self._recharge_locked()
+            return self._resident_total
 
     @property
     def resident_plans(self) -> int:
@@ -213,8 +241,16 @@ class PlanRegistry:
     def _evict_over_budget(self, keep: str | None) -> int:
         if self.budget_bytes is None:
             return 0
+        # One O(n) re-measure up front; each loop iteration then only
+        # subtracts the victim's cached charge (previously every
+        # iteration re-walked all resident plans: O(n^2) per enforce).
+        self._recharge_locked()
         evicted = 0
-        while len(self._plans) > 1 and self.resident_bytes() > self.budget_bytes:
+        # ``len > 1`` keeps the most-recently-used plan resident even
+        # when it alone exceeds the budget: a budget smaller than one
+        # plan still serves (the working plan stays, everything else
+        # spills) instead of thrashing evict/re-admit on every request.
+        while len(self._plans) > 1 and self._resident_total > self.budget_bytes:
             victim = next(iter(self._plans))
             if victim == keep:
                 # Never evict the plan being admitted; try the next-LRU.
@@ -235,7 +271,7 @@ class PlanRegistry:
         ).set(len(self._plans))
         metrics.gauge(
             "repro_registry_resident_bytes", "bytes charged to resident plans"
-        ).set(sum(plan_resident_bytes(p) for p in self._plans.values()))
+        ).set(self._resident_total)
 
     def _retire(self, plan: JigsawPlan) -> None:
         self._retired_reorder_runs += plan.stats.reorder_runs

@@ -1,0 +1,382 @@
+"""Route chain: which kernel serves a live batch, and what happens on failure.
+
+Mixed into :class:`~repro.serve.executor.BatchExecutor`.  A live batch
+walks the executor's route chain (default :data:`FALLBACK_CHAIN`) until
+one route serves it:
+
+* ``jigsaw`` — the batched v0..v4 tile-by-tile path;
+* ``compiled`` — the whole-plan compiled route
+  (:mod:`repro.core.compiled`): flat precomputed index arrays + one
+  batched matmul, bit-identical to the BLOCK_TILE=64 tile route.  It
+  sits *after* ``jigsaw`` in the static chain, so an executor without a
+  cost model keeps the historical default; a
+  :class:`~repro.sched.CostModel` discovers it empirically (its
+  measured us/col is lower) and reorders it first;
+* ``hybrid`` — the Section-4.7 hybrid-granularity kernel, serving
+  matrices whose reorder failed (``reorder_success == False``) or whose
+  faster-route breakers are open;
+* ``dense`` — the terminal cuBLAS-style fallback, run per request so a
+  poisoned request's failure never fails its batch-mates.
+
+Breaker-denied routes are skipped; a failed batched route counts a
+breaker failure and falls to the next.  Both ``jigsaw`` and ``compiled``
+require a successful reorder — a reorder-failed plan skips straight to
+``hybrid``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import InvalidStateError
+
+import numpy as np
+
+from repro.baselines.cublas import cublas_hgemm
+from repro.core.kernels import build_hybrid_plan, run_hybrid_kernel
+from repro.core.kernels.hybrid import HybridPlan
+from repro.faults import call_with_retry, maybe_inject
+from repro.obs import get_metrics
+
+from .forming import _Entry, ServeResult
+from .stats import BatchStats, RequestStats
+
+#: Fallback order: a failed (or breaker-opened) route falls to the next.
+FALLBACK_CHAIN: tuple[str, ...] = ("jigsaw", "compiled", "hybrid", "dense")
+
+#: Routes that require a successful multi-granularity reorder.
+REORDER_ROUTES: tuple[str, ...] = ("jigsaw", "compiled")
+
+
+class _RoutingMixin:
+    """Route-chain half of the executor (state lives on the executor)."""
+
+    def _serve_live(self, name: str, version: str, live: list[_Entry]) -> None:
+        """Walk the route chain for one live batch until everyone is served.
+
+        Breaker-denied routes are skipped; a failed batched route counts
+        a breaker failure and falls to the next; the terminal dense route
+        runs per request, isolating a poisoned request's failure to its
+        own future."""
+        was_resident = self.registry.resident(name)
+        plan = None
+        try:
+            plan = call_with_retry(
+                lambda: self.registry.get(name),
+                self.retry_policy,
+                key=f"{name}:registry",
+                sleep=self._sleep,
+                on_retry=self._count_retry,
+            )
+            routes = (
+                list(self.chain)
+                if plan.reorder_success
+                else [r for r in self.chain if r not in REORDER_ROUTES]
+            )
+        except Exception:
+            # Plan admission (or the reorder itself) is broken: the dense
+            # route needs only the raw matrix, so serve instead of erroring.
+            routes = ["dense"]
+        # Plan admission may have consumed the rest of a member's deadline
+        # budget (a cold plan can reorder for longer than any SLO): recheck
+        # total elapsed time (submit -> launch) so a request never rides
+        # the fast path past its deadline.
+        live = self._shed_expired_at_launch(live)
+        if not live:
+            return
+        total_cols = sum(e.request.b.shape[1] for e in live)
+        if total_cols == 0:
+            self._resolve_all_empty(name, live, routes[0])
+            return
+        if self.scheduler is not None and len(routes) > 1:
+            routes = self.scheduler.plan_routes(name, routes, total_cols)
+        for route in routes:
+            if route == "dense":
+                for e in live:
+                    self._run_dense(e, batch_size=len(live), expired=False)
+                return
+            breaker = self.breakers.get(name, route)
+            if not breaker.allow():
+                self._note_hop(live, route, "breaker_open")
+                continue
+            try:
+                self._run_batched(route, plan, name, version, live, was_resident)
+            except Exception as exc:
+                breaker.record_failure()
+                self._note_hop(live, route, "failed", error=type(exc).__name__)
+                continue
+            breaker.record_success()
+            return
+        raise AssertionError("route chain must terminate at dense")  # pragma: no cover
+
+    def _run_batched(
+        self,
+        route: str,
+        plan,
+        name: str,
+        version: str,
+        live: list[_Entry],
+        was_resident: bool,
+    ) -> None:
+        """One batched launch on ``route`` with transient-fault retry."""
+        site = f"executor.kernel.{route}"
+
+        def attempt() -> None:
+            maybe_inject(site, self.fault_plan)
+            if route == "jigsaw":
+                self._run_jigsaw(plan, name, version, live, was_resident)
+            elif route == "compiled":
+                self._run_compiled(plan, name, version, live, was_resident)
+            else:
+                self._run_hybrid(name, version, live, was_resident)
+
+        def on_retry(attempt_no: int, exc: BaseException) -> None:
+            self._count_retry(attempt_no, exc)
+            self._note_retry(live, route, attempt_no, exc)
+
+        call_with_retry(
+            attempt,
+            self.retry_policy,
+            key=f"{name}:{route}",
+            sleep=self._sleep,
+            on_retry=on_retry,
+        )
+
+    @staticmethod
+    def _concat_panels(live: list[_Entry]) -> tuple[list[int], np.ndarray]:
+        widths = [e.request.b.shape[1] for e in live]
+        b_cat = np.concatenate(
+            [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
+            axis=1,
+        )
+        return widths, b_cat
+
+    def _run_jigsaw(
+        self, plan, name: str, version: str, live: list[_Entry], was_resident: bool
+    ) -> None:
+        widths, b_cat = self._concat_panels(live)
+        k0 = self._clock()
+        res = plan.run(b_cat, version=version, device=self.device)
+        k1 = self._clock()
+        assert res.c is not None
+        self._record_batch(name, version, "jigsaw", live, res.profile.duration_us)
+        self._split(
+            live, res.c, widths, "jigsaw", res.profile.duration_us, was_resident, k0, k1
+        )
+
+    def _run_compiled(
+        self, plan, name: str, version: str, live: list[_Entry], was_resident: bool
+    ) -> None:
+        """Whole-plan compiled launch (version-independent fast path)."""
+        widths, b_cat = self._concat_panels(live)
+        k0 = self._clock()
+        res = plan.run_compiled(b_cat, device=self.device)
+        k1 = self._clock()
+        assert res.c is not None
+        self._record_batch(name, version, "compiled", live, res.profile.duration_us)
+        self._split(
+            live,
+            res.c,
+            widths,
+            "compiled",
+            res.profile.duration_us,
+            was_resident,
+            k0,
+            k1,
+        )
+
+    def _run_hybrid(
+        self, name: str, version: str, live: list[_Entry], was_resident: bool
+    ) -> None:
+        hplan = self._hybrid_plan_for(name)
+        widths, b_cat = self._concat_panels(live)
+        k0 = self._clock()
+        res = run_hybrid_kernel(hplan, b_cat, self.device)
+        k1 = self._clock()
+        assert res.c is not None
+        self._record_batch(name, version, "hybrid", live, res.profile.duration_us)
+        self._split(
+            live, res.c, widths, "hybrid", res.profile.duration_us, was_resident, k0, k1
+        )
+
+    def _run_dense(self, e: _Entry, batch_size: int, expired: bool) -> None:
+        try:
+            if e.future.cancelled() or e.future.done():
+                return
+            a = self.registry.matrix(e.request.matrix)
+            b = np.ascontiguousarray(e.request.b, dtype=np.float16)
+            if b.shape[1] == 0:
+                self._resolve_empty(e, "dense", batch_size, expired=expired)
+                return
+
+            def attempt():
+                maybe_inject("executor.kernel.dense", self.fault_plan)
+                return cublas_hgemm(a, b, self.device)
+
+            def on_retry(attempt_no: int, exc: BaseException) -> None:
+                self._count_retry(attempt_no, exc)
+                self._note_retry([e], "dense", attempt_no, exc)
+
+            k0 = self._clock()
+            res = call_with_retry(
+                attempt,
+                self.retry_policy,
+                key=f"{e.request.matrix}:dense:{e.request_id}",
+                sleep=self._sleep,
+                on_retry=on_retry,
+            )
+            k1 = self._clock()
+            assert res.c is not None
+            if self.scheduler is not None:
+                # b.shape[1] > 0 here (the zero-width panel resolved
+                # above without a kernel), so the cost model's us/col
+                # normalization always divides by this batch's own
+                # non-zero column count.
+                self.scheduler.observe(
+                    e.request.matrix, "dense", res.profile.duration_us, b.shape[1]
+                )
+            stats = RequestStats(
+                request_id=e.request_id,
+                matrix=e.request.matrix,
+                route="dense",
+                batch_size=batch_size,
+                queue_wait_s=e.queue_wait_s,
+                kernel_us=res.profile.duration_us,
+                batch_kernel_us=res.profile.duration_us,
+                registry="hit" if self.registry.resident(e.request.matrix) else "miss",
+                deadline_expired=expired,
+                tenant=e.request.tenant,
+            )
+            self._trace_kernel(e, "dense", k0, k1, stats)
+            self._record_batch_raw(
+                BatchStats(
+                    matrix=e.request.matrix,
+                    version=e.request.version,
+                    route="dense",
+                    size=1,
+                    kernel_us=res.profile.duration_us,
+                    weight=e.weight,
+                )
+            )
+            self._record_request(stats)
+            self._resolve(e, ServeResult(c=res.c, stats=stats))
+        except BaseException as exc:
+            self._fail(e, exc)
+
+    def _split(
+        self,
+        live: list[_Entry],
+        c_cat: np.ndarray,
+        widths: list[int],
+        route: str,
+        batch_us: float,
+        was_resident: bool,
+        kernel_start_s: float,
+        kernel_end_s: float,
+    ) -> None:
+        total = sum(widths)
+        col = 0
+        for e, w in zip(live, widths):
+            stats = RequestStats(
+                request_id=e.request_id,
+                matrix=e.request.matrix,
+                route=route,
+                batch_size=len(live),
+                queue_wait_s=e.queue_wait_s,
+                kernel_us=batch_us * (w / total if total else 0.0),
+                batch_kernel_us=batch_us,
+                registry="hit" if was_resident else "miss",
+                tenant=e.request.tenant,
+            )
+            self._trace_kernel(e, route, kernel_start_s, kernel_end_s, stats)
+            self._record_request(stats)
+            self._resolve(
+                e, ServeResult(c=np.ascontiguousarray(c_cat[:, col : col + w]), stats=stats)
+            )
+            col += w
+
+    def _resolve_all_empty(self, name: str, live: list[_Entry], route: str) -> None:
+        """Serve a batch whose every panel is zero-width: no kernel runs."""
+        for e in live:
+            self._resolve_empty(e, route, batch_size=len(live), expired=False)
+
+    def _resolve_empty(
+        self, e: _Entry, route: str, batch_size: int, expired: bool
+    ) -> None:
+        m = self.registry.matrix(e.request.matrix).shape[0]
+        stats = RequestStats(
+            request_id=e.request_id,
+            matrix=e.request.matrix,
+            route=route,
+            batch_size=batch_size,
+            queue_wait_s=e.queue_wait_s,
+            registry="hit" if self.registry.resident(e.request.matrix) else "miss",
+            deadline_expired=expired,
+            tenant=e.request.tenant,
+        )
+        self._record_request(stats)
+        self._resolve(e, ServeResult(c=np.zeros((m, 0), dtype=np.float16), stats=stats))
+
+    def _hybrid_plan_for(self, name: str) -> HybridPlan:
+        with self._hybrid_lock:
+            hplan = self._hybrid_plans.get(name)
+            if hplan is None:
+                hplan = build_hybrid_plan(self.registry.matrix(name))
+                self._hybrid_plans[name] = hplan
+            return hplan
+
+    # -- future resolution -----------------------------------------------------
+
+    @staticmethod
+    def _resolve(e: _Entry, result: ServeResult) -> None:
+        try:
+            e.future.set_result(result)
+        except InvalidStateError:
+            pass  # cancelled (or already failed) while executing
+
+    @staticmethod
+    def _fail(e: _Entry, exc: BaseException) -> None:
+        if e.future.done():
+            return
+        try:
+            e.future.set_exception(exc)
+        except InvalidStateError:
+            pass
+
+    # -- observability ---------------------------------------------------------
+
+    def _record_request(self, stats: RequestStats) -> None:
+        with self._stats_lock:
+            self._request_stats.append(stats)
+        metrics = get_metrics()
+        metrics.counter(
+            "repro_requests_total", "requests served by route"
+        ).inc(route=stats.route)
+        metrics.counter(
+            "repro_kernel_us_total", "simulated kernel microseconds attributed by route"
+        ).inc(stats.kernel_us, route=stats.route)
+
+    def _record_batch(
+        self, name: str, version: str, route: str, live: list[_Entry], us: float
+    ) -> None:
+        if self.scheduler is not None:
+            self.scheduler.observe(
+                name, route, us, sum(e.request.b.shape[1] for e in live)
+            )
+        self._record_batch_raw(
+            BatchStats(
+                matrix=name,
+                version=version,
+                route=route,
+                size=len(live),
+                kernel_us=us,
+                weight=min(e.weight for e in live),
+            )
+        )
+
+    def _record_batch_raw(self, stats: BatchStats) -> None:
+        with self._stats_lock:
+            self._batch_stats.append(stats)
+        get_metrics().histogram(
+            "repro_batch_size",
+            "requests per simulated launch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        ).observe(stats.size)

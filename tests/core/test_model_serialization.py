@@ -104,7 +104,7 @@ class TestSerialization:
         back.avoid_bank_conflicts = not back.avoid_bank_conflicts
         assert not roundtrip_equal(jm, back)
 
-    def test_v4_header_carries_flag_mma_tile_and_checksum(self, jm):
+    def test_v5_header_carries_flag_mma_tile_and_checksum(self, jm):
         from repro.core.serialization import FORMAT_VERSION
 
         buf = io.BytesIO()
@@ -112,11 +112,14 @@ class TestSerialization:
         buf.seek(0)
         data = np.load(buf)
         header = data["header"]
-        assert header[0] == FORMAT_VERSION == 4
+        assert header[0] == FORMAT_VERSION == 5
         assert len(header) == 8
         assert header[6] == int(jm.avoid_bank_conflicts)
         assert header[7] == jm.config.mma_tile
         assert data["checksum"].shape == (32,)  # sha256 digest
+        # v5 also persists the compiled whole-plan payload.
+        for key in ("c_w", "c_b_rows", "c_strip_idx", "c_g_starts", "c_out_rows"):
+            assert key in data.files
 
     def test_loads_v1_artifact_with_default_flag(self, jm):
         # A v1 artifact has a 6-field header and no persisted reorder
@@ -184,7 +187,7 @@ class TestSerializationVersionMatrix:
         back = load_jigsaw(self._downgrade(jm, 2))
         assert back.avoid_bank_conflicts is False
 
-    @pytest.mark.parametrize("version", [0, 5, 99])
+    @pytest.mark.parametrize("version", [0, 6, 99])
     def test_unknown_versions_fail_loudly(self, jm, version):
         buf = io.BytesIO()
         save_jigsaw(jm, buf)

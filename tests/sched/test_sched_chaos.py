@@ -89,8 +89,10 @@ class TestBreakersStillSteer:
         # cheapest route — then every jigsaw launch faults.  The breaker
         # must trip and steer traffic to hybrid regardless of the
         # estimate, and every result must stay correct.
-        fp = FaultPlan(seed=CHAOS_SEED).add(
-            "executor.kernel.jigsaw", probability=1.0
+        fp = (
+            FaultPlan(seed=CHAOS_SEED)
+            .add("executor.kernel.jigsaw", probability=1.0)
+            .add("executor.kernel.compiled", probability=1.0)
         )
         sched = Scheduler(cost_model=CostModel())
         sched.observe("w0", "jigsaw", us=0.01, cols=1)  # stale "cheap" estimate

@@ -385,7 +385,12 @@ class TestStats:
             RequestStats(2, "w", "dense", kernel_us=2.5, registry="hit"),
         ]
         stats = ServeStats.collect(reqs, [])
-        assert stats.route_kernel_us == {"jigsaw": 15.0, "hybrid": 0.0, "dense": 2.5}
+        assert stats.route_kernel_us == {
+            "jigsaw": 15.0,
+            "compiled": 0.0,
+            "hybrid": 0.0,
+            "dense": 2.5,
+        }
         assert stats.request_registry_hits == 2
         assert stats.request_registry_misses == 1
 
@@ -405,6 +410,11 @@ class TestStats:
         stats = ServeStats.collect([], [])
         assert stats.avg_batch_size == 0.0
         assert stats.avg_queue_wait_s == 0.0
-        assert stats.route_kernel_us == {"jigsaw": 0.0, "hybrid": 0.0, "dense": 0.0}
+        assert stats.route_kernel_us == {
+            "jigsaw": 0.0,
+            "compiled": 0.0,
+            "hybrid": 0.0,
+            "dense": 0.0,
+        }
         assert stats.request_registry_hits == 0
         assert stats.request_registry_misses == 0

@@ -94,34 +94,48 @@ class TestRetry:
 
 class TestBreakerRouting:
     def test_persistent_jigsaw_faults_trip_to_hybrid(self, registry, rng, clock):
-        fp = FaultPlan(seed=CHAOS_SEED).add("executor.kernel.jigsaw", probability=1.0)
+        # Poison both fast batched routes (jigsaw and compiled) so the
+        # batch lands on hybrid; each serves the breaker drill's purpose.
+        fp = (
+            FaultPlan(seed=CHAOS_SEED)
+            .add("executor.kernel.jigsaw", probability=1.0)
+            .add("executor.kernel.compiled", probability=1.0)
+        )
         with _executor(registry, fault_plan=fp, clock=clock) as ex:
             first = ex.run([SpmmRequest("w0", _panel(rng))])[0]
-            # Retries exhausted -> breaker counted 1 failure -> batch fell
-            # through to hybrid, still correct.
+            # Retries exhausted -> breaker counted 1 failure per fast
+            # route -> batch fell through to hybrid, still correct.
             assert first.stats.route == "hybrid"
             second = ex.run([SpmmRequest("w0", _panel(rng))])[0]
             assert second.stats.route == "hybrid"
-            # 2 failures tripped the jigsaw breaker: route skipped now.
+            # 2 failures tripped each fast route's breaker: skipped now.
             assert ex.breakers.get("w0", "jigsaw").state == OPEN
+            assert ex.breakers.get("w0", "compiled").state == OPEN
             stats = ex.stats()
-        assert stats.breaker_trips == 1
+        assert stats.breaker_trips == 2
         assert stats.route_counts["jigsaw"] == 0
+        assert stats.route_counts["compiled"] == 0
 
     def test_hybrid_faults_too_trip_to_dense(self, registry, rng, clock):
         fp = (
             FaultPlan(seed=CHAOS_SEED)
             .add("executor.kernel.jigsaw", probability=1.0)
+            .add("executor.kernel.compiled", probability=1.0)
             .add("executor.kernel.hybrid", probability=1.0)
         )
         with _executor(registry, fault_plan=fp, clock=clock) as ex:
             results = [ex.run([SpmmRequest("w0", _panel(rng))])[0] for _ in range(3)]
             assert [r.stats.route for r in results] == ["dense"] * 3
             assert ex.breakers.get("w0", "jigsaw").state == OPEN
+            assert ex.breakers.get("w0", "compiled").state == OPEN
             assert ex.breakers.get("w0", "hybrid").state == OPEN
 
     def test_half_open_probe_restores_fast_path(self, registry, rng, clock):
-        fp = FaultPlan(seed=CHAOS_SEED).add("executor.kernel.jigsaw", probability=1.0)
+        fp = (
+            FaultPlan(seed=CHAOS_SEED)
+            .add("executor.kernel.jigsaw", probability=1.0)
+            .add("executor.kernel.compiled", probability=1.0)
+        )
         with _executor(registry, fault_plan=fp, clock=clock) as ex:
             for _ in range(2):
                 ex.run([SpmmRequest("w0", _panel(rng))])
@@ -140,7 +154,11 @@ class TestBreakerRouting:
             assert res.stats.route == "jigsaw"
 
     def test_failed_probe_reopens(self, registry, rng, clock):
-        fp = FaultPlan(seed=CHAOS_SEED).add("executor.kernel.jigsaw", probability=1.0)
+        fp = (
+            FaultPlan(seed=CHAOS_SEED)
+            .add("executor.kernel.jigsaw", probability=1.0)
+            .add("executor.kernel.compiled", probability=1.0)
+        )
         with _executor(registry, fault_plan=fp, clock=clock) as ex:
             for _ in range(2):
                 ex.run([SpmmRequest("w0", _panel(rng))])
@@ -177,6 +195,7 @@ class TestFailureIsolation:
         fp = (
             FaultPlan(seed=CHAOS_SEED)
             .add("executor.kernel.jigsaw", probability=1.0)
+            .add("executor.kernel.compiled", probability=1.0)
             .add("executor.kernel.hybrid", probability=1.0)
             .add("executor.kernel.dense", probability=1.0, count=3)
         )
