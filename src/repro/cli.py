@@ -27,6 +27,14 @@ def _make_matrix(m: int, k: int, sparsity: float, v: int, seed: int) -> np.ndarr
     return expand_to_vector_sparse(base, v, rng)
 
 
+def _make_venom_matrix(m: int, k: int, v: int, n: int, mm: int, seed: int) -> np.ndarray:
+    """A VENOM V:N:M-pruned dense matrix (n <= 2, so 2:4 routes apply too)."""
+    from repro.formats import venom_prune
+
+    rng = np.random.default_rng(seed)
+    return venom_prune(rng.standard_normal((m, k)).astype(np.float16), v=v, n=n, m=mm)
+
+
 def cmd_spmm(args: argparse.Namespace) -> int:
     """Time one SpMM on the requested systems."""
     from repro.analysis import render_table
@@ -295,10 +303,16 @@ def _serve_bench(args: argparse.Namespace) -> int:
     matrices = {}
     for i in range(args.matrices):
         name = f"w{i}"
-        matrices[name] = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed + i)
+        matrices[name] = (
+            _make_venom_matrix(args.m, args.k, args.venom_v, 2, args.venom_m, args.seed + i)
+            if args.compare_formats
+            else _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed + i)
+        )
         registry.register(name, matrices[name])
 
     names = list(matrices)
+    if args.compare_formats:
+        return _serve_bench_formats(args, registry, names, rng)
     if args.compare_compiled:
         return _serve_bench_compare(args, registry, names, rng)
     requests = [
@@ -473,6 +487,127 @@ def _serve_bench_compare(args, registry, names, rng) -> int:
                     "route mix",
                     _fmt_route_mix(tile_rec["route_mix"]),
                     _fmt_route_mix(comp_rec["route_mix"]),
+                ],
+                ["throughput speedup", "1.00x", f"{comp['throughput_speedup']:.2f}x"],
+            ],
+        )
+    )
+    return 0
+
+
+def _serve_bench_formats(args, registry, names, rng) -> int:
+    """Format zoo drill: rigid-2:4 chain vs the cost-model-discovered
+    ``jigsaw@vnm`` route on VENOM-pruned matrices.
+
+    Both scenarios serve identical steady traffic under a
+    :class:`~repro.sched.CostModel` — the only difference is the chain:
+    ``rigid`` carries the four format-free routes, ``format_cost``
+    additionally offers ``jigsaw@vnm``.  Nothing pins the V:N:M route;
+    the model has to measure it cheaper (smaller operand streams,
+    per-panel metadata amortized over V rows) and rank it first.  The
+    report's ``comparison.format_selection`` block records the learned
+    us/col per (matrix, route) plus the contender's route mix so CI can
+    assert convergence.
+    """
+    from time import perf_counter
+
+    from repro.analysis import (
+        build_bench_serving,
+        render_serving,
+        render_table,
+        scenario_record,
+        write_bench_serving,
+    )
+    from repro.sched import CostModel, Scheduler
+    from repro.serve import FALLBACK_CHAIN, BatchExecutor, SpmmRequest
+
+    registry.warm()  # neither scenario pays reorder/IO inside the timed window
+
+    def make_round():
+        return [
+            SpmmRequest(
+                matrix=name,
+                b=rng.standard_normal((args.k, args.n)).astype(np.float16),
+            )
+            for name in names
+        ]
+
+    timed = max(1, args.requests // len(names))
+    warm_rounds = [make_round() for _ in range(args.warmup_rounds)]
+    timed_rounds = [make_round() for _ in range(timed)]
+
+    def run_scenario(name, chain, scheduler):
+        kwargs = dict(
+            max_batch=args.max_batch,
+            max_workers=args.pool_workers,
+            chain=chain,
+            scheduler=scheduler,
+        )
+        with BatchExecutor(registry, **kwargs) as executor:
+            for burst in warm_rounds:
+                executor.run(burst)
+        with BatchExecutor(registry, **kwargs) as executor:
+            wall_t0 = perf_counter()
+            for burst in timed_rounds:
+                executor.run(burst)
+            wall_s = perf_counter() - wall_t0
+            stats = executor.stats()
+            latencies = [
+                r.queue_wait_s + r.batch_kernel_us / 1e6
+                for r in executor.request_stats()
+            ]
+        return scenario_record(name, stats, latencies, wall_s, 0), stats, wall_s
+
+    # explore_every=4 (tighter than --compare-compiled's 8): the zoo has
+    # one more route to visit, and the probe cadence must reach
+    # jigsaw@vnm within the warmup window (probe #1 samples compiled,
+    # probe #2 samples jigsaw@vnm; from then on the measurement wins).
+    rigid_chain = tuple(r for r in FALLBACK_CHAIN if "@" not in r)
+    rigid_rec, _, rigid_wall = run_scenario(
+        "rigid", rigid_chain, Scheduler(cost_model=CostModel(explore_every=4))
+    )
+    sched = Scheduler(cost_model=CostModel(explore_every=4))
+    fmt_rec, fmt_stats, fmt_wall = run_scenario("format_cost", FALLBACK_CHAIN, sched)
+
+    doc = build_bench_serving(
+        [rigid_rec, fmt_rec], baseline="rigid", contender="format_cost"
+    )
+    comp = doc["comparison"]
+    comp["baseline_throughput_rps"] = rigid_rec["throughput_rps"]
+    comp["contender_throughput_rps"] = fmt_rec["throughput_rps"]
+    comp["throughput_speedup"] = (
+        fmt_rec["throughput_rps"] / rigid_rec["throughput_rps"]
+        if rigid_rec["throughput_rps"]
+        else float("inf")
+    )
+    comp["format_selection"] = {
+        "venom_spec": f"vnm:{args.venom_v}:2:{args.venom_m}",
+        "costs_us_per_col": sched.cost_model.snapshot(),
+        "contender_route_mix": dict(fmt_rec["route_mix"]),
+    }
+    if args.bench_json:
+        path = write_bench_serving(doc, args.bench_json)
+        print(f"bench report written to {path}")
+    print(render_serving(fmt_stats))
+    print()
+    print(
+        render_table(
+            ["steady-state serving", "rigid", "format_cost"],
+            [
+                [
+                    "throughput",
+                    f"{rigid_rec['throughput_rps']:.1f} req/s",
+                    f"{fmt_rec['throughput_rps']:.1f} req/s",
+                ],
+                [
+                    "timed wall",
+                    f"{rigid_wall * 1e3:.0f} ms",
+                    f"{fmt_wall * 1e3:.0f} ms",
+                ],
+                [
+                    "route mix",
+                    _fmt_route_mix(rigid_rec["route_mix"]),
+                    _fmt_route_mix(fmt_rec["route_mix"]),
                 ],
                 ["throughput speedup", "1.00x", f"{comp['throughput_speedup']:.2f}x"],
             ],
@@ -901,8 +1036,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup-rounds",
         type=int,
         default=10,
-        help="untimed warmup rounds per scenario in --compare-compiled "
-        "(lets the cost model's exploration discover the compiled route)",
+        help="untimed warmup rounds per scenario in --compare-compiled / "
+        "--compare-formats (lets the cost model's exploration discover "
+        "the faster route)",
+    )
+    p.add_argument(
+        "--compare-formats",
+        action="store_true",
+        help="format zoo drill on VENOM-pruned matrices: rigid-2:4 chain "
+        "vs the cost-model-discovered jigsaw@vnm route (adds a "
+        "format_selection block to the report)",
+    )
+    p.add_argument(
+        "--venom-v",
+        type=int,
+        default=64,
+        help="V:N:M vector length (panel rows) for --compare-formats matrices",
+    )
+    p.add_argument(
+        "--venom-m",
+        type=int,
+        default=16,
+        help="V:N:M group width M (N fixed at 2) for --compare-formats matrices",
     )
     _add_preprocessing_flags(p)
     _add_observability_flags(p)

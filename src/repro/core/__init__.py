@@ -20,6 +20,7 @@ from .compatibility import (
 )
 from .engine import PlanStats, PreprocessStats, plan_cache_key, preprocess
 from .format import JigsawMatrix, JigsawSlab
+from .formatspec import FORMAT_KIND_24, FORMAT_KIND_VNM, FormatSpec, base_route
 from .kernels import (
     ABLATION_VERSIONS,
     ALL_VERSIONS,
@@ -32,9 +33,12 @@ from .serialization import (
     ArtifactError,
     ArtifactIntegrityError,
     load_jigsaw,
+    load_vnm,
     roundtrip_equal,
     save_jigsaw,
+    save_vnm,
 )
+from .vnm import VnmPlan, detect_vnm_spec, run_vnm_kernel, vnm_output, vnm_profile
 from .tuning import TuningTable, estimate_vector_width, matrix_features
 from .metadata import (
     deinterleave_metadata,
@@ -83,6 +87,15 @@ __all__ = [
     "preprocess",
     "JigsawMatrix",
     "JigsawSlab",
+    "FORMAT_KIND_24",
+    "FORMAT_KIND_VNM",
+    "FormatSpec",
+    "base_route",
+    "VnmPlan",
+    "detect_vnm_spec",
+    "run_vnm_kernel",
+    "vnm_output",
+    "vnm_profile",
     "ABLATION_VERSIONS",
     "ALL_VERSIONS",
     "JigsawKernelSpec",
@@ -94,8 +107,10 @@ __all__ = [
     "ArtifactError",
     "ArtifactIntegrityError",
     "load_jigsaw",
+    "load_vnm",
     "roundtrip_equal",
     "save_jigsaw",
+    "save_vnm",
     "TuningTable",
     "estimate_vector_width",
     "matrix_features",

@@ -35,6 +35,7 @@ from repro.obs import get_metrics, get_tracer
 
 from .engine import PlanStats, PreprocessStats, plan_cache_key, preprocess
 from .format import JigsawMatrix
+from .formatspec import FormatSpec
 from .kernels import (
     ALL_VERSIONS,
     JigsawRunResult,
@@ -42,13 +43,18 @@ from .kernels import (
     compute_output_exact,
     run_jigsaw_kernel,
 )
-from .serialization import load_jigsaw, save_jigsaw
+from .serialization import load_jigsaw, load_vnm, save_jigsaw, save_vnm
 from .tiles import BLOCK_TILE_SIZES, TileConfig
+from .vnm import VnmPlan, detect_vnm_spec, run_vnm_kernel
 
 #: Per-process counter making every `_store` tmp file unique: pid alone
 #: is not enough once multiple threads of one process (a serving
 #: executor's pool) persist artifacts concurrently.
 _TMP_COUNTER = itertools.count()
+
+#: Sentinel distinguishing "V:N:M plan not resolved yet" from "resolved
+#: to None" (the matrix fits no V:N:M spec) — both are cached.
+_VNM_UNRESOLVED = object()
 
 
 class JigsawPlan:
@@ -78,6 +84,7 @@ class JigsawPlan:
         workers: int | None = None,
         cache_dir: str | Path | None = None,
         fault_plan: FaultPlan | None = None,
+        format_spec: FormatSpec | str | None = None,
     ) -> None:
         if a.ndim != 2:
             raise ValueError("A must be a 2-D matrix")
@@ -93,9 +100,18 @@ class JigsawPlan:
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.fault_plan = fault_plan
+        #: The plan's storage-format dimension (see
+        #: :mod:`repro.core.formatspec`).  ``"2:4"`` (default) serves
+        #: through the rigid routes only; ``"vnm:{V}:{N}:{M}"`` pins the
+        #: V:N:M layout; with the default, :meth:`vnm_plan` still
+        #: auto-detects a lossless V:N:M fit so the serve tier can offer
+        #: the ``jigsaw@vnm`` route and let the cost model choose.
+        self.format_spec = FormatSpec.coerce(format_spec)
         self.stats = PlanStats()
         self._formats: dict[tuple[int, bool], JigsawMatrix] = {}
         self._format_lock = threading.Lock()
+        self._vnm: object = _VNM_UNRESOLVED
+        self._vnm_lock = threading.Lock()
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -120,7 +136,7 @@ class JigsawPlan:
         config = TileConfig(block_tile=block_tile)
         path: Path | None = None
         if self.cache_dir is not None:
-            key = plan_cache_key(self._a, config, avoid)
+            key = plan_cache_key(self._a, config, avoid, format_spec=self.format_spec)
             path = self.cache_dir / f"jigsaw-{key}.npz"
             jm = self._try_load(path, config, avoid)
             if jm is not None:
@@ -128,6 +144,7 @@ class JigsawPlan:
         jm, pstats = preprocess(
             self._a, config, avoid_bank_conflicts=avoid, workers=self.workers
         )
+        jm.format_spec = self.format_spec
         self.stats.reorder_runs += 1
         if path is not None:
             pstats.plan_cache = "miss"
@@ -170,6 +187,7 @@ class JigsawPlan:
             jm.shape != tuple(self.shape)
             or jm.config != config
             or jm.avoid_bank_conflicts != avoid
+            or jm.format_spec != self.format_spec
         ):
             return None
         t1 = time.perf_counter()
@@ -233,6 +251,124 @@ class JigsawPlan:
         finally:
             if tmp.exists():
                 tmp.unlink()
+
+    # -- V:N:M format dimension ------------------------------------------------
+
+    def vnm_plan(self) -> VnmPlan | None:
+        """The plan's (cached) V:N:M storage, or None if the format
+        does not apply.
+
+        With an explicit ``vnm`` :attr:`format_spec` the matrix must
+        satisfy it losslessly (``ValueError`` otherwise).  With the
+        default ``2:4`` spec, :func:`~repro.core.vnm.detect_vnm_spec`
+        probes for a lossless fit — generic matrices resolve to None
+        and serve through the rigid routes only, while VENOM-pruned
+        ones gain the ``jigsaw@vnm`` serve route.  Both outcomes are
+        cached (the None too); with ``cache_dir`` the compressed
+        storage persists as a checksummed ``vnm-{key}.npz`` sibling of
+        the jigsaw artifacts.
+        """
+        with self._vnm_lock:
+            if self._vnm is not _VNM_UNRESOLVED:
+                return self._vnm  # type: ignore[return-value]
+            spec = (
+                self.format_spec
+                if self.format_spec.kind == "vnm"
+                else detect_vnm_spec(self._a)
+            )
+            if spec is None:
+                self._vnm = None
+                return None
+            path: Path | None = None
+            if self.cache_dir is not None:
+                key = plan_cache_key(
+                    self._a, TileConfig(), self.avoid_bank_conflicts, format_spec=spec
+                )
+                path = self.cache_dir / f"vnm-{key}.npz"
+                vp = self._try_load_vnm(path, spec)
+                if vp is not None:
+                    self._vnm = vp
+                    return vp
+            vp = VnmPlan.from_dense(self._a, spec)
+            if path is not None:
+                self.stats.plan_cache_misses += 1
+                get_metrics().counter(
+                    "repro_plan_cache_total",
+                    "persistent plan-cache lookups by outcome",
+                ).inc(outcome="miss")
+                try:
+                    self._store_vnm(vp, path)
+                except Exception:
+                    self.stats.store_failures += 1
+                    get_metrics().counter(
+                        "repro_plan_artifact_events_total",
+                        "plan artifact incidents (quarantine, failed persist)",
+                    ).inc(event="store_failure")
+            self._vnm = vp
+            return vp
+
+    def _try_load_vnm(self, path: Path, spec: FormatSpec) -> VnmPlan | None:
+        """Load a cached V:N:M artifact; quarantine-and-rebuild on rot."""
+        if not path.exists():
+            return None
+        try:
+            maybe_inject("plan.cache.load", self.fault_plan)
+            vp = load_vnm(path)
+        except Exception:
+            self._quarantine(path)
+            return None
+        if vp.shape != tuple(self.shape) or vp.spec != spec:
+            return None
+        self.stats.plan_cache_hits += 1
+        get_metrics().counter(
+            "repro_plan_cache_total", "persistent plan-cache lookups by outcome"
+        ).inc(outcome="hit")
+        return vp
+
+    def _store_vnm(self, vp: VnmPlan, path: Path) -> None:
+        """Atomically persist a V:N:M artifact (tmp file + rename)."""
+        maybe_inject("plan.cache.store", self.fault_plan)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        unique = f"{os.getpid()}-{threading.get_ident()}-{next(_TMP_COUNTER)}"
+        tmp = path.with_name(f"{path.stem}.tmp-{unique}.npz")
+        try:
+            save_vnm(vp, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def vnm_resident_bytes(self) -> int:
+        """Compressed V:N:M bytes currently held in memory.
+
+        Zero while :meth:`vnm_plan` is unresolved *or* resolved to None —
+        this is the registry-accounting read, and it must never force a
+        detection sweep just to charge a budget.
+        """
+        with self._vnm_lock:
+            vp = self._vnm
+        if vp is _VNM_UNRESOLVED or vp is None:
+            return 0
+        return vp.storage_bytes()["total"]  # type: ignore[union-attr]
+
+    def run_vnm(
+        self,
+        b: np.ndarray,
+        device: DeviceSpec = A100,
+        want_output: bool = True,
+    ) -> JigsawRunResult:
+        """One V:N:M launch: compressed-format SpMM ``C = A @ B``.
+
+        Raises ``ValueError`` when :meth:`vnm_plan` resolves to None —
+        serve routing filters the ``jigsaw@vnm`` route out before it
+        can get here.
+        """
+        vp = self.vnm_plan()
+        if vp is None:
+            raise ValueError(
+                "matrix satisfies no V:N:M spec; the vnm route does not apply"
+            )
+        return run_vnm_kernel(vp, np.asarray(b), device, want_output=want_output)
 
     # -- execution -------------------------------------------------------------
 

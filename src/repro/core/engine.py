@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -34,14 +34,19 @@ from .format import JigsawMatrix
 from .reorder import reorder_matrix
 from .tiles import TileConfig
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .formatspec import FormatSpec
+
 #: Version sentinel folded into every plan-cache key: bump together with
 #: :data:`repro.core.serialization.FORMAT_VERSION` so stale artifacts
 #: from older layouts can never be mistaken for current ones.  v3 folds
 #: ``TileConfig.mma_tile`` into the key (pre-v3 keys omitted it, so a
 #: non-default MMA_TILE plan aliased the default-tile cache entry); v4
 #: tracks the checksummed artifact layout; v5 tracks the compiled
-#: whole-plan arrays appended to the artifact.
-PLAN_CACHE_KEY_VERSION = 5
+#: whole-plan arrays appended to the artifact; v6 folds the plan's
+#: storage-format spec into the key (pre-v6 keys assumed rigid 2:4, so
+#: a V:N:M plan would have aliased the 2:4 cache entry).
+PLAN_CACHE_KEY_VERSION = 6
 
 
 @dataclass
@@ -204,16 +209,23 @@ def _observe_preprocess(
 
 
 def plan_cache_key(
-    a: np.ndarray, config: TileConfig, avoid_bank_conflicts: bool
+    a: np.ndarray,
+    config: TileConfig,
+    avoid_bank_conflicts: bool,
+    format_spec: "FormatSpec | None" = None,
 ) -> str:
     """Content hash identifying one preprocessing outcome.
 
     Covers everything the result depends on: the matrix bytes (and
     dtype/shape), the full tile geometry (``block_tile``,
-    ``block_tile_n``, ``mma_tile``), the bank-conflict preference, and
+    ``block_tile_n``, ``mma_tile``), the bank-conflict preference, the
+    plan's storage-format spec (None means the default ``2:4``), and
     the artifact format version.  Two matrices with equal hashes build
     byte-identical artifacts; differing settings can never alias.
     """
+    from .formatspec import FormatSpec
+
+    spec = FormatSpec.coerce(format_spec)
     h = hashlib.sha256()
     h.update(f"jigsaw-plan-v{PLAN_CACHE_KEY_VERSION}".encode())
     h.update(
@@ -225,6 +237,7 @@ def plan_cache_key(
                 config.block_tile_n,
                 config.mma_tile,
                 int(avoid_bank_conflicts),
+                *spec.header_fields(),
             ],
             dtype=np.int64,
         ).tobytes()

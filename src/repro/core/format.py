@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.formats.nm import compress_nm
+from .formatspec import FormatSpec
 from .metadata import interleave_metadata, tile_metadata_words
 from .reorder import ReorderResult, SlabReorder, reorder_matrix
 from .swizzle import swizzle_block, unswizzle_block
@@ -75,6 +76,13 @@ class JigsawMatrix:
     #: serialization header (v2) so artifacts built with different
     #: settings can never be confused.
     avoid_bank_conflicts: bool = True
+    #: Storage format of the plan dimension this matrix was built under
+    #: (see :mod:`repro.core.formatspec`).  A ``JigsawMatrix`` itself is
+    #: always rigid 2:4 storage; the spec records which format family
+    #: the owning plan was configured for, persisted by serialization v6
+    #: so artifacts from different format dimensions never alias (pre-v6
+    #: artifacts load with the 2:4 default they implicitly were).
+    format_spec: FormatSpec = field(default_factory=FormatSpec)
     #: Lazily-built whole-plan lowering (see :mod:`repro.core.compiled`);
     #: v5 artifacts persist its arrays, older ones recompile on demand.
     _compiled: object | None = field(default=None, repr=False, compare=False)

@@ -26,8 +26,10 @@ from pathlib import Path
 import numpy as np
 
 from .format import JigsawMatrix, JigsawSlab
+from .formatspec import FormatSpec
 from .reorder import ReorderResult, SlabReorder
 from .tiles import MMA_TILE, TileConfig
+from .vnm import VnmPlan
 
 #: Format version written into every artifact.  v2 appended the reorder
 #: settings (``avoid_bank_conflicts``); v3 appends ``mma_tile``, which
@@ -36,17 +38,24 @@ from .tiles import MMA_TILE, TileConfig
 #: checksum (the ``checksum`` array) verified on load.  v5 appends the
 #: compiled whole-plan arrays (``c_*``; see :mod:`repro.core.compiled`)
 #: so a loaded plan serves the compiled route with zero recompilation.
-#: v1–v4 artifacts are still readable: pre-v4 ones load unverified with
+#: v6 appends the plan's storage-format spec to the header (four fields:
+#: kind code, V, N, M — see :mod:`repro.core.formatspec`), covered by
+#: the checksum like the rest of the header.
+#: v1–v5 artifacts are still readable: pre-v4 ones load unverified with
 #: the documented era defaults (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`,
 #: :data:`PRE_V3_MMA_TILE_DEFAULT`); pre-v5 ones lazily recompile the
-#: whole-plan arrays on first compiled-route use.
-FORMAT_VERSION = 5
+#: whole-plan arrays on first compiled-route use; pre-v6 ones load with
+#: the default ``2:4`` format spec, which is what they implicitly were.
+FORMAT_VERSION = 6
 
 #: First version whose artifacts carry the ``checksum`` array.
 CHECKSUM_MIN_VERSION = 4
 
 #: First version whose artifacts carry the compiled ``c_*`` arrays.
 COMPILED_MIN_VERSION = 5
+
+#: First version whose headers carry the four format-spec fields.
+FORMAT_SPEC_MIN_VERSION = 6
 
 #: ``avoid_bank_conflicts`` value assumed for version-1 artifacts, which
 #: predate the flag being persisted.  v1 writers only ever built formats
@@ -97,6 +106,8 @@ def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
                 len(jm.slabs),
                 int(jm.avoid_bank_conflicts),
                 jm.config.mma_tile,
+                # v6: the plan's storage-format spec (kind, V, N, M).
+                *jm.format_spec.header_fields(),
             ],
             dtype=np.int64,
         )
@@ -168,7 +179,7 @@ def load_jigsaw(
     elif version == 2:
         avoid_bank_conflicts = bool(header[6])
         mma_tile = PRE_V3_MMA_TILE_DEFAULT
-    elif version in (3, 4, FORMAT_VERSION):
+    elif version in (3, 4, 5, FORMAT_VERSION):
         avoid_bank_conflicts = bool(header[6])
         mma_tile = int(header[7])
     else:
@@ -186,6 +197,18 @@ def load_jigsaw(
             raise ArtifactIntegrityError(
                 "artifact content does not match its sha256 checksum"
             )
+    if version >= FORMAT_SPEC_MIN_VERSION:
+        try:
+            format_spec = FormatSpec.from_header_fields(
+                int(header[8]), int(header[9]), int(header[10]), int(header[11])
+            )
+        except (IndexError, ValueError) as exc:
+            raise ArtifactError(
+                f"version-{version} artifact has a malformed format spec: {exc}"
+            ) from exc
+    else:
+        # Pre-v6 writers only ever built rigid 2:4 plans.
+        format_spec = FormatSpec()
     try:
         shape = (int(header[1]), int(header[2]))
         config = TileConfig(
@@ -201,6 +224,7 @@ def load_jigsaw(
             config=config,
             reorder=reorder,
             avoid_bank_conflicts=avoid_bank_conflicts,
+            format_spec=format_spec,
         )
         for i in range(n_slabs):
             meta = arrays[f"s{i}_meta"]
@@ -239,6 +263,88 @@ def load_jigsaw(
     return jm
 
 
+def save_vnm(vp: VnmPlan, path: str | Path | io.BytesIO) -> None:
+    """Persist a :class:`~repro.core.vnm.VnmPlan` as a checksummed ``.npz``.
+
+    V:N:M artifacts are a sibling family to the jigsaw ones: they share
+    the writer version, the sha256 content-digest scheme, and the typed
+    error taxonomy, but use a distinct ``vnm_header`` key so neither
+    loader can misread the other's artifacts (``load_jigsaw`` on a vnm
+    file fails with a missing-header :class:`ArtifactError` and vice
+    versa, never a structurally-wrong plan).
+    """
+    vm = vp.matrix
+    arrays: dict[str, np.ndarray] = {
+        "vnm_header": np.array(
+            [
+                FORMAT_VERSION,
+                vm.shape[0],
+                vm.shape[1],
+                *vp.spec.header_fields(),
+            ],
+            dtype=np.int64,
+        ),
+        "values": vm.values,
+        "positions": vm.positions,
+        "col_choices": vm.col_choices,
+    }
+    arrays["checksum"] = np.frombuffer(_content_digest(arrays), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_vnm(path: str | Path | io.BytesIO, verify: bool = True) -> VnmPlan:
+    """Load a V:N:M plan artifact; validates before returning."""
+    from repro.formats.venom import VenomMatrix
+
+    arrays = _read_arrays(path)
+    try:
+        header = arrays["vnm_header"]
+        version = int(header[0])
+    except (KeyError, IndexError, ValueError) as exc:
+        raise ArtifactError(f"vnm artifact header missing or malformed: {exc}") from exc
+    if not FORMAT_SPEC_MIN_VERSION <= version <= FORMAT_VERSION:
+        raise ValueError(
+            f"vnm artifact format version {version} unsupported (this build "
+            f"reads versions {FORMAT_SPEC_MIN_VERSION}..{FORMAT_VERSION})"
+        )
+    if verify:
+        stored = arrays.get("checksum")
+        if stored is None:
+            raise ArtifactIntegrityError(
+                f"version-{version} vnm artifact is missing its checksum array"
+            )
+        if bytes(np.asarray(stored, dtype=np.uint8)) != _content_digest(arrays):
+            raise ArtifactIntegrityError(
+                "vnm artifact content does not match its sha256 checksum"
+            )
+    try:
+        spec = FormatSpec.from_header_fields(
+            int(header[3]), int(header[4]), int(header[5]), int(header[6])
+        )
+    except (IndexError, ValueError) as exc:
+        raise ArtifactError(f"vnm artifact has a malformed format spec: {exc}") from exc
+    if spec.kind != "vnm":
+        raise ArtifactError(f"vnm artifact carries a non-vnm format spec ({spec})")
+    try:
+        vm = VenomMatrix(
+            shape=(int(header[1]), int(header[2])),
+            v=spec.v,
+            n=spec.n,
+            m=spec.m,
+            values=np.ascontiguousarray(arrays["values"], dtype=np.float16),
+            positions=np.ascontiguousarray(arrays["positions"], dtype=np.uint8),
+            col_choices=np.ascontiguousarray(arrays["col_choices"], dtype=np.uint16),
+        )
+    except KeyError as exc:
+        raise ArtifactError(f"vnm artifact is missing array {exc}") from exc
+    vp = VnmPlan(matrix=vm, spec=spec)
+    try:
+        vp.validate()
+    except ValueError as exc:
+        raise ArtifactError(f"vnm artifact failed validation: {exc}") from exc
+    return vp
+
+
 def roundtrip_equal(a: JigsawMatrix, b: JigsawMatrix) -> bool:
     """Structural equality of two JigsawMatrix objects.
 
@@ -249,6 +355,8 @@ def roundtrip_equal(a: JigsawMatrix, b: JigsawMatrix) -> bool:
     if a.shape != b.shape or a.config != b.config:
         return False
     if a.avoid_bank_conflicts != b.avoid_bank_conflicts:
+        return False
+    if a.format_spec != b.format_spec:
         return False
     if len(a.slabs) != len(b.slabs):
         return False

@@ -21,7 +21,7 @@ from .nm import (
     satisfies_nm,
     unpack_metadata,
 )
-from .venom import VenomMatrix, venom_prune, venom_satisfies_sptc
+from .venom import VenomMatrix, satisfies_vnm, venom_prune, venom_satisfies_sptc
 
 __all__ = [
     "BCSRMatrix",
@@ -40,6 +40,7 @@ __all__ = [
     "nm_violation_fraction",
     "pack_metadata",
     "satisfies_nm",
+    "satisfies_vnm",
     "to_dense",
     "unpack_metadata",
     "vector_nnz_structure",

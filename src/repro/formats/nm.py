@@ -15,11 +15,31 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def _pad_to_group_width(a: np.ndarray, m: int) -> np.ndarray:
+    """Zero-pad a ragged matrix so its width is a multiple of ``m``.
+
+    A trailing partial group is semantically a full group whose missing
+    columns are zero — the hardware consumes aligned groups either way,
+    and explicit zeros satisfy any N:M budget.  Returns ``a`` unchanged
+    when the width already divides.
+    """
+    cols = a.shape[1]
+    if cols % m == 0:
+        return a
+    return np.pad(a, ((0, 0), (0, m - cols % m)))
+
+
 def satisfies_nm(a: np.ndarray, n: int = 2, m: int = 4) -> bool:
-    """True iff every aligned group of ``m`` columns has <= ``n`` nonzeros per row."""
+    """True iff every aligned group of ``m`` columns has <= ``n`` nonzeros per row.
+
+    A ragged width (``cols % m != 0``) is judged with its last group
+    zero-padded to ``m`` — a trailing partial group can always be padded
+    into conformance, so raggedness alone never disqualifies a matrix
+    (it used to return False outright, making ragged-K matrices
+    unclassifiable even when their structure satisfied the pattern).
+    """
+    a = _pad_to_group_width(a, m)
     rows, cols = a.shape
-    if cols % m != 0:
-        return False
     counts = (a.reshape(rows, cols // m, m) != 0).sum(axis=2)
     return bool(np.all(counts <= n))
 
@@ -30,11 +50,8 @@ def nm_violation_fraction(a: np.ndarray, n: int = 2, m: int = 4) -> float:
     Used by SparTA-style decomposition and by the Figure-1 analysis of how
     far real matrices are from SpTC's requirement.
     """
+    a = _pad_to_group_width(a, m)
     rows, cols = a.shape
-    if cols % m != 0:
-        pad = m - cols % m
-        a = np.pad(a, ((0, 0), (0, pad)))
-        cols += pad
     counts = (a.reshape(rows, cols // m, m) != 0).sum(axis=2)
     return float(np.mean(counts > n))
 
@@ -42,14 +59,15 @@ def nm_violation_fraction(a: np.ndarray, n: int = 2, m: int = 4) -> float:
 def compress_nm(a: np.ndarray, n: int = 2, m: int = 4) -> tuple[np.ndarray, np.ndarray]:
     """Vectorized N:M compression: (values, positions).
 
-    ``values`` is (rows, cols * n / m); ``positions`` the matching in-group
-    positions.  Groups with fewer than ``n`` nonzeros are padded with
-    explicit zeros at free positions so positions stay strictly increasing
-    (the hardware constraint).  Raises on violation.
+    ``values`` is (rows, ceil(cols / m) * n); ``positions`` the matching
+    in-group positions.  Groups with fewer than ``n`` nonzeros are padded
+    with explicit zeros at free positions so positions stay strictly
+    increasing (the hardware constraint).  A ragged width compresses with
+    its last group zero-padded (``expand_nm`` with the original ``cols``
+    inverts it exactly); raises only on an actual N:M violation.
     """
+    a = _pad_to_group_width(a, m)
     rows, cols = a.shape
-    if cols % m != 0:
-        raise ValueError(f"cols={cols} not a multiple of m={m}")
     groups = cols // m
     seg = a.reshape(rows, groups, m)
     nz = seg != 0
@@ -79,17 +97,23 @@ def compress_nm(a: np.ndarray, n: int = 2, m: int = 4) -> tuple[np.ndarray, np.n
 
 
 def expand_nm(values: np.ndarray, positions: np.ndarray, cols: int, n: int = 2, m: int = 4) -> np.ndarray:
-    """Inverse of :func:`compress_nm`."""
+    """Inverse of :func:`compress_nm`.
+
+    ``cols`` may be ragged: any width with ``ceil(cols / m) == groups``
+    expands into the padded group grid and slices back to ``cols`` (the
+    dropped tail is the zero padding ``compress_nm`` added).
+    """
     rows, packed = values.shape
     groups = packed // n
-    if groups * m != cols:
+    if not (groups - 1) * m < cols <= groups * m:
         raise ValueError(f"packed width {packed} inconsistent with cols={cols}")
-    out = np.zeros((rows, cols), dtype=values.dtype)
+    full = groups * m
+    out = np.zeros((rows, full), dtype=values.dtype)
     r = np.repeat(np.arange(rows), packed)
     g = np.tile(np.repeat(np.arange(groups), n), rows)
     c = g * m + positions.reshape(-1).astype(np.int64)
     out[r, c] = values.reshape(-1)
-    return out
+    return out[:, :cols]
 
 
 def pack_metadata(positions: np.ndarray) -> np.ndarray:

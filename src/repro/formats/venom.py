@@ -143,6 +143,28 @@ class VenomMatrix:
         return self.to_dense().astype(np.float32) @ b.astype(np.float32)
 
 
+def satisfies_vnm(dense: np.ndarray, v: int, n: int = 2, m: int = 4) -> bool:
+    """Vectorized lossless-V:N:M check (no per-panel Python loops).
+
+    True iff ``dense`` compresses losslessly into :class:`VenomMatrix`
+    with these parameters: the shape tiles into V-row panels and
+    M-column groups, every (panel, group) touches at most four columns,
+    and every (row, group) keeps at most ``n`` elements.  The row-wise
+    budget implies the gathered data satisfies N:4 (all nonzeros live in
+    the selected columns), so this is exactly ``from_dense``'s success
+    condition — used by format auto-detection, which probes many (V, M)
+    candidates and cannot afford the constructor's panel loops.
+    """
+    rows, cols = dense.shape
+    if v < 1 or m < 4 or rows % v or cols % m:
+        return False
+    counts = (dense.reshape(rows, cols // m, m) != 0).sum(axis=2)
+    if np.any(counts > n):
+        return False
+    used = (dense.reshape(rows // v, v, cols // m, m) != 0).any(axis=1).sum(axis=2)
+    return bool(np.all(used <= 4))
+
+
 def venom_satisfies_sptc(dense: np.ndarray, m: int = 4) -> bool:
     """A VENOM-pruned matrix maps to SpTC after gathering its selected
     columns; for m == 4 the raw matrix is already 2:4."""

@@ -15,7 +15,7 @@ when constructed with a :class:`Scheduler` (see docs/scheduling.md):
   net underneath.
 """
 
-from .cost import CostModel, EwmaEstimator
+from .cost import MIN_OBSERVED_US, CostModel, EwmaEstimator
 from .errors import SchedError, ThrottledError
 from .scheduler import DEFAULT_WEIGHT, Scheduler, group_sort_key
 from .tenancy import (
@@ -27,6 +27,7 @@ from .tenancy import (
 )
 
 __all__ = [
+    "MIN_OBSERVED_US",
     "CostModel",
     "EwmaEstimator",
     "SchedError",

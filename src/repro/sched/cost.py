@@ -30,6 +30,17 @@ import math
 import threading
 from typing import Iterable, Sequence
 
+from repro.core.formatspec import base_route
+
+#: Floor applied to observed kernel times before they enter the EWMA.
+#: A clock-granularity ``us == 0`` sample used to pass the guard below
+#: unchanged, dragging the estimate toward 0 us/col — after enough zero
+#: samples the route's estimated cost for *any* width is ~0, so
+#: ``plan()`` pins it as cheapest forever regardless of real cost.
+#: Clamping to a small epsilon keeps zero readings as "very fast, but
+#: finite" evidence that later real measurements can still outweigh.
+MIN_OBSERVED_US = 1e-2
+
 
 class EwmaEstimator:
     """Exponentially-weighted moving average with an observation count."""
@@ -74,7 +85,7 @@ class CostModel:
         alpha: float = 0.25,
         min_samples: int = 1,
         explore_every: int | None = None,
-        chain: Sequence[str] = ("jigsaw", "compiled", "hybrid", "dense"),
+        chain: Sequence[str] = ("jigsaw", "compiled", "jigsaw@vnm", "hybrid", "dense"),
     ) -> None:
         if min_samples < 1:
             raise ValueError("min_samples must be >= 1")
@@ -97,10 +108,15 @@ class CostModel:
         EWMA: ``cols <= 0`` would divide by zero (the executor never
         observes a zero-width batch, but the guard makes the model safe
         to feed directly), and a negative or non-finite ``us`` would
-        poison every later estimate for the (matrix, route).
+        poison every later estimate for the (matrix, route).  A zero
+        ``us`` (clock granularity) is clamped to
+        :data:`MIN_OBSERVED_US` instead of entering the EWMA verbatim —
+        raw zeros would converge the estimate to 0 us/col and
+        permanently pin the route as cheapest.
         """
         if cols <= 0 or us < 0 or not math.isfinite(us):
             return
+        us = max(us, MIN_OBSERVED_US)
         key = (matrix, route)
         with self._lock:
             est = self._est.get(key)
@@ -135,6 +151,12 @@ class CostModel:
     # -- planning --------------------------------------------------------------
 
     def _chain_index(self, route: str) -> int:
+        """Prior position of ``route``; routes outside the chain share
+        the sentinel ``len(chain)`` and MUST be tie-broken by a further
+        deterministic key (``plan`` uses the route name) — several
+        unknown format-qualified routes would otherwise be ordered by
+        ``sorted()`` stability, i.e. by whatever order the caller's
+        candidate list happened to have."""
         try:
             return self.chain.index(route)
         except ValueError:
@@ -160,7 +182,10 @@ class CostModel:
         def key(route: str):
             est = self.estimate_us(matrix, route, cols)
             if est is None:
-                return (1, self._chain_index(route), 0.0)
+                # Unmeasured: chain position, then the route *name* so
+                # routes beyond the chain (same sentinel index) order
+                # deterministically regardless of candidate order.
+                return (1, self._chain_index(route), route)
             return (0, 0, est)
 
         ordered = sorted(cands, key=key)
@@ -169,13 +194,25 @@ class CostModel:
             and n > 0
             and n % self.explore_every == 0
         ):
-            probe = self._least_sampled(matrix, [r for r in ordered if r != "dense"])
+            probe = self._least_sampled(
+                matrix, [r for r in ordered if base_route(r) != "dense"]
+            )
             if probe is not None and probe != ordered[0]:
                 ordered.remove(probe)
                 ordered.insert(0, probe)
         return ordered
 
     def _least_sampled(self, matrix: str, candidates: list[str]) -> str | None:
+        """Least-sampled candidate (ties: chain position, then name).
+
+        Callers exclude terminal routes by *base* name
+        (``base_route(r) != "dense"``) — a literal ``r != "dense"``
+        comparison would happily probe a format-qualified terminal
+        route like ``dense@something``.
+        """
         if not candidates:
             return None
-        return min(candidates, key=lambda r: (self.samples(matrix, r), self._chain_index(r)))
+        return min(
+            candidates,
+            key=lambda r: (self.samples(matrix, r), self._chain_index(r), r),
+        )

@@ -15,7 +15,7 @@ forming, and cost-model routing.  See docs/serving.md,
 docs/fault_injection.md, and docs/scheduling.md.
 """
 
-from .errors import ExecutorClosedError, RejectedError, ServeError
+from .errors import ExecutorClosedError, MixedDtypeError, RejectedError, ServeError
 from .executor import (
     FALLBACK_CHAIN,
     BatchExecutor,
@@ -23,6 +23,7 @@ from .executor import (
     SpmmRequest,
     SubmitReport,
 )
+from .routing import FORMAT_ROUTES, REORDER_ROUTES
 from .registry import PLAN_OVERHEAD_BYTES, PlanRegistry, plan_resident_bytes
 from .stats import (
     ROUTES,
@@ -34,9 +35,12 @@ from .stats import (
 
 __all__ = [
     "ExecutorClosedError",
+    "MixedDtypeError",
     "RejectedError",
     "ServeError",
     "FALLBACK_CHAIN",
+    "FORMAT_ROUTES",
+    "REORDER_ROUTES",
     "BatchExecutor",
     "ServeResult",
     "SpmmRequest",

@@ -21,7 +21,7 @@ from .forming import _Entry, _Group
 class _DispatchMixin:
     """Group-dispatch half of the executor (state lives on the executor)."""
 
-    def _dispatch_locked(self, key: tuple[str, str]) -> None:
+    def _dispatch_locked(self, key: tuple[str, str, str]) -> None:
         group = self._groups.pop(key, None)
         if group is None or not group.entries:
             return
@@ -85,8 +85,10 @@ class _DispatchMixin:
 
     # -- batch execution entry -------------------------------------------------
 
-    def _execute_batch(self, key: tuple[str, str], entries: list[_Entry]) -> None:
-        name, version = key
+    def _execute_batch(
+        self, key: tuple[str, str, str], entries: list[_Entry]
+    ) -> None:
+        name, version, _dtype = key
         start = self._clock()
         tracer = self.tracer
         queue_hist = get_metrics().histogram(

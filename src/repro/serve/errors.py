@@ -22,3 +22,13 @@ class RejectedError(ServeError):
     Back off and resubmit; the executor counts sheds in
     :class:`~repro.serve.stats.ServeStats.rejected`.
     """
+
+
+class MixedDtypeError(ServeError):
+    """A live batch mixed B-panel dtypes at concat time.
+
+    Groups are keyed by ``(matrix, version, dtype)`` at forming time, so
+    this firing means a forming bug or a caller bypassing ``submit`` —
+    the old behavior silently downcast every panel to fp16, destroying
+    fp32 precision without any error at all.
+    """

@@ -179,7 +179,9 @@ class BatchExecutor(_DispatchMixin, _RoutingMixin):
             max_workers=max_workers, thread_name_prefix="serve"
         )
         self._cond = threading.Condition()
-        self._groups: dict[tuple[str, str], _Group] = {}
+        #: Forming groups keyed ``(matrix, version, b-dtype name)`` —
+        #: dtype-uniform batches so concatenation never downcasts.
+        self._groups: dict[tuple[str, str, str], _Group] = {}
         self._ids = itertools.count()
         self._closed = False
         self._pending = 0
@@ -227,6 +229,10 @@ class BatchExecutor(_DispatchMixin, _RoutingMixin):
             raise ValueError(
                 f"B has {b.shape[0]} rows; matrix {request.matrix!r} has "
                 f"{a.shape[1]} columns"
+            )
+        if b.dtype not in (np.float16, np.float32):
+            raise ValueError(
+                f"B panel dtype must be float16 or float32, got {b.dtype.name!r}"
             )
         submit_t = self._clock()
         entry = _Entry(
@@ -282,7 +288,12 @@ class BatchExecutor(_DispatchMixin, _RoutingMixin):
                 get_metrics().gauge(
                     "repro_pending_requests", "requests submitted but not completed"
                 ).set(self._pending)
-                key = (request.matrix, request.version)
+                # dtype is part of the group key: batches are concatenated
+                # panel-wise, and mixing fp16 with fp32 in one batch would
+                # force a downcast (the pre-fix behavior silently cast
+                # everyone to fp16).  Dtype-uniform groups keep each
+                # request's precision end to end.
+                key = (request.matrix, request.version, b.dtype.name)
                 group = self._groups.setdefault(key, _Group())
                 group.entries.append(entry)
                 if len(group.entries) >= self.max_batch:

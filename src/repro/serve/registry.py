@@ -39,11 +39,16 @@ PLAN_OVERHEAD_BYTES = 1024
 
 def plan_resident_bytes(plan: JigsawPlan) -> int:
     """Bytes the registry charges one resident plan: the storage of its
-    built formats plus a fixed overhead.  Grows as v4's autotune builds
-    more BLOCK_TILE formats, so the budget is re-enforced after runs."""
+    built formats (rigid 2:4 *and* any resolved V:N:M storage) plus a
+    fixed overhead.  Grows as v4's autotune builds more BLOCK_TILE
+    formats or the ``jigsaw@vnm`` route resolves its compressed layout,
+    so the budget is re-enforced after runs."""
     total = PLAN_OVERHEAD_BYTES
     for jm in plan._formats.values():
         total += jm.storage_bytes()["total"]
+    # Charged only once resolved: the accounting read never forces a
+    # V:N:M detection sweep (see JigsawPlan.vnm_resident_bytes).
+    total += plan.vnm_resident_bytes()
     return total
 
 

@@ -12,6 +12,14 @@ one route serves it:
   cost model keeps the historical default; a
   :class:`~repro.sched.CostModel` discovers it empirically (its
   measured us/col is lower) and reorders it first;
+* ``jigsaw@vnm`` — the format-qualified V:N:M route
+  (:mod:`repro.core.vnm`), available only when the plan's matrix
+  satisfies a V:N:M spec (:meth:`JigsawPlan.vnm_plan` is non-None).
+  It does **not** require a successful reorder — V:N:M storage encodes
+  its own column structure — so it also serves reorder-failed matrices
+  that would otherwise drop to ``hybrid``.  Like ``compiled``, the
+  static chain keeps it after the historical defaults and the cost
+  model promotes it empirically, never by pinning;
 * ``hybrid`` — the Section-4.7 hybrid-granularity kernel, serving
   matrices whose reorder failed (``reorder_success == False``) or whose
   faster-route breakers are open;
@@ -21,7 +29,7 @@ one route serves it:
 Breaker-denied routes are skipped; a failed batched route counts a
 breaker failure and falls to the next.  Both ``jigsaw`` and ``compiled``
 require a successful reorder — a reorder-failed plan skips straight to
-``hybrid``.
+``jigsaw@vnm`` (if the format applies) or ``hybrid``.
 """
 
 from __future__ import annotations
@@ -36,14 +44,20 @@ from repro.core.kernels.hybrid import HybridPlan
 from repro.faults import call_with_retry, maybe_inject
 from repro.obs import get_metrics
 
+from .errors import MixedDtypeError
 from .forming import _Entry, ServeResult
 from .stats import BatchStats, RequestStats
 
 #: Fallback order: a failed (or breaker-opened) route falls to the next.
-FALLBACK_CHAIN: tuple[str, ...] = ("jigsaw", "compiled", "hybrid", "dense")
+FALLBACK_CHAIN: tuple[str, ...] = ("jigsaw", "compiled", "jigsaw@vnm", "hybrid", "dense")
 
 #: Routes that require a successful multi-granularity reorder.
+#: ``jigsaw@vnm`` is deliberately absent: V:N:M storage carries its own
+#: column structure, so the route serves reorder-failed plans too.
 REORDER_ROUTES: tuple[str, ...] = ("jigsaw", "compiled")
+
+#: Routes that only apply when the plan's matrix satisfies a V:N:M spec.
+FORMAT_ROUTES: tuple[str, ...] = ("jigsaw@vnm",)
 
 
 class _RoutingMixin:
@@ -71,6 +85,10 @@ class _RoutingMixin:
                 if plan.reorder_success
                 else [r for r in self.chain if r not in REORDER_ROUTES]
             )
+            # Format-qualified routes only apply when the matrix actually
+            # satisfies the format; vnm_plan() detects (and caches) once.
+            if any(r in FORMAT_ROUTES for r in routes) and plan.vnm_plan() is None:
+                routes = [r for r in routes if r not in FORMAT_ROUTES]
         except Exception:
             # Plan admission (or the reorder itself) is broken: the dense
             # route needs only the raw matrix, so serve instead of erroring.
@@ -125,6 +143,8 @@ class _RoutingMixin:
                 self._run_jigsaw(plan, name, version, live, was_resident)
             elif route == "compiled":
                 self._run_compiled(plan, name, version, live, was_resident)
+            elif route == "jigsaw@vnm":
+                self._run_vnm(plan, name, version, live, was_resident)
             else:
                 self._run_hybrid(name, version, live, was_resident)
 
@@ -142,10 +162,25 @@ class _RoutingMixin:
 
     @staticmethod
     def _concat_panels(live: list[_Entry]) -> tuple[list[int], np.ndarray]:
+        """Concatenate the batch's B-panels **in their own dtype**.
+
+        This used to force every panel to fp16, silently destroying the
+        precision of fp32 submissions (a 1e-4-scale fp32 value rounds to
+        0.0 in fp16).  Grouping now keys on dtype at forming time, so a
+        live batch is dtype-uniform by construction; the check here is
+        defense in depth — a mixed batch (a forming bug, or a caller
+        bypassing ``submit``) raises a typed :class:`MixedDtypeError`
+        instead of quietly downcasting everyone to the narrowest type.
+        """
         widths = [e.request.b.shape[1] for e in live]
+        dtypes = {np.asarray(e.request.b).dtype for e in live}
+        if len(dtypes) > 1:
+            raise MixedDtypeError(
+                f"batch mixes B-panel dtypes {sorted(d.name for d in dtypes)}; "
+                f"groups must be dtype-uniform"
+            )
         b_cat = np.concatenate(
-            [np.ascontiguousarray(e.request.b, dtype=np.float16) for e in live],
-            axis=1,
+            [np.ascontiguousarray(e.request.b) for e in live], axis=1
         )
         return widths, b_cat
 
@@ -183,6 +218,27 @@ class _RoutingMixin:
             k1,
         )
 
+    def _run_vnm(
+        self, plan, name: str, version: str, live: list[_Entry], was_resident: bool
+    ) -> None:
+        """Format-qualified V:N:M launch (:meth:`JigsawPlan.run_vnm`)."""
+        widths, b_cat = self._concat_panels(live)
+        k0 = self._clock()
+        res = plan.run_vnm(b_cat, device=self.device)
+        k1 = self._clock()
+        assert res.c is not None
+        self._record_batch(name, version, "jigsaw@vnm", live, res.profile.duration_us)
+        self._split(
+            live,
+            res.c,
+            widths,
+            "jigsaw@vnm",
+            res.profile.duration_us,
+            was_resident,
+            k0,
+            k1,
+        )
+
     def _run_hybrid(
         self, name: str, version: str, live: list[_Entry], was_resident: bool
     ) -> None:
@@ -202,7 +258,10 @@ class _RoutingMixin:
             if e.future.cancelled() or e.future.done():
                 return
             a = self.registry.matrix(e.request.matrix)
-            b = np.ascontiguousarray(e.request.b, dtype=np.float16)
+            # Keep the request's own dtype: the forced-fp16 cast that used
+            # to live here silently destroyed fp32 panel precision (the
+            # kernel reference math runs in fp32 either way).
+            b = np.ascontiguousarray(e.request.b)
             if b.shape[1] == 0:
                 self._resolve_empty(e, "dense", batch_size, expired=expired)
                 return
@@ -313,7 +372,10 @@ class _RoutingMixin:
             tenant=e.request.tenant,
         )
         self._record_request(stats)
-        self._resolve(e, ServeResult(c=np.zeros((m, 0), dtype=np.float16), stats=stats))
+        # fp32 to match every kernel path: jigsaw/compiled/vnm/dense all
+        # accumulate and return C in fp32 (this used to return fp16 zeros,
+        # so a zero-width request got a different dtype than its siblings).
+        self._resolve(e, ServeResult(c=np.zeros((m, 0), dtype=np.float32), stats=stats))
 
     def _hybrid_plan_for(self, name: str) -> HybridPlan:
         with self._hybrid_lock:

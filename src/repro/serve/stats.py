@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-#: Execution routes a request can take (see docs/serving.md):
-#: the batched Jigsaw kernel, the compiled whole-plan route
-#: (:mod:`repro.core.compiled`), the Section-4.7 hybrid kernel (reorder
+#: Execution routes a request can take (see docs/serving.md and
+#: docs/formats.md): the batched Jigsaw kernel, the compiled whole-plan
+#: route (:mod:`repro.core.compiled`), the format-qualified V:N:M route
+#: (:mod:`repro.core.vnm`), the Section-4.7 hybrid kernel (reorder
 #: failed), or the dense cuBLAS-style fallback (deadline expired).
-ROUTES: tuple[str, ...] = ("jigsaw", "compiled", "hybrid", "dense")
+ROUTES: tuple[str, ...] = ("jigsaw", "compiled", "jigsaw@vnm", "hybrid", "dense")
 
 #: Registry-residency outcomes a request can observe at lookup time.
 REGISTRY_OUTCOMES: tuple[str, ...] = ("hit", "miss")

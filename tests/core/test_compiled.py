@@ -125,8 +125,11 @@ class TestSerialization:
         assert loaded._compiled is cp
         assert compile_plan(jm).equals(cp)
 
-    def test_format_version_is_5(self):
-        assert FORMAT_VERSION == 5
+    def test_compiled_payload_persisted_since_v5(self):
+        from repro.core.serialization import COMPILED_MIN_VERSION
+
+        assert COMPILED_MIN_VERSION == 5
+        assert FORMAT_VERSION >= COMPILED_MIN_VERSION
 
     def test_loaded_plan_serves_bit_identical(self, rng, tmp_path):
         plan = _plan(rng, 64, 128, sparsity=0.7)

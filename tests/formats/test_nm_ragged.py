@@ -1,0 +1,89 @@
+"""Regression tests: ragged widths (cols % m != 0) in the N:M helpers.
+
+``satisfies_nm``/``compress_nm`` used to reject any width that did not
+divide M outright, which made ragged-K matrices unclassifiable even
+when their structure satisfied the pattern.  A trailing partial group
+is semantically a full group whose missing columns are zero, so the
+helpers now pad — these tests pin the exact semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    NMCompressedMatrix,
+    compress_nm,
+    expand_nm,
+    nm_violation_fraction,
+    satisfies_nm,
+)
+
+
+def _ragged_24(rng, rows, cols):
+    """A ragged-width matrix that genuinely satisfies 2:4 after padding."""
+    a = np.zeros((rows, cols), dtype=np.float16)
+    groups = -(-cols // 4)
+    for r in range(rows):
+        for g in range(groups):
+            lo, hi = g * 4, min((g + 1) * 4, cols)
+            picks = rng.choice(hi - lo, size=min(2, hi - lo), replace=False)
+            for p in picks:
+                a[r, lo + p] = np.float16(rng.standard_normal())
+    return a
+
+
+@pytest.mark.parametrize("cols", [5, 7, 13, 30])
+class TestRaggedWidths:
+    def test_satisfies_nm_accepts_conforming_ragged(self, rng, cols):
+        a = _ragged_24(rng, 8, cols)
+        assert satisfies_nm(a, 2, 4)
+
+    def test_satisfies_nm_still_rejects_violations(self, rng, cols):
+        a = _ragged_24(rng, 8, cols)
+        a[0, :4] = np.float16(1.0)  # 4 nonzeros in the first aligned group
+        assert not satisfies_nm(a, 2, 4)
+        assert nm_violation_fraction(a, 2, 4) > 0
+
+    def test_compress_expand_roundtrip_is_exact(self, rng, cols):
+        a = _ragged_24(rng, 8, cols)
+        vals, pos = compress_nm(a, 2, 4)
+        groups = -(-cols // 4)
+        assert vals.shape == (8, groups * 2)
+        back = expand_nm(vals, pos, cols, 2, 4)
+        np.testing.assert_array_equal(back, a)
+
+    def test_compressed_matrix_roundtrip(self, rng, cols):
+        a = _ragged_24(rng, 8, cols)
+        nm = NMCompressedMatrix.from_dense(a, 2, 4)
+        np.testing.assert_array_equal(nm.to_dense(), a)
+        b = rng.standard_normal((cols, 6)).astype(np.float16)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_array_equal(nm.spmm_reference(b), ref)
+
+
+class TestRaggedEdgeCases:
+    def test_compress_raises_on_real_violation_only(self, rng):
+        a = _ragged_24(rng, 4, 7)
+        compress_nm(a, 2, 4)  # conforming ragged width: no raise
+        a[0, 4:7] = np.float16(1.0)  # 3 nonzeros in the padded last group
+        with pytest.raises(ValueError, match="allows at most"):
+            compress_nm(a, 2, 4)
+
+    def test_padding_zeros_never_count_as_nonzeros(self):
+        # One column: each group is one real column plus three pad zeros.
+        a = np.ones((4, 1), dtype=np.float16)
+        assert satisfies_nm(a, 1, 4)
+        vals, pos = compress_nm(a, 1, 4)
+        np.testing.assert_array_equal(expand_nm(vals, pos, 1, 1, 4), a)
+
+    def test_expand_rejects_inconsistent_cols(self, rng):
+        vals, pos = compress_nm(_ragged_24(rng, 4, 7), 2, 4)
+        for bad in (4, 9):  # ceil(bad/4) != 2 groups
+            with pytest.raises(ValueError, match="inconsistent"):
+                expand_nm(vals, pos, bad, 2, 4)
+
+    def test_aligned_widths_unchanged(self, rng):
+        a = _ragged_24(rng, 8, 16)
+        vals, pos = compress_nm(a, 2, 4)
+        assert vals.shape == (8, 8)
+        np.testing.assert_array_equal(expand_nm(vals, pos, 16, 2, 4), a)

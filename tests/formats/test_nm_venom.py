@@ -65,9 +65,15 @@ class TestCompressExpand:
         with pytest.raises(ValueError):
             compress_nm(a)
 
-    def test_rejects_bad_width(self):
-        with pytest.raises(ValueError):
-            compress_nm(np.zeros((2, 6), np.float16))
+    def test_ragged_width_pads_instead_of_rejecting(self):
+        # Used to raise on cols % m != 0; a trailing partial group is a
+        # full group with zero-padded missing columns (see
+        # tests/formats/test_nm_ragged.py for the full property sweep).
+        a = np.zeros((2, 6), np.float16)
+        a[:, 0] = np.float16(1.0)
+        vals, pos = compress_nm(a)
+        assert vals.shape == (2, 4)  # two groups
+        np.testing.assert_array_equal(expand_nm(vals, pos, 6), a)
 
     def test_1to2_pattern(self, rng):
         a = random_nm(8, 16, 1, 2, rng)

@@ -126,3 +126,65 @@ class TestCostModelPlanning:
         cm = CostModel()
         cm.observe("w", "jigsaw", us=0.1, cols=1)
         assert cm.plan("w", ["hybrid", "dense"], cols=4) == ["hybrid", "dense"]
+
+    def test_default_chain_includes_format_qualified_route(self):
+        cm = CostModel()
+        chain = list(cm.chain)
+        assert chain == ["jigsaw", "compiled", "jigsaw@vnm", "hybrid", "dense"]
+        # Cold start over the full chain keeps the static prior order.
+        assert cm.plan("w", chain, cols=8) == chain
+
+
+class TestCostModelRegressions:
+    """Pins for the PR 7 bugfix sweep (zero-clamp, tiebreaks, explore)."""
+
+    CHAIN = ["jigsaw", "hybrid", "dense"]
+
+    def test_zero_us_observation_cannot_pin_a_route(self):
+        # A clock-granularity 0 us sample used to enter the EWMA
+        # verbatim; enough of them converged the estimate to 0 us/col
+        # and plan() pinned the route as cheapest forever.
+        from repro.sched import MIN_OBSERVED_US
+
+        cm = CostModel(chain=self.CHAIN)
+        for _ in range(50):
+            cm.observe("w", "hybrid", us=0.0, cols=8)
+        est = cm.estimate_us("w", "hybrid", cols=8)
+        assert est is not None
+        assert est == pytest.approx(MIN_OBSERVED_US)  # 8 cols * (eps / 8 cols)
+        # Later real measurements still outweigh the zero readings.
+        for _ in range(30):
+            cm.observe("w", "hybrid", us=80.0, cols=8)
+            cm.observe("w", "jigsaw", us=8.0, cols=8)
+        assert cm.plan("w", self.CHAIN, cols=8)[0] == "jigsaw"
+
+    def test_degenerate_observations_are_dropped(self):
+        cm = CostModel()
+        cm.observe("w", "jigsaw", us=-1.0, cols=8)
+        cm.observe("w", "jigsaw", us=float("nan"), cols=8)
+        cm.observe("w", "jigsaw", us=float("inf"), cols=8)
+        assert cm.samples("w", "jigsaw") == 0
+
+    def test_unknown_routes_tiebreak_by_name_not_candidate_order(self):
+        # Routes beyond the static chain share the sentinel chain index;
+        # they used to keep whatever order the caller's candidate list
+        # had (sorted() stability), so two executors offering the same
+        # set in different orders planned different chains.
+        cm = CostModel(chain=self.CHAIN)
+        cands = [*self.CHAIN, "jigsaw@zeta", "jigsaw@alpha"]
+        expected = [*self.CHAIN, "jigsaw@alpha", "jigsaw@zeta"]
+        assert cm.plan("w", cands, cols=4) == expected
+        assert cm.plan("w", list(reversed(cands)), cols=4) == expected
+
+    def test_exploration_excludes_dense_by_base_name(self):
+        # The probe filter used to compare the literal route name, so a
+        # format-qualified terminal route ("dense@x", zero samples) was
+        # always the least-sampled and got front-run on every cadence.
+        cm = CostModel(explore_every=2, chain=self.CHAIN)
+        cands = ["jigsaw", "hybrid", "dense@alt", "dense"]
+        for _ in range(6):
+            cm.observe("w", "jigsaw", us=1.0, cols=1)
+            cm.observe("w", "hybrid", us=2.0, cols=1)
+        for _ in range(10):
+            first = cm.plan("w", cands, cols=4)[0]
+            assert first not in ("dense", "dense@alt")

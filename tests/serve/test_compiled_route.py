@@ -103,7 +103,7 @@ class TestChainOverride:
             BatchExecutor(registry, chain=("turbo", "dense"))
 
     def test_fallback_chain_order(self):
-        assert FALLBACK_CHAIN == ("jigsaw", "compiled", "hybrid", "dense")
+        assert FALLBACK_CHAIN == ("jigsaw", "compiled", "jigsaw@vnm", "hybrid", "dense")
 
 
 class TestCompiledFaultFallThrough:
