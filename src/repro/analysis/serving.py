@@ -38,6 +38,7 @@ def serving_rows(stats: ServeStats) -> list[list[str]]:
         ["rejected (shed)", str(stats.rejected)],
         ["pending peak", str(stats.pending_peak)],
         ["artifacts quarantined", str(stats.quarantined)],
+        ["quarantine evicted", str(stats.quarantine_evicted)],
         ["artifact store failures", str(stats.store_failures)],
         ["breaker trips", str(stats.breaker_trips)],
         [

@@ -861,6 +861,177 @@ def _chaos_bench(args: argparse.Namespace) -> int:
     return 1 if (raised_chaos or raised_heal) else 0
 
 
+def cmd_shard_bench(args: argparse.Namespace) -> int:
+    """Crash-recovery drill: a supervised shard fleet under process chaos.
+
+    Spawns ``--workers`` shard processes over a pre-warmed shared plan
+    cache, then drives traffic while every worker hard-dies
+    (``os._exit``) after serving ``--kill-every`` requests per
+    incarnation.  The acceptance properties the report records:
+
+    * zero lost non-poison requests (every future resolves);
+    * results bit-identical to a single-process executor on the same
+      cache (poisoned requests excepted — they serve dense by design);
+    * zero reorder runs in any worker incarnation (respawns admit
+      every plan from the shared on-disk cache).
+    """
+    with _observability(args):
+        return _shard_bench(args)
+
+
+def _shard_bench(args: argparse.Namespace) -> int:
+    import tempfile
+    from time import perf_counter
+
+    from repro.analysis import (
+        build_bench_serving,
+        render_serving,
+        render_table,
+        scenario_record,
+        write_bench_serving,
+    )
+    from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
+    from repro.shard import Supervisor
+
+    rng = np.random.default_rng(args.seed)
+    cache_dir = args.plan_cache or tempfile.mkdtemp(prefix="jigsaw-shard-")
+    # Pre-warm the shared plan cache in the parent: every worker
+    # incarnation — including respawns mid-chaos — then admits its
+    # plans from disk, which is what makes zero-reorder recovery hold.
+    warm = PlanRegistry(cache_dir=cache_dir, block_tiles=(64,))
+    matrices = {}
+    for i in range(args.matrices):
+        name = f"w{i}"
+        matrices[name] = _make_matrix(args.m, args.k, args.sparsity, args.v, args.seed + i)
+        warm.register(name, matrices[name])
+    warm.warm()
+
+    # version="v2" pins BLOCK_TILE=64 deterministically; v4's autotune
+    # could legally pick different tiles for different batch shapes,
+    # which would break the bit-identity comparison below.
+    requests = [
+        SpmmRequest(
+            matrix=f"w{i % args.matrices}",
+            b=rng.standard_normal((args.k, args.n)).astype(np.float16),
+            version="v2",
+        )
+        for i in range(args.requests)
+    ]
+
+    fault_sites = []
+    if args.kill_every:
+        fault_sites.append(
+            {
+                "site": "shard.kill",
+                "probability": 1.0,
+                "after": args.kill_every - 1,
+                "count": 1,
+            }
+        )
+    sup = Supervisor(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        max_redeliveries=args.max_redeliveries,
+        fault_seed=args.fault_seed,
+        fault_sites=fault_sites,
+        traced=bool(getattr(args, "trace_out", None)),
+        max_batch=args.max_batch,
+        pool_workers=args.pool_workers,
+    ).start()
+    results: list = []
+    try:
+        sup.wait_ready()
+        for name, a in matrices.items():
+            sup.router.register_matrix(name, a)
+        wall_t0 = perf_counter()
+        # Serial submission keeps the redelivery window tight: each kill
+        # orphans at most one request, so recovery — not poison
+        # escalation — is what the drill measures.
+        for r in requests:
+            future = sup.router.submit(r)
+            try:
+                results.append(future.result(timeout=120))
+            except Exception:
+                results.append(None)
+        wall_s = perf_counter() - wall_t0
+        stats = sup.router.stats()
+        latencies = [
+            r.queue_wait_s + r.batch_kernel_us / 1e6
+            for r in sup.router.request_stats()
+        ]
+        shard_block = {
+            "workers": args.workers,
+            "kill_every": args.kill_every,
+            "crashes": sup.crashes,
+            "respawns": sup.respawns,
+            "redeliveries": sup.router.redeliveries,
+            "poisoned_matrices": sorted(sup.router.poisoned_matrices),
+            "poison_served": sup.router.poison_served,
+            "reorder_runs_workers": sum(sup.router.worker_reorder_runs.values()),
+        }
+    finally:
+        sup.stop()
+
+    lost = sum(1 for r in results if r is None)
+    # Bit-identity reference: the same requests through a single-process
+    # executor over the same warm cache.  Poisoned requests served dense
+    # in the router are excluded — isolation, not identity, is their job.
+    with BatchExecutor(
+        PlanRegistry(cache_dir=cache_dir, block_tiles=(64,)),
+        max_batch=args.max_batch,
+        max_workers=args.pool_workers,
+    ) as reference:
+        for name, a in matrices.items():
+            reference.registry.register(name, a)
+        mismatched = 0
+        compared = 0
+        for req, res in zip(requests, results):
+            if res is None or req.matrix in shard_block["poisoned_matrices"]:
+                continue
+            ref = reference.submit(
+                SpmmRequest(matrix=req.matrix, b=req.b, version="v2")
+            ).result(timeout=120)
+            compared += 1
+            if not np.array_equal(res.c, ref.c):
+                mismatched += 1
+    shard_block["lost"] = lost
+    shard_block["bit_identical_compared"] = compared
+    shard_block["bit_identical"] = mismatched == 0 and compared > 0
+    if args.bench_json:
+        doc = build_bench_serving(
+            [scenario_record("shard_chaos", stats, latencies, wall_s, 0)]
+        )
+        doc["shard"] = shard_block
+        path = write_bench_serving(doc, args.bench_json)
+        print(f"bench report written to {path}")
+        print()
+    print(render_serving(stats))
+    print()
+    print(
+        render_table(
+            ["crash recovery", "value"],
+            [
+                ["workers / kill-every", f"{args.workers} / {args.kill_every or 'off'}"],
+                ["crashes / respawns", f"{sup.crashes} / {sup.respawns}"],
+                ["redeliveries", str(shard_block["redeliveries"])],
+                [
+                    "poisoned matrices",
+                    ",".join(shard_block["poisoned_matrices"]) or "none",
+                ],
+                ["lost requests", str(lost)],
+                [
+                    "bit-identical vs single-process",
+                    f"{'yes' if shard_block['bit_identical'] else 'no'}"
+                    f" ({compared} compared)",
+                ],
+                ["worker reorder runs", str(shard_block["reorder_runs_workers"])],
+            ],
+        )
+    )
+    ok = lost == 0 and shard_block["bit_identical"]
+    return 0 if ok else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Cross-check every system's output against fp32 numpy."""
     from repro.analysis import render_verification, run_verification
@@ -1156,6 +1327,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preprocessing_flags(p)
     _add_observability_flags(p)
     p.set_defaults(func=cmd_chaos_bench)
+
+    p = sub.add_parser(
+        "shard-bench",
+        help="crash-recovery drill: supervised shard fleet under kill-every-K chaos",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="shard worker processes to supervise"
+    )
+    p.add_argument(
+        "--kill-every",
+        type=int,
+        default=0,
+        help="each worker incarnation hard-dies after serving this many "
+        "requests (0 disables the chaos)",
+    )
+    p.add_argument("--matrices", type=int, default=3, help="distinct weight matrices")
+    p.add_argument("--requests", type=int, default=24, help="total SpMM requests")
+    p.add_argument("--m", type=int, default=128)
+    p.add_argument("--k", type=int, default=256)
+    p.add_argument("--n", type=int, default=32, help="B-panel width per request")
+    p.add_argument("--sparsity", type=float, default=0.9)
+    p.add_argument("--v", type=int, default=8, choices=(2, 4, 8))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the workers' fault plans (each incarnation folds its "
+        "own index in, so kills stay deterministic across respawns)",
+    )
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--pool-workers", type=int, default=2)
+    p.add_argument(
+        "--max-redeliveries",
+        type=int,
+        default=3,
+        help="redeliveries before a request's matrix is declared poison "
+        "and degrades to router-local dense isolation",
+    )
+    p.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        type=_plan_cache_dir,
+        default=None,
+        help="shared plan-cache directory all worker incarnations warm from "
+        "(default: a fresh temp dir, pre-warmed before the fleet starts)",
+    )
+    p.add_argument(
+        "--bench-json",
+        metavar="FILE",
+        default=None,
+        help="write a repro.bench_serving/v1 report with a crash-recovery "
+        "'shard' block (crashes, respawns, lost, bit_identical, ...)",
+    )
+    _add_observability_flags(p)
+    p.set_defaults(func=cmd_shard_bench)
 
     p = sub.add_parser("verify", help="functional cross-check of every system")
     p.set_defaults(func=cmd_verify)

@@ -76,6 +76,12 @@ class JigsawPlan:
     #: Subdirectory of ``cache_dir`` corrupt artifacts are moved into.
     QUARANTINE_DIR = "quarantine"
 
+    #: Default quarantine-directory budgets: forensic artifacts are kept
+    #: newest-first up to these caps, so a long chaos run (or a flaky
+    #: disk) cannot grow ``<cache>/quarantine/`` without bound.
+    QUARANTINE_MAX_BYTES = 64 * 1024 * 1024
+    QUARANTINE_MAX_FILES = 32
+
     def __init__(
         self,
         a: np.ndarray,
@@ -85,6 +91,8 @@ class JigsawPlan:
         cache_dir: str | Path | None = None,
         fault_plan: FaultPlan | None = None,
         format_spec: FormatSpec | str | None = None,
+        quarantine_max_bytes: int | None = None,
+        quarantine_max_files: int | None = None,
     ) -> None:
         if a.ndim != 2:
             raise ValueError("A must be a 2-D matrix")
@@ -107,6 +115,16 @@ class JigsawPlan:
         #: auto-detects a lossless V:N:M fit so the serve tier can offer
         #: the ``jigsaw@vnm`` route and let the cost model choose.
         self.format_spec = FormatSpec.coerce(format_spec)
+        self.quarantine_max_bytes = (
+            self.QUARANTINE_MAX_BYTES
+            if quarantine_max_bytes is None
+            else quarantine_max_bytes
+        )
+        self.quarantine_max_files = (
+            self.QUARANTINE_MAX_FILES
+            if quarantine_max_files is None
+            else quarantine_max_files
+        )
         self.stats = PlanStats()
         self._formats: dict[tuple[int, bool], JigsawMatrix] = {}
         self._format_lock = threading.Lock()
@@ -234,6 +252,47 @@ class JigsawPlan:
             "plan artifact incidents (quarantine, failed persist)",
         ).inc(event="quarantined")
         get_tracer().event("plan.artifact.quarantined", attrs={"path": path.name})
+        self._prune_quarantine(dest.parent)
+
+    def _prune_quarantine(self, qdir: Path) -> None:
+        """Evict oldest quarantined artifacts past the byte/count budget.
+
+        The newest artifact always survives (the one just moved in is
+        the evidence of the *current* incident); eviction is best-effort
+        — a file another worker already removed is simply skipped.
+        """
+        try:
+            entries = [
+                (st.st_mtime, st.st_size, p)
+                for p in qdir.iterdir()
+                if p.is_file()
+                for st in (p.stat(),)
+            ]
+        except OSError:
+            return
+        entries.sort()  # oldest first
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        while len(entries) > 1 and (
+            len(entries) > self.quarantine_max_files
+            or total > self.quarantine_max_bytes
+        ):
+            _, size, victim = entries.pop(0)
+            try:
+                victim.unlink(missing_ok=True)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            get_tracer().event(
+                "plan.artifact.quarantine_evicted", attrs={"path": victim.name}
+            )
+        if evicted:
+            self.stats.quarantine_evicted += evicted
+            get_metrics().counter(
+                "repro_plan_artifact_events_total",
+                "plan artifact incidents (quarantine, failed persist)",
+            ).inc(evicted, event="quarantine_evicted")
 
     def _store(self, jm: JigsawMatrix, path: Path) -> None:
         """Atomically persist an artifact (tmp file + rename)."""

@@ -91,6 +91,9 @@ class PlanStats:
     plan_cache_misses: int = 0
     #: Corrupt artifacts moved to ``<cache>/quarantine/`` before rebuild.
     quarantined: int = 0
+    #: Quarantined artifacts evicted (oldest first) to hold the
+    #: quarantine directory under its byte/count budget.
+    quarantine_evicted: int = 0
     #: Artifact stores that failed (IO/injected faults); the in-memory
     #: format still serves, so a store failure is a counter, not a crash.
     store_failures: int = 0

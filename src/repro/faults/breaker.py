@@ -14,7 +14,10 @@ States follow the classic pattern:
   failures trip to open.
 * ``open`` — traffic is refused until ``cooldown_s`` elapses.
 * ``half_open`` — exactly one probe is admitted at a time; its outcome
-  decides closed vs. open.
+  decides closed vs. open.  A probe whose caller never reports an
+  outcome (executor torn down mid-probe, a non-route exception between
+  ``allow()`` and the record call) is reclaimed after ``probe_ttl_s``
+  so the breaker cannot wedge half-open forever.
 """
 
 from __future__ import annotations
@@ -38,6 +41,12 @@ class CircuitBreaker:
     observability events (the executor uses ``"matrix/route"``); every
     state transition is emitted as a ``breaker.transition`` trace event
     and counted in ``repro_breaker_transitions_total``.
+
+    ``probe_ttl_s`` bounds how long a half-open probe slot may stay
+    claimed without a ``record_success``/``record_failure``: after the
+    TTL the slot is handed to the next ``allow()`` caller.  ``None``
+    defaults to ``cooldown_s`` — an abandoned probe then costs no more
+    wall time than an open period would have.
     """
 
     def __init__(
@@ -46,13 +55,17 @@ class CircuitBreaker:
         cooldown_s: float = 0.25,
         clock: Callable[[], float] = monotonic,
         name: str = "",
+        probe_ttl_s: float | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown_s < 0:
             raise ValueError("cooldown_s must be >= 0")
+        if probe_ttl_s is not None and probe_ttl_s < 0:
+            raise ValueError("probe_ttl_s must be >= 0 (or None for cooldown_s)")
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
+        self.probe_ttl_s = cooldown_s if probe_ttl_s is None else probe_ttl_s
         self.clock = clock
         self.name = name
         self.trips = 0
@@ -60,6 +73,7 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._probe_in_flight = False
+        self._probe_started_at = 0.0
         self._lock = threading.Lock()
 
     @property
@@ -90,11 +104,17 @@ class CircuitBreaker:
                 transition = (OPEN, HALF_OPEN)
                 self._state = HALF_OPEN
                 self._probe_in_flight = True
+                self._probe_started_at = self.clock()
             elif self._probe_in_flight:
-                # half-open: one probe at a time.
-                return False
+                # Half-open: one probe at a time — but an abandoned
+                # probe (no outcome ever recorded) releases its slot
+                # after the TTL so the breaker cannot wedge.
+                if self.clock() - self._probe_started_at < self.probe_ttl_s:
+                    return False
+                self._probe_started_at = self.clock()
             else:
                 self._probe_in_flight = True
+                self._probe_started_at = self.clock()
         if transition is not None:
             self._emit_transition(*transition)
         return True
@@ -142,9 +162,11 @@ class BreakerBoard:
         failure_threshold: int = 3,
         cooldown_s: float = 0.25,
         clock: Callable[[], float] = monotonic,
+        probe_ttl_s: float | None = None,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
+        self.probe_ttl_s = probe_ttl_s
         self.clock = clock
         self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
         self._lock = threading.Lock()
@@ -159,6 +181,7 @@ class BreakerBoard:
                     cooldown_s=self.cooldown_s,
                     clock=self.clock,
                     name=f"{matrix}/{route}",
+                    probe_ttl_s=self.probe_ttl_s,
                 )
                 self._breakers[key] = br
             return br

@@ -24,7 +24,16 @@ Sites used by the serving stack (see docs/fault_injection.md):
 ``registry.get``            on plan admission in :class:`PlanRegistry.get`
 ``plan.cache.load``         before a plan-cache artifact load
 ``plan.cache.store``        before a plan-cache artifact store
+``shard.kill``              shard worker hard-dies (``os._exit``) on a request
+``shard.kill.<matrix>``     same, scoped to requests for one matrix (poison)
+``shard.hang``              shard worker stops heartbeating and blocks
+``shard.slow_heartbeat``    shard worker skips a heartbeat (per beat)
 ========================  ====================================================
+
+The ``shard.*`` sites are process-level: they are evaluated inside a
+shard *worker* process (see :mod:`repro.shard.worker`), seeded per
+incarnation, so the supervisor's crash/respawn machinery can be driven
+deterministically from a chaos bench.
 """
 
 from __future__ import annotations

@@ -59,12 +59,20 @@ def call_with_retry(
     sleep: Callable[[float], None] = time.sleep,
     retryable: tuple[type[BaseException], ...] = (TransientError,),
     on_retry: Callable[[int, BaseException], None] | None = None,
+    deadline_t: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> T:
     """Run ``fn`` under ``policy``; only ``retryable`` errors re-attempt.
 
     The final attempt's exception propagates unchanged; non-retryable
     exceptions propagate immediately.  ``on_retry(attempt, exc)`` fires
     before each backoff sleep (observability hook).
+
+    ``deadline_t`` (a timestamp on ``clock``'s domain) caps the backoff
+    budget: when sleeping the next backoff would land past the deadline,
+    the retry is abandoned and the current exception propagates
+    immediately — the remaining slack belongs to the caller's fallback
+    (the dense route), not to a retry that would overshoot anyway.
     """
     for attempt in range(policy.max_attempts):
         try:
@@ -72,7 +80,10 @@ def call_with_retry(
         except retryable as exc:
             if attempt == policy.max_attempts - 1:
                 raise
+            delay = policy.backoff_s(attempt, key)
+            if deadline_t is not None and clock() + delay > deadline_t:
+                raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(policy.backoff_s(attempt, key))
+            sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

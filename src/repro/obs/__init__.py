@@ -49,7 +49,9 @@ from .trace import (
     SpanBuffer,
     SpanEvent,
     Tracer,
+    attach_span,
     get_tracer,
+    remote_parent,
     set_tracer,
     use_tracer,
 )
@@ -83,7 +85,9 @@ __all__ = [
     "SpanBuffer",
     "SpanEvent",
     "Tracer",
+    "attach_span",
     "get_tracer",
+    "remote_parent",
     "set_tracer",
     "use_tracer",
     "validate_bench_serving",

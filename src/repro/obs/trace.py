@@ -102,6 +102,30 @@ class Span:
             "events": [e.to_dict() for e in self.events],
         }
 
+    @classmethod
+    def from_dict(cls, rec: dict) -> "Span":
+        """Rebuild a span from its :meth:`to_dict` record.
+
+        Used by the shard router to ingest spans shipped over the wire
+        from worker processes into the local buffer.
+        """
+        span = cls(
+            trace_id=rec["trace_id"],
+            span_id=rec["span_id"],
+            parent_id=rec.get("parent_id"),
+            name=rec["name"],
+            start_s=rec["start_s"],
+            end_s=rec.get("end_s"),
+            attrs=dict(rec.get("attrs") or {}),
+        )
+        for ev in rec.get("events", ()):
+            span.events.append(
+                SpanEvent(
+                    name=ev["name"], t_s=ev["t_s"], attrs=dict(ev.get("attrs") or {})
+                )
+            )
+        return span
+
 
 class SpanBuffer:
     """Thread-safe in-memory sink of completed spans."""
@@ -146,6 +170,11 @@ class Tracer:
     explicit ``start_s``/``end_s``/``t_s`` arguments bypass it so
     callers timing work with their *own* injectable clock (the serving
     executor) stay in one consistent time domain.
+
+    ``id_prefix`` namespaces every generated trace/span id.  Ids are
+    process-local counters, so two processes contributing spans to one
+    export (the shard tier: router + N workers) would collide without
+    it; each worker tracer uses a ``w{shard}i{incarnation}.`` prefix.
     """
 
     #: Instrumentation sites may guard expensive attr construction on this.
@@ -155,19 +184,21 @@ class Tracer:
         self,
         clock: Callable[[], float] = time.monotonic,
         buffer: SpanBuffer | None = None,
+        id_prefix: str = "",
     ) -> None:
         self.clock = clock
         self.buffer = buffer if buffer is not None else SpanBuffer()
+        self.id_prefix = id_prefix
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
 
     # -- ids -------------------------------------------------------------------
 
     def new_trace_id(self) -> str:
-        return f"t{next(self._trace_ids):08x}"
+        return f"{self.id_prefix}t{next(self._trace_ids):08x}"
 
     def _new_span_id(self) -> str:
-        return f"s{next(self._span_ids):08x}"
+        return f"{self.id_prefix}s{next(self._span_ids):08x}"
 
     # -- span lifecycle --------------------------------------------------------
 
@@ -376,3 +407,34 @@ def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
         yield tracer
     finally:
         set_tracer(previous)
+
+
+def remote_parent(trace_id: str, span_id: str, name: str = "remote") -> Span:
+    """A non-recorded stand-in for a span owned by another process.
+
+    The shard router ships ``(trace_id, span_id)`` of its root
+    ``serve.request`` span in the wire header; the worker wraps its
+    executor submit in ``attach_span(remote_parent(...))`` so locally
+    created spans parent under the router's root.  The stand-in itself
+    is never ended or buffered — the owning process records the real
+    span.
+    """
+    return Span(
+        trace_id=trace_id, span_id=span_id, parent_id=None, name=name, start_s=0.0
+    )
+
+
+@contextmanager
+def attach_span(span: Span | None) -> Iterator[Span | None]:
+    """Make ``span`` the ambient parent for the block (restores on exit).
+
+    Unlike :meth:`Tracer.span` this neither creates nor ends anything —
+    it only sets the contextvar that ``start_span(parent=None)``
+    consults, which is how a remote (or otherwise pre-existing) span
+    becomes the parent of locally started ones.
+    """
+    token = _CURRENT.set(span)
+    try:
+        yield span
+    finally:
+        _CURRENT.reset(token)

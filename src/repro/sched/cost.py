@@ -68,6 +68,18 @@ class EwmaEstimator:
     def count(self) -> int:
         return self._count
 
+    def seed(self, value: float, count: int) -> None:
+        """Restore a checkpointed state (value *and* sample count).
+
+        The count matters: ``min_samples`` / exploration decisions key
+        on it, so a respawned shard worker that only restored the value
+        would re-probe routes it had already converged away from.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._value = None if count == 0 else float(value)
+        self._count = int(count)
+
 
 class CostModel:
     """Per-(matrix, route) cost estimates + route planning.
@@ -147,6 +159,43 @@ class CostModel:
                 if est.value is not None:
                     out.setdefault(matrix, {})[route] = est.value
         return out
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def export_state(self) -> dict[str, dict[str, dict[str, float]]]:
+        """JSON-ready ``matrix -> route -> {us_per_col, count}`` state.
+
+        Unlike :meth:`snapshot` this keeps the sample counts, so
+        :meth:`import_state` restores estimators that rank and explore
+        exactly as the originals did (graceful shard drain checkpoints
+        this; the respawned worker inherits the learned routes).
+        """
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        with self._lock:
+            for (matrix, route), est in sorted(self._est.items()):
+                if est.value is None:
+                    continue
+                out.setdefault(matrix, {})[route] = {
+                    "us_per_col": est.value,
+                    "count": est.count,
+                }
+        return out
+
+    def import_state(self, state: dict[str, dict[str, dict[str, float]]]) -> int:
+        """Seed estimators from :meth:`export_state` output.
+
+        Existing estimators for the same (matrix, route) are replaced.
+        Returns the number of estimators restored.
+        """
+        restored = 0
+        with self._lock:
+            for matrix, routes in state.items():
+                for route, rec in routes.items():
+                    est = EwmaEstimator(self.alpha)
+                    est.seed(float(rec["us_per_col"]), int(rec["count"]))
+                    self._est[(str(matrix), str(route))] = est
+                    restored += 1
+        return restored
 
     # -- planning --------------------------------------------------------------
 

@@ -514,6 +514,7 @@ class BatchExecutor(_DispatchMixin, _RoutingMixin):
             rejected=rejected,
             pending_peak=pending_peak,
             quarantined=self.registry.quarantined,
+            quarantine_evicted=self.registry.quarantine_evicted,
             store_failures=self.registry.store_failures,
             breaker_trips=self.breakers.trips,
             breaker_states=self.breakers.snapshot(),

@@ -68,6 +68,8 @@ class PlanRegistry:
         avoid_bank_conflicts: bool = True,
         workers: int | None = None,
         fault_plan: FaultPlan | None = None,
+        quarantine_max_bytes: int | None = None,
+        quarantine_max_files: int | None = None,
     ) -> None:
         if budget_bytes is not None and budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive (or None for unlimited)")
@@ -77,6 +79,8 @@ class PlanRegistry:
         self.avoid_bank_conflicts = avoid_bank_conflicts
         self.workers = workers
         self.fault_plan = fault_plan
+        self.quarantine_max_bytes = quarantine_max_bytes
+        self.quarantine_max_files = quarantine_max_files
         self.stats = RegistryStats()
         self._matrices: dict[str, np.ndarray] = {}
         self._plans: OrderedDict[str, JigsawPlan] = OrderedDict()
@@ -94,6 +98,7 @@ class PlanRegistry:
         self._retired_cache_hits = 0
         self._retired_cache_misses = 0
         self._retired_quarantined = 0
+        self._retired_quarantine_evicted = 0
         self._retired_store_failures = 0
 
     # -- matrices --------------------------------------------------------------
@@ -163,6 +168,8 @@ class PlanRegistry:
                     workers=self.workers,
                     cache_dir=self.cache_dir,
                     fault_plan=self.fault_plan,
+                    quarantine_max_bytes=self.quarantine_max_bytes,
+                    quarantine_max_files=self.quarantine_max_files,
                 )
                 self._plans[name] = plan
                 self._charge_locked(name, plan)
@@ -283,6 +290,7 @@ class PlanRegistry:
         self._retired_cache_hits += plan.stats.plan_cache_hits
         self._retired_cache_misses += plan.stats.plan_cache_misses
         self._retired_quarantined += plan.stats.quarantined
+        self._retired_quarantine_evicted += plan.stats.quarantine_evicted
         self._retired_store_failures += plan.stats.store_failures
 
     # -- aggregated plan counters ----------------------------------------------
@@ -319,6 +327,14 @@ class PlanRegistry:
         with self._lock:
             return self._retired_quarantined + sum(
                 p.stats.quarantined for p in self._plans.values()
+            )
+
+    @property
+    def quarantine_evicted(self) -> int:
+        """Quarantined artifacts evicted to hold the quarantine budget."""
+        with self._lock:
+            return self._retired_quarantine_evicted + sum(
+                p.stats.quarantine_evicted for p in self._plans.values()
             )
 
     @property

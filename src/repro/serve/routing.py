@@ -152,12 +152,21 @@ class _RoutingMixin:
             self._count_retry(attempt_no, exc)
             self._note_retry(live, route, attempt_no, exc)
 
+        # Deadline-aware backoff: a retry sleep that would overshoot the
+        # batch's tightest deadline is skipped (the exception propagates
+        # and the chain falls through) so the remaining slack is spent on
+        # the next route, not in bed.  The terminal dense route keeps
+        # unbounded retries — it is the isolation path of last resort and
+        # must still serve already-late requests.
+        deadlines = [e.deadline_t for e in live if e.deadline_t is not None]
         call_with_retry(
             attempt,
             self.retry_policy,
             key=f"{name}:{route}",
             sleep=self._sleep,
             on_retry=on_retry,
+            deadline_t=min(deadlines) if deadlines else None,
+            clock=self._clock,
         )
 
     @staticmethod

@@ -116,6 +116,9 @@ class ServeStats:
     pending_peak: int = 0
     #: Corrupt plan artifacts quarantined and rebuilt.
     quarantined: int = 0
+    #: Quarantined artifacts evicted (oldest first) by the quarantine
+    #: directory's byte/count budget.
+    quarantine_evicted: int = 0
     #: Failed artifact persists (the build still served from memory).
     store_failures: int = 0
     #: Circuit-breaker trips (closed/half-open -> open transitions).
@@ -158,6 +161,7 @@ class ServeStats:
         rejected: int = 0,
         pending_peak: int = 0,
         quarantined: int = 0,
+        quarantine_evicted: int = 0,
         store_failures: int = 0,
         breaker_trips: int = 0,
         breaker_states: dict[str, str] | None = None,
@@ -171,6 +175,7 @@ class ServeStats:
             rejected=rejected,
             pending_peak=pending_peak,
             quarantined=quarantined,
+            quarantine_evicted=quarantine_evicted,
             store_failures=store_failures,
             breaker_trips=breaker_trips,
             breaker_states=dict(breaker_states or {}),

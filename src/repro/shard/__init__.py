@@ -1,0 +1,48 @@
+"""Supervised multi-process sharded serving (``repro.shard``).
+
+The shard tier splits the serving registry across N worker *processes*
+and survives their deaths:
+
+* :mod:`~repro.shard.wire` — length-prefixed JSON+npz frame protocol;
+* :mod:`~repro.shard.worker` — worker process entry point (registry
+  partition + :class:`~repro.serve.BatchExecutor` behind a socket,
+  heartbeats, deterministic process-level fault sites);
+* :mod:`~repro.shard.router` — consistent-hash request routing with
+  bounded redelivery and per-request poison isolation;
+* :mod:`~repro.shard.supervisor` — spawn / crash-detect / respawn /
+  graceful drain;
+* :mod:`~repro.shard.checkpoint` — cost-model EWMA checkpoints so a
+  respawned worker keeps its learned routing.
+
+See docs/sharding.md for topology, the wire format, and the recovery
+guarantees (zero lost non-poison requests, zero reorder on respawn).
+"""
+
+from .checkpoint import (
+    COST_CHECKPOINT_SCHEMA,
+    checkpoint_path,
+    load_cost_checkpoint,
+    save_cost_checkpoint,
+)
+from .router import ShardError, ShardRouter, ShardWorkerError, shard_for
+from .supervisor import Supervisor
+from .wire import WireClosedError, WireError, recv_msg, send_msg
+from .worker import KILL_EXIT_CODE, worker_main
+
+__all__ = [
+    "COST_CHECKPOINT_SCHEMA",
+    "KILL_EXIT_CODE",
+    "ShardError",
+    "ShardRouter",
+    "ShardWorkerError",
+    "Supervisor",
+    "WireClosedError",
+    "WireError",
+    "checkpoint_path",
+    "load_cost_checkpoint",
+    "recv_msg",
+    "save_cost_checkpoint",
+    "send_msg",
+    "shard_for",
+    "worker_main",
+]

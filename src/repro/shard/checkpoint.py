@@ -1,0 +1,62 @@
+"""Cost-model EWMA checkpoints for graceful shard drain / warm respawn.
+
+A draining worker writes its :class:`~repro.sched.CostModel` state to
+``costmodel-shard{N}.json`` next to the shared plan cache; the next
+incarnation of that shard loads it on startup, so learned route
+rankings survive process death the same way reorder plans survive via
+the on-disk plan cache.  Writes are atomic (tmp + ``os.replace``) so a
+crash mid-checkpoint leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.sched import CostModel
+
+#: Schema tag written into every checkpoint file.
+COST_CHECKPOINT_SCHEMA = "repro.cost_checkpoint/v1"
+
+
+def checkpoint_path(cache_dir: str | os.PathLike, shard: int) -> Path:
+    return Path(cache_dir) / f"costmodel-shard{shard}.json"
+
+
+def save_cost_checkpoint(model: CostModel, path: str | os.PathLike) -> Path:
+    """Atomically write ``model``'s estimator state to ``path``."""
+    path = Path(path)
+    doc = {
+        "schema": COST_CHECKPOINT_SCHEMA,
+        "alpha": model.alpha,
+        "estimates": model.export_state(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_cost_checkpoint(model: CostModel, path: str | os.PathLike) -> int:
+    """Seed ``model`` from a checkpoint file; returns estimators restored.
+
+    Missing or malformed checkpoints restore nothing (0) — a respawned
+    worker must come up with an empty model rather than crash-loop on a
+    torn file.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return 0
+    if not isinstance(doc, dict) or doc.get("schema") != COST_CHECKPOINT_SCHEMA:
+        return 0
+    estimates = doc.get("estimates")
+    if not isinstance(estimates, dict):
+        return 0
+    try:
+        return model.import_state(estimates)
+    except (KeyError, TypeError, ValueError):
+        return 0

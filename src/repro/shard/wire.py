@@ -1,0 +1,143 @@
+"""Length-prefixed wire protocol between the shard router and workers.
+
+One frame carries a JSON header plus an optional ``npz`` blob of numpy
+arrays::
+
+    [4-byte BE frame length]
+    [4-byte BE header length][header JSON][npz bytes (optional)]
+
+The header is a plain dict (message type, request id, trace context,
+stats fields); arrays — the request's B-panel, the stationary A matrix
+on registration, the result C — ride as an uncompressed ``np.savez``
+archive so dtypes and bit patterns round-trip exactly (a ``float16``
+panel serialized here deserializes bit-identical, which is what the
+shard tier's bit-identity guarantee rests on).
+
+Both sides are plain blocking ``socket`` objects.  :func:`recv_msg`
+accepts an optional ``poll`` callable consulted on socket timeouts
+*between* frames so a worker can notice a drain request without tearing
+down a half-read frame: once the first byte of a frame has arrived the
+read runs to completion regardless of ``poll``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+from typing import Callable
+
+import numpy as np
+
+#: Refuse frames beyond this size — a corrupt length prefix would
+#: otherwise ask for an absurd allocation before failing.
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct(">I")
+
+
+class WireError(RuntimeError):
+    """Malformed frame or oversized payload."""
+
+
+class WireClosedError(WireError):
+    """The peer closed the connection (EOF mid-stream or between frames)."""
+
+
+def _json_default(obj):
+    """JSON fallback for numpy scalars riding in stats headers."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    raise TypeError(f"unserializable header field of type {type(obj).__name__}")
+
+
+def encode_frame(header: dict, arrays: dict[str, np.ndarray] | None = None) -> bytes:
+    """Serialize one message to its on-wire byte form."""
+    head = json.dumps(header, default=_json_default).encode("utf-8")
+    if arrays:
+        blob_io = io.BytesIO()
+        np.savez(blob_io, **arrays)
+        blob = blob_io.getvalue()
+    else:
+        blob = b""
+    payload = _LEN.pack(len(head)) + head + blob
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Parse one frame payload (everything after the frame-length prefix)."""
+    if len(payload) < _LEN.size:
+        raise WireError("truncated frame: missing header length")
+    (head_len,) = _LEN.unpack_from(payload)
+    if _LEN.size + head_len > len(payload):
+        raise WireError("truncated frame: header runs past frame end")
+    try:
+        header = json.loads(payload[_LEN.size : _LEN.size + head_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise WireError("frame header must be a JSON object")
+    blob = payload[_LEN.size + head_len :]
+    arrays: dict[str, np.ndarray] = {}
+    if blob:
+        try:
+            with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+                for key in npz.files:
+                    arrays[key] = npz[key]
+        except Exception as exc:  # zipfile/ValueError zoo from a cut blob
+            raise WireError(f"malformed frame arrays: {exc}") from exc
+    return header, arrays
+
+
+def send_msg(
+    sock: socket.socket, header: dict, arrays: dict[str, np.ndarray] | None = None
+) -> None:
+    """Send one framed message (thread safety is the caller's lock)."""
+    sock.sendall(encode_frame(header, arrays))
+
+
+def _recv_exact(
+    sock: socket.socket, n: int, poll: Callable[[], bool] | None, started: bool
+) -> bytes | None:
+    """Read exactly ``n`` bytes.
+
+    Returns None only when ``poll()`` asks to stop *and* no byte of the
+    current frame has been consumed yet (``started`` is False and the
+    local buffer is empty) — a frame is never abandoned halfway.
+    """
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            chunk = sock.recv(n - len(buf))
+        except socket.timeout:
+            if poll is not None and poll() and not started and not buf:
+                return None
+            continue
+        if not chunk:
+            raise WireClosedError("peer closed the connection")
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_msg(
+    sock: socket.socket, poll: Callable[[], bool] | None = None
+) -> tuple[dict, dict[str, np.ndarray]] | None:
+    """Receive one framed message; ``None`` when ``poll`` stopped the wait.
+
+    Raises :class:`WireClosedError` on EOF.  ``poll`` is only consulted
+    while the socket has a timeout set and no frame byte has arrived.
+    """
+    raw_len = _recv_exact(sock, _LEN.size, poll, started=False)
+    if raw_len is None:
+        return None
+    (frame_len,) = _LEN.unpack(raw_len)
+    if frame_len > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {frame_len} exceeds MAX_FRAME_BYTES")
+    payload = _recv_exact(sock, frame_len, poll, started=True)
+    assert payload is not None  # started=True never returns None
+    return decode_frame(payload)

@@ -1,0 +1,365 @@
+"""Shard worker process: one registry partition + executor behind a socket.
+
+``worker_main`` is the (picklable, top-level) entry point the
+:class:`~repro.shard.supervisor.Supervisor` spawns via the ``spawn``
+multiprocessing context.  A worker
+
+* connects back to the supervisor's listener and identifies itself with
+  a ``hello`` frame;
+* owns a :class:`~repro.serve.PlanRegistry` over the *shared* on-disk
+  plan cache (so a respawned incarnation admits plans with **zero
+  reorder work**) and a :class:`~repro.serve.BatchExecutor` with a
+  :class:`~repro.sched.CostModel` restored from the shard's EWMA
+  checkpoint;
+* serves ``register``/``spmm`` frames, replying with ``result`` /
+  ``error`` frames from the executor's completion callbacks;
+* heartbeats on a dedicated thread — which is the supervisor's
+  liveness signal: a *slow batch* keeps beating (the executor pool,
+  not the heartbeat thread, is busy), while a genuine hang stops the
+  beats and gets the worker killed;
+* evaluates the process-level fault sites (``shard.kill``,
+  ``shard.kill.<matrix>``, ``shard.hang``, ``shard.slow_heartbeat``)
+  deterministically, seeded per incarnation;
+* drains on a ``drain`` frame or ``SIGTERM``: stops accepting, flushes
+  pending groups through the executor, checkpoints the cost model, and
+  says ``bye`` with its final counters and unshipped spans.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+from repro.faults import FaultInjectedError, FaultPlan, maybe_inject
+from repro.obs import Tracer, attach_span, remote_parent, set_tracer
+from repro.sched import CostModel, Scheduler
+from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
+
+from . import wire
+from .checkpoint import checkpoint_path, load_cost_checkpoint, save_cost_checkpoint
+
+#: Exit code of a fault-injected hard death (mirrors SIGKILL's 128+9).
+KILL_EXIT_CODE = 137
+
+
+def build_fault_plan(cfg: dict) -> FaultPlan:
+    """Rebuild the worker's fault plan from the picklable config.
+
+    The seed folds in the incarnation so a respawned worker draws fresh
+    RNG streams *and* fresh per-site counters — a ``kill-every-K`` site
+    (``after=K-1, count=1``) then fires once per incarnation, which is
+    exactly the crash-loop shape the chaos bench wants.
+    """
+    plan = FaultPlan(seed=int(cfg["fault_seed"]) + int(cfg["incarnation"]) * 1009)
+    for site in cfg.get("fault_sites", ()):
+        plan.add(
+            site["site"],
+            probability=site.get("probability", 1.0),
+            count=site.get("count"),
+            after=site.get("after", 0),
+        )
+    return plan
+
+
+class _WorkerState:
+    """Mutable runtime state shared between the loop and its threads."""
+
+    def __init__(self) -> None:
+        self.drain = threading.Event()
+        self.hang = threading.Event()
+        self.stop_heartbeat = threading.Event()
+        self.wlock = threading.Lock()
+        self.served = 0
+        self.errors = 0
+
+
+def _send(state: _WorkerState, sock: socket.socket, header: dict, arrays=None) -> bool:
+    """Best-effort framed send; False when the link is gone."""
+    try:
+        with state.wlock:
+            wire.send_msg(sock, header, arrays)
+        return True
+    except OSError:
+        return False
+
+
+def _heartbeat_loop(
+    state: _WorkerState,
+    sock: socket.socket,
+    cfg: dict,
+    plan: FaultPlan,
+    registry: PlanRegistry,
+    tracer: Tracer | None,
+) -> None:
+    """Beat every interval until stopped, hung, or the link dies.
+
+    Runs on its own thread so a slow *batch* never looks like a hang:
+    only a worker that genuinely stopped making progress (the ``shard.hang``
+    site, a wedged process) misses beats.
+    """
+    seq = 0
+    interval = float(cfg["heartbeat_interval_s"])
+    while not state.stop_heartbeat.wait(interval):
+        if state.hang.is_set():
+            return
+        try:
+            maybe_inject("shard.slow_heartbeat", plan)
+        except FaultInjectedError:
+            continue  # skip this beat
+        seq += 1
+        spans = (
+            [s.to_dict() for s in tracer.buffer.drain()] if tracer is not None else []
+        )
+        ok = _send(
+            state,
+            sock,
+            {
+                "type": "heartbeat",
+                "shard": cfg["shard"],
+                "incarnation": cfg["incarnation"],
+                "pid": os.getpid(),
+                "seq": seq,
+                "served": state.served,
+                "reorder_runs": registry.reorder_runs,
+                "spans": spans,
+            },
+        )
+        if not ok:
+            return
+
+
+def _reply_callback(state: _WorkerState, sock: socket.socket, cfg: dict, registry, rid):
+    """Completion callback factory: ship one future's outcome back."""
+
+    def on_done(future) -> None:
+        exc = future.exception()
+        if exc is not None:
+            state.errors += 1
+            _send(
+                state,
+                sock,
+                {
+                    "type": "error",
+                    "rid": rid,
+                    "shard": cfg["shard"],
+                    "incarnation": cfg["incarnation"],
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "reorder_runs": registry.reorder_runs,
+                },
+            )
+            return
+        result = future.result()
+        s = result.stats
+        state.served += 1
+        _send(
+            state,
+            sock,
+            {
+                "type": "result",
+                "rid": rid,
+                "shard": cfg["shard"],
+                "incarnation": cfg["incarnation"],
+                "route": s.route,
+                "batch_size": s.batch_size,
+                "queue_wait_s": s.queue_wait_s,
+                "kernel_us": s.kernel_us,
+                "batch_kernel_us": s.batch_kernel_us,
+                "registry": s.registry,
+                "deadline_expired": s.deadline_expired,
+                "tenant": s.tenant,
+                # Shipped on *every* result so the router can assert the
+                # zero-reorder-on-respawn guarantee deterministically
+                # (heartbeats are timing-dependent; results are not).
+                "reorder_runs": registry.reorder_runs,
+            },
+            arrays={"c": result.c},
+        )
+
+    return on_done
+
+
+def worker_main(cfg: dict) -> None:
+    """Entry point of one shard worker process (see module docstring).
+
+    ``cfg`` must be picklable: shard/incarnation ints, the supervisor
+    port, the shared ``cache_dir``, heartbeat interval, fault seed +
+    site dicts, and executor knobs.
+    """
+    state = _WorkerState()
+    # SIGTERM is the graceful-drain signal; the recv loop polls the
+    # event between frames (socket timeout = heartbeat interval).
+    signal.signal(signal.SIGTERM, lambda signum, frame: state.drain.set())
+
+    plan = build_fault_plan(cfg)
+    tracer: Tracer | None = None
+    if cfg.get("traced"):
+        tracer = Tracer(
+            clock=time.perf_counter,
+            id_prefix=f"w{cfg['shard']}i{cfg['incarnation']}.",
+        )
+        set_tracer(tracer)
+
+    cache_dir = cfg["cache_dir"]
+    registry = PlanRegistry(
+        budget_bytes=cfg.get("registry_budget_bytes"),
+        cache_dir=cache_dir,
+        block_tiles=tuple(cfg.get("block_tiles") or (64,)),
+        # Shard workers are daemon processes and cannot spawn a reorder
+        # process pool; serial reorder is fine — the supervisor pre-warms
+        # the shared cache, so cache misses are the exception, not the rule.
+        workers=1,
+        fault_plan=plan,
+    )
+    cost_model = CostModel(explore_every=cfg.get("explore_every"))
+    restored = load_cost_checkpoint(cost_model, checkpoint_path(cache_dir, cfg["shard"]))
+    executor = BatchExecutor(
+        registry,
+        max_batch=int(cfg.get("max_batch", 8)),
+        batch_window_s=float(cfg.get("batch_window_s", 0.002)),
+        max_workers=int(cfg.get("pool_workers", 2)),
+        fault_plan=plan,
+        scheduler=Scheduler(cost_model=cost_model),
+    )
+
+    try:
+        sock = socket.create_connection(("127.0.0.1", int(cfg["port"])))
+    except OSError:
+        # Spawned into a closing tier (the listener is gone): exit
+        # cleanly instead of tracebacking — this is a shutdown race,
+        # not a crash, and must not count as one.
+        return
+    sock.settimeout(float(cfg["heartbeat_interval_s"]))
+    _send(
+        state,
+        sock,
+        {
+            "type": "hello",
+            "shard": cfg["shard"],
+            "incarnation": cfg["incarnation"],
+            "pid": os.getpid(),
+            "cost_estimators_restored": restored,
+        },
+    )
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(state, sock, cfg, plan, registry, tracer),
+        name=f"shard{cfg['shard']}-heartbeat",
+        daemon=True,
+    )
+    beat.start()
+
+    slow_batch_s = float(cfg.get("slow_batch_s", 0.0))
+    clean = True
+    try:
+        while True:
+            try:
+                msg = wire.recv_msg(sock, poll=state.drain.is_set)
+            except (wire.WireClosedError, OSError):
+                clean = False  # router/supervisor went away: no bye possible
+                break
+            if msg is None:
+                break  # SIGTERM drain observed between frames
+            header, arrays = msg
+            mtype = header.get("type")
+            if mtype == "register":
+                try:
+                    registry.register(header["name"], arrays["a"])
+                except Exception:
+                    # Conflicting re-registration: the router validated
+                    # content already; never die over a duplicate.
+                    pass
+                continue
+            if mtype in ("spmm", "drain"):
+                # Process-level fault sites fire on work, never on
+                # registration: a respawned worker must always survive
+                # its warm-up re-registration storm.
+                try:
+                    if mtype == "spmm":
+                        maybe_inject(f"shard.kill.{header['matrix']}", plan)
+                    maybe_inject("shard.kill", plan)
+                except FaultInjectedError:
+                    # Hard death: os._exit skips GC/atexit just like a
+                    # real SIGKILL'd process would — no flush, no bye.
+                    os._exit(KILL_EXIT_CODE)
+                try:
+                    maybe_inject("shard.hang", plan)
+                except FaultInjectedError:
+                    state.hang.set()  # heartbeats stop; supervisor kills us
+                    while True:
+                        time.sleep(3600)
+            if mtype == "drain":
+                break
+            if mtype != "spmm":
+                continue
+            if slow_batch_s > 0:
+                # Test knob: a genuinely slow batch — heartbeats continue.
+                time.sleep(slow_batch_s)
+            rid = header["rid"]
+            request = SpmmRequest(
+                matrix=header["matrix"],
+                b=arrays["b"],
+                version=header.get("version", "v4"),
+                deadline_s=header.get("deadline_s"),
+                tenant=header.get("tenant", "default"),
+            )
+            trace_ctx = header.get("trace")
+            parent = (
+                remote_parent(trace_ctx["trace_id"], trace_ctx["span_id"])
+                if tracer is not None and trace_ctx
+                else None
+            )
+            try:
+                with attach_span(parent):
+                    future = executor.submit(request)
+            except Exception as exc:
+                state.errors += 1
+                _send(
+                    state,
+                    sock,
+                    {
+                        "type": "error",
+                        "rid": rid,
+                        "shard": cfg["shard"],
+                        "incarnation": cfg["incarnation"],
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                        "reorder_runs": registry.reorder_runs,
+                    },
+                )
+                continue
+            future.add_done_callback(
+                _reply_callback(state, sock, cfg, registry, rid)
+            )
+    finally:
+        # Drain: stop accepting (we left the recv loop), flush pending
+        # groups (close() joins the dispatcher and pool, so every reply
+        # callback has run), checkpoint the learned costs, say bye.
+        executor.close()
+        save_cost_checkpoint(cost_model, checkpoint_path(cache_dir, cfg["shard"]))
+        if clean:
+            _send(
+                state,
+                sock,
+                {
+                    "type": "bye",
+                    "shard": cfg["shard"],
+                    "incarnation": cfg["incarnation"],
+                    "served": state.served,
+                    "errors": state.errors,
+                    "reorder_runs": registry.reorder_runs,
+                    "plan_cache_hits": registry.plan_cache_hits,
+                    "checkpointed": True,
+                    "spans": (
+                        [s.to_dict() for s in tracer.buffer.drain()]
+                        if tracer is not None
+                        else []
+                    ),
+                },
+            )
+        state.stop_heartbeat.set()
+        beat.join(timeout=5.0)
+        sock.close()

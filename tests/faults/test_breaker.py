@@ -109,3 +109,55 @@ class TestBreakerBoard:
         assert snap["w0/jigsaw"] == OPEN
         assert snap["w0/hybrid"] == CLOSED
         assert board.trips == 1
+
+
+class TestHalfOpenProbeTtl:
+    """An abandoned half-open probe (outcome never recorded) must not
+    wedge the breaker: after ``probe_ttl_s`` the slot is reclaimed."""
+
+    def _tripped(self, clock, **kwargs):
+        br = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock, **kwargs
+        )
+        br.record_failure()
+        assert br.state == OPEN
+        clock.advance(1.0)  # past the cooldown: next allow is the probe
+        return br
+
+    def test_abandoned_probe_slot_reclaimed_after_ttl(self, clock):
+        br = self._tripped(clock, probe_ttl_s=0.5)
+        assert br.allow()  # probe claimed ... and its caller vanishes
+        assert not br.allow()  # single-probe rule still holds
+        clock.advance(0.49)
+        assert not br.allow()  # TTL not yet elapsed
+        clock.advance(0.02)
+        assert br.allow()  # slot reclaimed: the breaker cannot wedge
+        br.record_success()
+        assert br.state == CLOSED
+
+    def test_ttl_defaults_to_cooldown(self, clock):
+        br = self._tripped(clock)
+        assert br.probe_ttl_s == br.cooldown_s == 1.0
+        assert br.allow()
+        clock.advance(0.99)
+        assert not br.allow()
+        clock.advance(0.02)
+        assert br.allow()
+
+    def test_probe_outcome_still_wins_within_ttl(self, clock):
+        br = self._tripped(clock, probe_ttl_s=10.0)
+        assert br.allow()
+        br.record_failure()  # probe failed: re-open, no TTL involved
+        assert br.state == OPEN
+        assert not br.allow()
+
+    def test_board_passes_ttl_through(self, clock):
+        board = BreakerBoard(
+            failure_threshold=1, cooldown_s=1.0, probe_ttl_s=0.25, clock=clock
+        )
+        br = board.get("w0", "jigsaw")
+        assert br.probe_ttl_s == 0.25
+
+    def test_negative_ttl_rejected(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock=clock, probe_ttl_s=-0.1)

@@ -88,3 +88,68 @@ class TestCallWithRetry:
         with pytest.raises(TransientError):
             call_with_retry(fn, RetryPolicy(max_attempts=1), sleep=sleeps.append)
         assert sleeps == []
+
+
+class TestDeadlineAwareRetry:
+    """Backoff never overshoots a request deadline: when sleeping the
+    next delay would land past ``deadline_t``, the retry is abandoned and
+    the current error propagates (the slack belongs to the fallback)."""
+
+    def _policy(self):
+        return RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0)
+
+    def test_retry_abandoned_when_backoff_overshoots_deadline(self):
+        t = [100.0]
+        sleeps = []
+        fn = Flaky(failures=2)
+        with pytest.raises(TransientError, match="boom 1"):
+            call_with_retry(
+                fn,
+                self._policy(),
+                sleep=sleeps.append,
+                deadline_t=100.005,  # first backoff is 0.01 > 5ms of slack
+                clock=lambda: t[0],
+            )
+        assert fn.calls == 1  # no second attempt
+        assert sleeps == []  # and crucially: no sleep burned either
+
+    def test_retry_proceeds_when_deadline_has_room(self):
+        t = [100.0]
+
+        def sleep(s):
+            t[0] += s
+
+        fn = Flaky(failures=2)
+        assert (
+            call_with_retry(
+                fn,
+                self._policy(),
+                sleep=sleep,
+                deadline_t=101.0,
+                clock=lambda: t[0],
+            )
+            == 42
+        )
+        assert fn.calls == 3
+
+    def test_deadline_cuts_midway_through_the_schedule(self):
+        # First backoff (10ms) fits, second (20ms) would overshoot.
+        t = [0.0]
+
+        def sleep(s):
+            t[0] += s
+
+        fn = Flaky(failures=99)
+        with pytest.raises(TransientError, match="boom 2"):
+            call_with_retry(
+                fn,
+                self._policy(),
+                sleep=sleep,
+                deadline_t=0.025,
+                clock=lambda: t[0],
+            )
+        assert fn.calls == 2
+
+    def test_no_deadline_keeps_legacy_behaviour(self):
+        fn = Flaky(failures=2)
+        assert call_with_retry(fn, self._policy(), sleep=lambda s: None) == 42

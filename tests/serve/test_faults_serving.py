@@ -313,3 +313,81 @@ class TestChaosStats:
         assert "breaker trips" in out
         assert "artifacts quarantined" in out
         assert "rejected (shed)" in out
+
+
+class TestQuarantineBudget:
+    """The quarantine directory is capped: oldest artifacts are evicted
+    past the byte/count budget, the newest always survives, and the
+    evictions surface in ServeStats."""
+
+    def _corrupt_all(self, cache_dir):
+        artifacts = sorted(cache_dir.glob("*.npz"))
+        assert artifacts
+        for p in artifacts:
+            p.write_bytes(p.read_bytes()[:-7] + b"garbage")
+        return artifacts
+
+    def test_file_count_budget_keeps_newest(self, rng, tmp_path):
+        warm = PlanRegistry(cache_dir=tmp_path, block_tiles=(64,))
+        for i in range(4):
+            warm.register(
+                f"w{i}", random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+            )
+        warm.warm()
+        self._corrupt_all(tmp_path)
+
+        registry = PlanRegistry(
+            cache_dir=tmp_path, block_tiles=(64,), quarantine_max_files=2
+        )
+        for i in range(4):
+            registry.register(f"w{i}", warm.matrix(f"w{i}"))
+        with BatchExecutor(registry, max_batch=4) as ex:
+            reqs = [SpmmRequest(f"w{i}", _panel(rng)) for i in range(4)]
+            for req, res in zip(reqs, ex.run(reqs)):
+                np.testing.assert_allclose(
+                    res.c,
+                    _reference(registry, req.matrix, req.b),
+                    rtol=1e-3,
+                    atol=1e-2,
+                )
+            stats = ex.stats()
+
+        qdir = tmp_path / "quarantine"
+        assert stats.quarantined == 4  # every corrupt artifact was caught
+        assert len(list(qdir.glob("*.npz"))) <= 2  # ... but the dir is capped
+        assert stats.quarantine_evicted >= 2  # and the evictions are counted
+
+    def test_byte_budget_evicts_oldest(self, rng, tmp_path):
+        warm = PlanRegistry(cache_dir=tmp_path, block_tiles=(64,))
+        for i in range(3):
+            warm.register(
+                f"w{i}", random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng)
+            )
+        warm.warm()
+        self._corrupt_all(tmp_path)
+
+        # A 1-byte budget forces eviction down to the survivor minimum.
+        registry = PlanRegistry(
+            cache_dir=tmp_path, block_tiles=(64,), quarantine_max_bytes=1
+        )
+        for i in range(3):
+            registry.register(f"w{i}", warm.matrix(f"w{i}"))
+        with BatchExecutor(registry, max_batch=4) as ex:
+            ex.run([SpmmRequest(f"w{i}", _panel(rng)) for i in range(3)])
+            stats = ex.stats()
+        # The newest incident's artifact always survives as evidence.
+        assert len(list((tmp_path / "quarantine").glob("*.npz"))) == 1
+        assert stats.quarantine_evicted == 2
+
+    def test_default_budget_evicts_nothing_here(self, rng, tmp_path):
+        warm = PlanRegistry(cache_dir=tmp_path, block_tiles=(64,))
+        warm.register("w0", random_vector_sparse(64, 128, v=4, sparsity=0.9, rng=rng))
+        warm.warm()
+        self._corrupt_all(tmp_path)
+        registry = PlanRegistry(cache_dir=tmp_path, block_tiles=(64,))
+        registry.register("w0", warm.matrix("w0"))
+        with BatchExecutor(registry, max_batch=4) as ex:
+            ex.run([SpmmRequest("w0", _panel(rng))])
+            stats = ex.stats()
+        assert stats.quarantined == 1
+        assert stats.quarantine_evicted == 0

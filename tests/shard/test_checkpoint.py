@@ -1,0 +1,77 @@
+"""Cost-model EWMA checkpoint tests: round-trip, atomicity, fail-soft load."""
+
+import json
+
+from repro.sched import CostModel
+from repro.shard import (
+    COST_CHECKPOINT_SCHEMA,
+    checkpoint_path,
+    load_cost_checkpoint,
+    save_cost_checkpoint,
+)
+
+
+def _trained_model():
+    model = CostModel()
+    for _ in range(5):
+        model.observe("w0", "jigsaw", us=10.0, cols=32)
+        model.observe("w0", "dense", us=90.0, cols=32)
+    model.observe("w1", "compiled", us=4.0, cols=16)
+    return model
+
+
+class TestRoundTrip:
+    def test_estimates_and_counts_survive(self, tmp_path):
+        model = _trained_model()
+        path = checkpoint_path(tmp_path, 0)
+        save_cost_checkpoint(model, path)
+
+        restored = CostModel()
+        n = load_cost_checkpoint(restored, path)
+        assert n == 3
+        assert restored.snapshot() == model.snapshot()
+        # Counts matter: min_samples / exploration key on them.
+        assert restored.samples("w0", "jigsaw") == 5
+        assert restored.samples("w1", "compiled") == 1
+
+    def test_path_is_per_shard(self, tmp_path):
+        assert checkpoint_path(tmp_path, 0) != checkpoint_path(tmp_path, 1)
+
+    def test_schema_is_stamped(self, tmp_path):
+        path = checkpoint_path(tmp_path, 2)
+        save_cost_checkpoint(_trained_model(), path)
+        assert json.loads(path.read_text())["schema"] == COST_CHECKPOINT_SCHEMA
+
+
+class TestFailSoftLoad:
+    def test_missing_file_restores_nothing(self, tmp_path):
+        model = CostModel()
+        assert load_cost_checkpoint(model, checkpoint_path(tmp_path, 0)) == 0
+        assert model.snapshot() == {}
+
+    def test_corrupt_json_restores_nothing(self, tmp_path):
+        path = checkpoint_path(tmp_path, 0)
+        path.write_text("{not json")
+        assert load_cost_checkpoint(CostModel(), path) == 0
+
+    def test_wrong_schema_restores_nothing(self, tmp_path):
+        path = checkpoint_path(tmp_path, 0)
+        path.write_text(json.dumps({"schema": "other/v9", "estimates": {}}))
+        assert load_cost_checkpoint(CostModel(), path) == 0
+
+    def test_malformed_estimates_restore_nothing(self, tmp_path):
+        path = checkpoint_path(tmp_path, 0)
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": COST_CHECKPOINT_SCHEMA,
+                    "alpha": 0.25,
+                    "estimates": {"w0": {"jigsaw": "not-a-record"}},
+                }
+            )
+        )
+        assert load_cost_checkpoint(CostModel(), path) == 0
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        save_cost_checkpoint(_trained_model(), checkpoint_path(tmp_path, 0))
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,126 @@
+"""Wire protocol tests: framing, dtype fidelity, truncation, poll."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.shard import WireClosedError, recv_msg, send_msg
+from repro.shard.wire import _LEN, WireError, decode_frame, encode_frame
+
+
+def _decode(frame: bytes):
+    """Strip the frame-length prefix the way recv_msg does."""
+    return decode_frame(frame[_LEN.size :])
+
+
+class TestEncodeDecode:
+    def test_header_only_roundtrip(self):
+        header, arrays = _decode(encode_frame({"type": "drain"}, None))
+        assert header == {"type": "drain"}
+        assert arrays == {}
+
+    def test_arrays_roundtrip_bit_exact(self):
+        rng = np.random.default_rng(0)
+        payload = {
+            "b": rng.standard_normal((64, 32)).astype(np.float16),
+            "c": rng.standard_normal((16, 8)).astype(np.float32),
+        }
+        _, arrays = _decode(encode_frame({"type": "spmm"}, payload))
+        for k, v in payload.items():
+            assert arrays[k].dtype == v.dtype
+            assert np.array_equal(arrays[k], v)
+
+    def test_numpy_scalars_in_header_are_json_safe(self):
+        header = {"rid": np.int64(7), "us": np.float32(1.5)}
+        decoded, _ = _decode(encode_frame(header, None))
+        assert decoded == {"rid": 7, "us": 1.5}
+
+    def test_unjsonable_header_rejected(self):
+        with pytest.raises(TypeError):
+            encode_frame({"bad": object()}, None)
+
+    def test_truncated_header_rejected(self):
+        frame = encode_frame({"type": "spmm", "rid": 12345}, None)
+        with pytest.raises(WireError):
+            decode_frame(frame[_LEN.size : _LEN.size + 6])
+
+    def test_truncated_arrays_rejected(self):
+        frame = encode_frame({"type": "spmm"}, {"b": np.ones((4, 4), np.float16)})
+        with pytest.raises(WireError):
+            decode_frame(frame[_LEN.size : -3])
+
+    def test_non_object_header_rejected(self):
+        import json
+        import struct
+
+        head = json.dumps([1, 2]).encode()
+        with pytest.raises(WireError):
+            decode_frame(struct.pack(">I", len(head)) + head)
+
+
+class TestSocketFraming:
+    def test_send_recv_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            send_msg(a, {"type": "spmm", "rid": 1}, {"b": np.ones((8, 4), np.float16)})
+            header, arrays = recv_msg(b)
+            assert header["rid"] == 1
+            assert arrays["b"].shape == (8, 4)
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_sequence(self):
+        a, b = socket.socketpair()
+        try:
+            for i in range(3):
+                send_msg(a, {"rid": i})
+            assert [recv_msg(b)[0]["rid"] for _ in range(3)] == [0, 1, 2]
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_raises_wire_closed(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(WireClosedError):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_poll_stops_wait_between_frames(self):
+        a, b = socket.socketpair()
+        b.settimeout(0.02)
+        try:
+            assert recv_msg(b, poll=lambda: True) is None
+        finally:
+            a.close()
+            b.close()
+
+    def test_poll_never_abandons_a_partial_frame(self):
+        """A poll firing mid-frame must not surface None: the started
+        frame is read to completion (drain waits for frame boundaries)."""
+        a, b = socket.socketpair()
+        b.settimeout(0.03)
+        try:
+            frame = encode_frame({"rid": 9}, {"b": np.ones((32, 16), np.float16)})
+            a.sendall(frame[:10])  # frame started before recv is entered
+
+            def trickle():
+                threading.Event().wait(0.1)  # guarantee timeouts mid-frame
+                a.sendall(frame[10:])
+
+            t = threading.Thread(target=trickle)
+            t.start()
+            msg = recv_msg(b, poll=lambda: True)
+            t.join()
+            assert msg is not None
+            header, arrays = msg
+            assert header["rid"] == 9
+            assert arrays["b"].shape == (32, 16)
+        finally:
+            a.close()
+            b.close()
