@@ -30,6 +30,7 @@ from .figures import (
     build_fig11,
     build_fig12,
 )
+from .fleet_top import render_fleet_top
 from .nsight import (
     MetricDelta,
     profile_deltas,
@@ -94,6 +95,7 @@ __all__ = [
     "result_rows",
     "to_csv",
     "to_json",
+    "render_fleet_top",
     "Fig1Point",
     "Fig10Series",
     "Fig11Point",

@@ -1,0 +1,135 @@
+"""``repro top``: render one fleet-status document as a terminal dashboard.
+
+Pure presentation: :func:`render_fleet_top` maps a
+``repro.fleet_status/v1`` dict (written atomically by
+:meth:`repro.shard.Supervisor.fleet_status`) to a string.  All polling,
+keybindings, and screen clearing live in the CLI; keeping the renderer a
+pure function of the document makes it trivially golden-testable and
+reusable (the same string is useful in logs and bug reports).
+"""
+
+from __future__ import annotations
+
+from .report import render_table
+
+#: Route display order: fast paths first, escape hatches last.
+_ROUTE_ORDER = ("jigsaw", "jigsaw@vnm", "compiled", "hybrid", "dense")
+
+
+def _fmt_mix(mix: dict) -> str:
+    """``jigsaw:10 dense:2`` — stable order, zero routes omitted."""
+    if not mix:
+        return "-"
+    known = [(r, mix[r]) for r in _ROUTE_ORDER if mix.get(r)]
+    extra = sorted((r, n) for r, n in mix.items() if r not in _ROUTE_ORDER and n)
+    parts = [f"{r}:{int(n)}" for r, n in known + extra]
+    return " ".join(parts) if parts else "-"
+
+
+def _fmt_latency(pcts: dict | None) -> str:
+    """``p50/p99`` pair in adaptive units (us under 1ms, else ms)."""
+    if not pcts:
+        return "-"
+    p50, p99 = pcts.get("p50", 0.0), pcts.get("p99", 0.0)
+    if p99 < 1e-3:
+        return f"{p50 * 1e6:.0f}/{p99 * 1e6:.0f}us"
+    return f"{p50 * 1e3:.1f}/{p99 * 1e3:.1f}ms"
+
+
+def _shard_state(row: dict) -> str:
+    if not row.get("alive", False):
+        return "DEAD"
+    return "live" if row.get("attached", False) else "joining"
+
+
+def _alert_lines(alerts: dict | None) -> list[str]:
+    if not alerts:
+        return ["alerts: no SLO policies attached"]
+    active = alerts.get("active", [])
+    lines = [
+        f"alerts: {len(active)} active / {alerts.get('fired_total', 0)} fired"
+    ]
+    for a in active:
+        lines.append(
+            f"  [ACTIVE] {a.get('policy')}/{a.get('rule')} "
+            f"{_alert_value(a)} "
+            f"({a.get('window_s', 0.0):.1f}s window, {a.get('samples', 0)} samples)"
+        )
+    for a in alerts.get("recent", []):
+        if a.get("resolved_at") is None:
+            continue
+        lines.append(
+            f"  [resolved] {a.get('policy')}/{a.get('rule')} {_alert_value(a)}"
+        )
+    return lines
+
+
+def _alert_value(a: dict) -> str:
+    """``burn=20x >= 14.4x`` for burn rules, ``p99=12ms > 10ms`` for p99."""
+    if a.get("rule") == "p99":
+        return (
+            f"p99={a.get('value', 0.0) * 1e3:.1f}ms > "
+            f"{a.get('threshold', 0.0) * 1e3:.1f}ms"
+        )
+    return (
+        f"burn={a.get('burn_rate', 0.0):.1f}x >= {a.get('threshold', 0.0):.1f}x "
+        f"(miss rate {a.get('value', 0.0):.1%})"
+    )
+
+
+def render_fleet_top(status: dict) -> str:
+    """Render one fleet-status document; tolerant of missing blocks."""
+    out: list[str] = []
+    fleet = status.get("fleet", {}) or {}
+    router = status.get("router", {}) or {}
+    out.append(
+        f"repro top — {status.get('workers', 0)} workers, "
+        f"{status.get('crashes', 0)} crashes, "
+        f"{status.get('respawns', 0)} respawns"
+    )
+    out.append("")
+    rows = []
+    for row in status.get("shards", []):
+        rows.append(
+            [
+                str(row.get("shard", "?")),
+                str(row.get("incarnation", 0)),
+                _shard_state(row),
+                f"{row.get('beat_age_s', 0.0):.2f}s",
+                str(int(row.get("requests_total", 0))),
+                _fmt_mix(row.get("route_mix", {})),
+                _fmt_latency(row.get("kernel_seconds")),
+                str(int(row.get("breaker_transitions", 0))),
+            ]
+        )
+    if rows:
+        out.append(
+            render_table(
+                ["shard", "inc", "state", "beat", "reqs", "route mix",
+                 "kernel p50/p99", "brkr"],
+                rows,
+            )
+        )
+    else:
+        out.append("(no shards attached yet)")
+    out.append("")
+    out.append(
+        f"router  inflight {router.get('inflight', 0)}  "
+        f"redeliveries {router.get('redeliveries', 0)}  "
+        f"poisoned {len(router.get('poisoned', []))}  "
+        f"errors {router.get('worker_errors', 0)}  "
+        f"request p50/p99 {_fmt_latency(router.get('request_seconds'))}"
+    )
+    out.append(
+        f"fleet   requests {int(fleet.get('requests_total', 0))}  "
+        f"mix {_fmt_mix(fleet.get('route_mix', {}))}  "
+        f"kernel p50/p99 {_fmt_latency(fleet.get('kernel_seconds'))}"
+    )
+    out.append(
+        f"deltas  ingested {fleet.get('snapshots_ingested', 0)}  "
+        f"errors {fleet.get('ingest_errors', 0)}  "
+        f"dropped-on-crash {fleet.get('dropped_on_crash', 0)}"
+    )
+    out.append("")
+    out.extend(_alert_lines(status.get("alerts")))
+    return "\n".join(out)

@@ -890,6 +890,7 @@ def _shard_bench(args: argparse.Namespace) -> int:
         scenario_record,
         write_bench_serving,
     )
+    from repro.obs import SloPolicy, SloTracker, counter_by, export_alerts_jsonl
     from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
     from repro.shard import Supervisor
 
@@ -909,11 +910,18 @@ def _shard_bench(args: argparse.Namespace) -> int:
     # version="v2" pins BLOCK_TILE=64 deterministically; v4's autotune
     # could legally pick different tiles for different batch shapes,
     # which would break the bit-identity comparison below.
+    # --miss-storm N puts an unmeetable deadline on the first N requests:
+    # each one is served dense and marked deadline_expired, which is a
+    # deterministic burn-rate storm for the SLO tracker.  Storm requests
+    # are excluded from the bit-identity check (dense is the degraded
+    # route by design).
+    storm = min(args.miss_storm, args.requests)
     requests = [
         SpmmRequest(
             matrix=f"w{i % args.matrices}",
             b=rng.standard_normal((args.k, args.n)).astype(np.float16),
             version="v2",
+            deadline_s=1e-6 if i < storm else None,
         )
         for i in range(args.requests)
     ]
@@ -928,6 +936,16 @@ def _shard_bench(args: argparse.Namespace) -> int:
                 "count": 1,
             }
         )
+    slo = SloTracker(
+        [
+            SloPolicy(
+                name="serving",
+                deadline_miss_budget=args.slo_miss_budget,
+                min_requests=5,
+            )
+        ],
+        clock=perf_counter,  # the router feeds it its own clock domain
+    )
     sup = Supervisor(
         workers=args.workers,
         cache_dir=cache_dir,
@@ -937,6 +955,8 @@ def _shard_bench(args: argparse.Namespace) -> int:
         traced=bool(getattr(args, "trace_out", None)),
         max_batch=args.max_batch,
         pool_workers=args.pool_workers,
+        slo=slo,
+        status_path=args.status_file,
     ).start()
     results: list = []
     try:
@@ -972,6 +992,44 @@ def _shard_bench(args: argparse.Namespace) -> int:
     finally:
         sup.stop()
 
+    # Post-stop the fleet registry is final: every surviving worker's
+    # bye flushed its last metrics delta during the drain; only crashed
+    # incarnations lost theirs (at most kill-every requests each).
+    reg = sup.router.fleet.registry
+    fleet_mix = counter_by(reg, "repro_requests_total", "route", require=("shard",))
+    fleet_total = int(sum(fleet_mix.values()))
+    ground_truth = len(sup.router.request_stats()) - sup.router.poison_served
+    # Undercount: unshipped final deltas of crashed incarnations;
+    # overcount: redelivered requests served twice.
+    slack = sup.crashes * max(args.kill_every, 1) + sup.router.redeliveries
+    fleet_ok = abs(fleet_total - ground_truth) <= slack
+    shard_block["fleet"] = {
+        "requests_total": fleet_total,
+        "route_mix": {r: int(n) for r, n in sorted(fleet_mix.items())},
+        "ground_truth_requests": ground_truth,
+        "slack": slack,
+        "within_bound": fleet_ok,
+        "snapshots_ingested": sup.router.fleet.snapshots_ingested,
+        "ingest_errors": sup.router.fleet.ingest_errors,
+        "dropped_on_crash": sup.router.fleet.dropped_on_crash,
+    }
+    shard_block["slo"] = {
+        "miss_storm": storm,
+        "alerts_fired": len(slo.alerts),
+        "alerts_active_at_stop": len(slo.active_alerts()),
+    }
+    if args.alerts_out:
+        export_alerts_jsonl(slo.alerts, args.alerts_out)
+        print(f"{len(slo.alerts)} SLO alerts written to {args.alerts_out}")
+    if args.fleet_snapshot_out:
+        import json
+        from pathlib import Path
+
+        Path(args.fleet_snapshot_out).write_text(
+            json.dumps(reg.snapshot(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"fleet metrics snapshot written to {args.fleet_snapshot_out}")
+
     lost = sum(1 for r in results if r is None)
     # Bit-identity reference: the same requests through a single-process
     # executor over the same warm cache.  Poisoned requests served dense
@@ -985,8 +1043,12 @@ def _shard_bench(args: argparse.Namespace) -> int:
             reference.registry.register(name, a)
         mismatched = 0
         compared = 0
-        for req, res in zip(requests, results):
-            if res is None or req.matrix in shard_block["poisoned_matrices"]:
+        for i, (req, res) in enumerate(zip(requests, results)):
+            if (
+                res is None
+                or i < storm  # served dense past its deadline, by design
+                or req.matrix in shard_block["poisoned_matrices"]
+            ):
                 continue
             ref = reference.submit(
                 SpmmRequest(matrix=req.matrix, b=req.b, version="v2")
@@ -1025,11 +1087,97 @@ def _shard_bench(args: argparse.Namespace) -> int:
                     f" ({compared} compared)",
                 ],
                 ["worker reorder runs", str(shard_block["reorder_runs_workers"])],
+                [
+                    "fleet requests (ground truth)",
+                    f"{fleet_total} ({ground_truth}, slack {slack})",
+                ],
+                ["fleet route mix", _fmt_route_mix(shard_block["fleet"]["route_mix"])],
+                [
+                    "fleet deltas ingested / errors / dropped",
+                    f"{shard_block['fleet']['snapshots_ingested']} / "
+                    f"{shard_block['fleet']['ingest_errors']} / "
+                    f"{shard_block['fleet']['dropped_on_crash']}",
+                ],
+                [
+                    "SLO alerts fired (storm)",
+                    f"{len(slo.alerts)} ({storm})",
+                ],
             ],
         )
     )
-    ok = lost == 0 and shard_block["bit_identical"]
+    storm_ok = storm == 0 or len(slo.alerts) >= 1
+    ok = lost == 0 and shard_block["bit_identical"] and fleet_ok and storm_ok
     return 0 if ok else 1
+
+
+def _read_fleet_status(path: str) -> dict | None:
+    import json
+    from pathlib import Path
+
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        # Mid-replace reads cannot happen (the supervisor writes via
+        # os.replace), but the file may simply not exist yet.
+        return None
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """One-shot JSON dump of the supervisor's fleet status document."""
+    import json
+
+    doc = _read_fleet_status(args.status_file)
+    if doc is None:
+        print(f"no fleet status at {args.status_file}", file=sys.stderr)
+        return 2
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet dashboard: poll the status file, render, repeat.
+
+    Keys (press Enter after each): ``q`` quit, ``p`` pause/resume the
+    refresh, ``r`` refresh immediately.  Non-interactive stdin (pipes,
+    CI) just polls on ``--interval``; ``--once`` renders a single frame
+    and exits (2 if the status file is missing).
+    """
+    import select
+    import time as _time
+
+    from repro.analysis import render_fleet_top
+
+    interactive = sys.stdin.isatty() and not args.once
+    paused = False
+    doc = None
+    while True:
+        if not paused:
+            doc = _read_fleet_status(args.status_file)
+            if sys.stdout.isatty() and not args.once:
+                print("\x1b[2J\x1b[H", end="")
+            if doc is None:
+                print(f"waiting for fleet status at {args.status_file} ...")
+            else:
+                print(render_fleet_top(doc))
+            if interactive:
+                print("\nkeys (+Enter): q quit  p pause  r refresh")
+        if args.once:
+            return 0 if doc is not None else 2
+        if interactive:
+            ready, _, _ = select.select([sys.stdin], [], [], args.interval)
+            if not ready:
+                continue
+            key = sys.stdin.readline().strip().lower()[:1]
+            if key == "q":
+                return 0
+            if key == "p":
+                paused = not paused
+                if paused:
+                    print("[paused — p to resume]")
+            elif key == "r":
+                paused = False  # refresh now (and resume if paused)
+        else:
+            _time.sleep(args.interval)
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -1381,8 +1529,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro.bench_serving/v1 report with a crash-recovery "
         "'shard' block (crashes, respawns, lost, bit_identical, ...)",
     )
+    p.add_argument(
+        "--status-file",
+        metavar="FILE",
+        default=None,
+        help="have the supervisor atomically refresh a repro.fleet_status/v1 "
+        "JSON here every heartbeat ('repro top' renders it live)",
+    )
+    p.add_argument(
+        "--miss-storm",
+        type=int,
+        default=0,
+        help="give the first N requests an unmeetable deadline: a "
+        "deterministic deadline-miss storm that must fire at least one "
+        "SLO burn-rate alert (exit 1 otherwise)",
+    )
+    p.add_argument(
+        "--slo-miss-budget",
+        type=float,
+        default=0.05,
+        help="deadline-miss budget of the built-in 'serving' SLO policy",
+    )
+    p.add_argument(
+        "--alerts-out",
+        metavar="FILE",
+        default=None,
+        help="write fired SLO alerts as repro.slo_alerts/v1 JSONL",
+    )
+    p.add_argument(
+        "--fleet-snapshot-out",
+        metavar="FILE",
+        default=None,
+        help="write the final fleet-wide metrics registry as a "
+        "repro.metrics_snapshot/v1 JSON document",
+    )
     _add_observability_flags(p)
     p.set_defaults(func=cmd_shard_bench)
+
+    p = sub.add_parser(
+        "top",
+        help="live per-shard dashboard over a supervisor's --status-file",
+    )
+    p.add_argument(
+        "--status-file",
+        metavar="FILE",
+        required=True,
+        help="fleet status JSON the supervisor refreshes (shard-bench "
+        "--status-file, or Supervisor(status_path=...))",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (2 if the file is missing)",
+    )
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "fleet-status",
+        help="print a supervisor's fleet status document as JSON and exit",
+    )
+    p.add_argument("--status-file", metavar="FILE", required=True)
+    p.set_defaults(func=cmd_fleet_status)
 
     p = sub.add_parser("verify", help="functional cross-check of every system")
     p.set_defaults(func=cmd_verify)

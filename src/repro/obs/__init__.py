@@ -8,21 +8,35 @@ outcomes), the plan registry (hit/miss/eviction), the batched serving
 executor (queue wait → batch → kernel → fallback hops, retries), and the
 fault layer (breaker transitions).
 
-Three pieces (see docs/observability.md):
+Five pieces (see docs/observability.md and docs/fleet_observability.md):
 
 * **tracing** — :class:`Tracer` produces :class:`Span` records
-  (trace/span/parent ids, attrs, events) into a thread-safe
+  (trace/span/parent ids, attrs, events) into a thread-safe, bounded
   :class:`SpanBuffer`; the process-wide tracer defaults to
   :data:`NULL_TRACER` whose methods are constant-time no-ops, mirroring
   ``FaultPlan.maybe_inject``'s disarmed cost;
 * **metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
   (fixed buckets, interpolated p50/p95/p99) in a process-global but
-  resettable :class:`MetricsRegistry`;
-* **export** — JSONL span dumps and Prometheus text exposition, plus
-  :mod:`repro.obs.validate` for CI schema checks and
-  ``repro.analysis.render_dashboard`` for the ASCII view.
+  resettable :class:`MetricsRegistry`, each family mergeable across
+  processes via schema-stamped ``snapshot()`` / ``merge()`` records;
+* **fleet** — :class:`SnapshotShipper` delta-encodes a worker's registry
+  per heartbeat, :class:`FleetMetrics` folds the deltas into one
+  fleet-wide registry labeled ``(shard, incarnation)``, and the
+  aggregation helpers answer cross-incarnation questions;
+* **SLO** — :class:`SloPolicy` / :class:`SloTracker` evaluate
+  deadline-miss budgets and p99 targets over sliding windows with
+  fast/slow burn-rate rules, emitting structured :class:`SloAlert`
+  events that can nudge admission control to shed best-effort load;
+* **export + gates** — JSONL span dumps and Prometheus text exposition,
+  :mod:`repro.obs.validate` for CI schema checks, and
+  :mod:`repro.obs.benchgate`'s ``--bench-compare`` perf-regression gate.
 """
 
+from .benchgate import (
+    GateThresholds,
+    compare_bench,
+    compare_bench_files,
+)
 from .export import (
     escape_label_value,
     export_metrics,
@@ -30,17 +44,41 @@ from .export import (
     render_prometheus,
     spans_to_jsonl,
 )
+from .fleet import (
+    FLEET_STATUS_SCHEMA,
+    FleetMetrics,
+    SnapshotShipper,
+    counter_by,
+    counter_total,
+    histogram_aggregate,
+    histogram_percentiles,
+    histogram_quantile,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
+    METRICS_SNAPSHOT_SCHEMA,
+    BucketMismatchError,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     MetricTypeError,
+    SnapshotError,
+    SnapshotSchemaError,
+    diff_snapshot,
     get_metrics,
     set_metrics,
 )
+from .slo import (
+    SLO_ALERTS_SCHEMA,
+    SloAlert,
+    SloPolicy,
+    SloTracker,
+    alerts_to_jsonl,
+    export_alerts_jsonl,
+)
 from .trace import (
+    DEFAULT_MAX_SPANS,
     NULL_SPAN,
     NULL_TRACER,
     ManualClock,
@@ -58,25 +96,50 @@ from .trace import (
 from .validate import (
     validate_bench_serving,
     validate_bench_serving_text,
+    validate_metrics_snapshot,
+    validate_metrics_snapshot_text,
     validate_prometheus_text,
     validate_span_records,
     validate_spans_jsonl,
 )
 
 __all__ = [
+    "GateThresholds",
+    "compare_bench",
+    "compare_bench_files",
     "escape_label_value",
     "export_metrics",
     "export_spans_jsonl",
     "render_prometheus",
     "spans_to_jsonl",
+    "FLEET_STATUS_SCHEMA",
+    "FleetMetrics",
+    "SnapshotShipper",
+    "counter_by",
+    "counter_total",
+    "histogram_aggregate",
+    "histogram_percentiles",
+    "histogram_quantile",
     "DEFAULT_BUCKETS",
+    "METRICS_SNAPSHOT_SCHEMA",
+    "BucketMismatchError",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricTypeError",
+    "SnapshotError",
+    "SnapshotSchemaError",
+    "diff_snapshot",
     "get_metrics",
     "set_metrics",
+    "SLO_ALERTS_SCHEMA",
+    "SloAlert",
+    "SloPolicy",
+    "SloTracker",
+    "alerts_to_jsonl",
+    "export_alerts_jsonl",
+    "DEFAULT_MAX_SPANS",
     "NULL_SPAN",
     "NULL_TRACER",
     "ManualClock",
@@ -92,6 +155,8 @@ __all__ = [
     "use_tracer",
     "validate_bench_serving",
     "validate_bench_serving_text",
+    "validate_metrics_snapshot",
+    "validate_metrics_snapshot_text",
     "validate_prometheus_text",
     "validate_span_records",
     "validate_spans_jsonl",

@@ -1,0 +1,165 @@
+"""CI perf-regression gate over ``BENCH_serving.json`` artifacts.
+
+``compare_bench`` diffs a freshly generated bench report against a
+committed baseline and returns the regressions it finds.  The CLI entry
+is ``python -m repro.obs --bench-compare BASELINE CURRENT`` (nonzero
+exit on any regression), wired into CI against the committed
+``BENCH_serving.json``.
+
+The default checks are deliberately **machine-independent** — CI boxes
+are too noisy for absolute wall-clock assertions (the compiled-route
+and format-zoo jobs say as much), so the gate compares quantities that
+survive a machine change:
+
+* per-scenario ``deadline_miss_rate`` may not grow by more than
+  ``miss_tol`` (absolute);
+* the ``dense`` fraction of each scenario's route mix may not grow by
+  more than ``dense_tol`` — dense growth means the cost model, breakers,
+  or format selection stopped doing their job;
+* the comparison block's ``throughput_speedup`` (a same-run,
+  same-machine ratio) may not fall below ``speedup_tol`` × baseline;
+* every baseline scenario must still exist.
+
+Absolute throughput comparison is opt-in (``throughput_tol``): only
+meaningful when both artifacts come from comparable hardware.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .validate import validate_bench_serving
+
+#: Default tolerances; see the module docstring for what each gates.
+DEFAULT_MISS_TOL = 0.01
+DEFAULT_DENSE_TOL = 0.10
+DEFAULT_SPEEDUP_TOL = 0.5
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """Tolerances of the regression gate (all fractions).
+
+    ``throughput_tol=None`` (the default) disables the absolute
+    throughput check; a value of e.g. ``0.3`` fails scenarios whose
+    ``throughput_rps`` fell more than 30% below baseline.
+    """
+
+    miss_tol: float = DEFAULT_MISS_TOL
+    dense_tol: float = DEFAULT_DENSE_TOL
+    speedup_tol: float = DEFAULT_SPEEDUP_TOL
+    throughput_tol: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.miss_tol < 0 or self.dense_tol < 0:
+            raise ValueError("tolerances must be non-negative")
+        if not 0.0 <= self.speedup_tol <= 1.0:
+            raise ValueError("speedup_tol must be in [0, 1]")
+        if self.throughput_tol is not None and not 0.0 <= self.throughput_tol <= 1.0:
+            raise ValueError("throughput_tol must be in [0, 1] (or None)")
+
+
+def _dense_fraction(scenario: dict) -> float:
+    mix = scenario.get("route_mix") or {}
+    total = sum(mix.values())
+    if total <= 0:
+        return 0.0
+    return mix.get("dense", 0) / total
+
+
+def compare_bench(
+    baseline: dict,
+    current: dict,
+    thresholds: GateThresholds = GateThresholds(),
+) -> tuple[list[str], list[str]]:
+    """Diff two parsed bench reports; returns ``(regressions, notes)``.
+
+    ``regressions`` non-empty means the gate fails; ``notes`` are
+    informational (new scenarios, improvements worth logging).
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    for role, doc in (("baseline", baseline), ("current", current)):
+        errors = validate_bench_serving(doc)
+        if errors:
+            regressions.extend(f"{role}: {e}" for e in errors)
+    if regressions:
+        return regressions, notes
+
+    base_by_name = {s["name"]: s for s in baseline["scenarios"]}
+    cur_by_name = {s["name"]: s for s in current["scenarios"]}
+    for name in sorted(set(cur_by_name) - set(base_by_name)):
+        notes.append(f"scenario {name!r}: new (not in baseline)")
+    for name, base in sorted(base_by_name.items()):
+        cur = cur_by_name.get(name)
+        if cur is None:
+            regressions.append(f"scenario {name!r}: missing from current report")
+            continue
+        miss_delta = cur["deadline_miss_rate"] - base["deadline_miss_rate"]
+        if miss_delta > thresholds.miss_tol:
+            regressions.append(
+                f"scenario {name!r}: deadline_miss_rate rose "
+                f"{base['deadline_miss_rate']:.4f} -> "
+                f"{cur['deadline_miss_rate']:.4f} "
+                f"(+{miss_delta:.4f} > tol {thresholds.miss_tol})"
+            )
+        dense_delta = _dense_fraction(cur) - _dense_fraction(base)
+        if dense_delta > thresholds.dense_tol:
+            regressions.append(
+                f"scenario {name!r}: dense route fraction rose "
+                f"{_dense_fraction(base):.3f} -> {_dense_fraction(cur):.3f} "
+                f"(+{dense_delta:.3f} > tol {thresholds.dense_tol})"
+            )
+        if thresholds.throughput_tol is not None:
+            floor = base["throughput_rps"] * (1.0 - thresholds.throughput_tol)
+            if cur["throughput_rps"] < floor:
+                regressions.append(
+                    f"scenario {name!r}: throughput_rps fell "
+                    f"{base['throughput_rps']:.3f} -> "
+                    f"{cur['throughput_rps']:.3f} "
+                    f"(floor {floor:.3f} at tol {thresholds.throughput_tol})"
+                )
+
+    base_comp = baseline.get("comparison") or {}
+    cur_comp = current.get("comparison") or {}
+    base_speedup = base_comp.get("throughput_speedup")
+    cur_speedup = cur_comp.get("throughput_speedup")
+    if isinstance(base_speedup, (int, float)) and base_speedup > 0:
+        if not isinstance(cur_speedup, (int, float)):
+            regressions.append(
+                "comparison: baseline records throughput_speedup "
+                f"{base_speedup:.2f}x but current records none"
+            )
+        else:
+            floor = base_speedup * (1.0 - thresholds.speedup_tol)
+            if cur_speedup < floor:
+                regressions.append(
+                    f"comparison: throughput_speedup fell {base_speedup:.2f}x -> "
+                    f"{cur_speedup:.2f}x (floor {floor:.2f}x at tol "
+                    f"{thresholds.speedup_tol})"
+                )
+            elif cur_speedup > base_speedup:
+                notes.append(
+                    f"comparison: throughput_speedup improved "
+                    f"{base_speedup:.2f}x -> {cur_speedup:.2f}x"
+                )
+    return regressions, notes
+
+
+def compare_bench_files(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    thresholds: GateThresholds = GateThresholds(),
+) -> tuple[list[str], list[str]]:
+    """File-level wrapper; unreadable/invalid JSON is a regression."""
+    docs = []
+    for role, path in (("baseline", baseline_path), ("current", current_path)):
+        try:
+            docs.append(json.loads(Path(path).read_text()))
+        except OSError as exc:
+            return [f"{role} {path}: unreadable ({exc})"], []
+        except json.JSONDecodeError as exc:
+            return [f"{role} {path}: invalid JSON ({exc.msg})"], []
+    return compare_bench(docs[0], docs[1], thresholds)

@@ -16,6 +16,14 @@ estimates p50/p95/p99 by linear interpolation inside the winning bucket
 All three metric types are thread-safe; the registry is get-or-create
 keyed by metric name, and re-registering a name as a different type is a
 typed error rather than silent aliasing.
+
+For the multi-process shard tier every metric is also **mergeable**:
+``snapshot()`` dumps a family to a plain-JSON record, ``merge()`` folds
+such a record back in (counters and histogram buckets add; gauges are
+last-writer-wins by the snapshot's ``captured_at``), and
+:func:`diff_snapshot` delta-encodes two registry snapshots so workers
+ship only what changed since the previous heartbeat — see
+docs/fleet_observability.md for the wire format.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 
 #: Default histogram bucket upper bounds, in seconds — tuned for queue
 #: waits and preprocessing stages (0.1 ms .. 10 s; +Inf is implicit).
@@ -48,8 +57,29 @@ _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
+#: Schema tag stamped on every registry snapshot (and snapshot delta).
+METRICS_SNAPSHOT_SCHEMA = "repro.metrics_snapshot/v1"
+
+
 class MetricTypeError(TypeError):
     """A metric name was re-registered as a different metric type."""
+
+
+class SnapshotError(ValueError):
+    """Base of the typed snapshot/merge errors."""
+
+
+class SnapshotSchemaError(SnapshotError):
+    """A snapshot record is malformed or carries the wrong schema tag."""
+
+
+class BucketMismatchError(SnapshotError):
+    """Histogram merge across differing bucket boundaries.
+
+    Bucket counts from one boundary set cannot be redistributed onto
+    another without inventing data, so this is always an error — the
+    fleet requires every process to agree on bucket bounds per name.
+    """
 
 
 def _check_name(name: str) -> str:
@@ -63,6 +93,31 @@ def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
         if not _LABEL_RE.match(k):
             raise ValueError(f"invalid label name {k!r}")
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _merged_labels(
+    labels: dict | None, extra_labels: dict[str, str] | None
+) -> dict[str, str]:
+    """Series labels from a snapshot row, with ``extra_labels`` folded in.
+
+    The extras win on collision: the fleet registry stamps ``shard`` /
+    ``incarnation`` onto every merged series and must not be spoofable
+    by a worker-side label of the same name.
+    """
+    out = {str(k): str(v) for k, v in (labels or {}).items()}
+    for k, v in (extra_labels or {}).items():
+        out[str(k)] = str(v)
+    return out
+
+
+def _check_snapshot_kind(metric: Metric, snap: dict) -> None:
+    if not isinstance(snap, dict):
+        raise SnapshotSchemaError(f"metric snapshot must be a dict, not {type(snap)}")
+    kind = snap.get("kind")
+    if kind != metric.kind:
+        raise SnapshotSchemaError(
+            f"cannot merge {kind!r} snapshot into {metric.kind} {metric.name!r}"
+        )
 
 
 class Metric:
@@ -106,6 +161,28 @@ class Counter(Metric):
         with self._lock:
             return [(dict(k), v) for k, v in sorted(self._values.items())]
 
+    def snapshot(self) -> dict:
+        """Plain-JSON record of every series (mergeable elsewhere)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "series": [
+                    {"labels": dict(k), "value": v}
+                    for k, v in sorted(self._values.items())
+                ],
+            }
+
+    def merge(self, snap: dict, extra_labels: dict[str, str] | None = None) -> None:
+        """Fold a counter snapshot in: per-series values **add**."""
+        _check_snapshot_kind(self, snap)
+        for row in snap.get("series", ()):
+            amount = float(row.get("value", 0.0))
+            if amount == 0.0:
+                continue
+            self.inc(amount, **_merged_labels(row.get("labels"), extra_labels))
+
     def reset(self) -> None:
         with self._lock:
             self._values.clear()
@@ -119,6 +196,11 @@ class Gauge(Metric):
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[tuple, float] = {}
+        #: Per-series ``captured_at`` of the latest applied merge; local
+        #: writes do not stamp, so merges resolve against each other by
+        #: snapshot time while label disjointness (the fleet's
+        #: shard/incarnation labels) keeps local and remote series apart.
+        self._stamps: dict[tuple, float] = {}
 
     def set(self, value: float, **labels: str) -> None:
         with self._lock:
@@ -137,9 +219,44 @@ class Gauge(Metric):
         with self._lock:
             return [(dict(k), v) for k, v in sorted(self._values.items())]
 
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "series": [
+                    {"labels": dict(k), "value": v}
+                    for k, v in sorted(self._values.items())
+                ],
+            }
+
+    def merge(
+        self,
+        snap: dict,
+        extra_labels: dict[str, str] | None = None,
+        captured_at: float = 0.0,
+    ) -> None:
+        """Fold a gauge snapshot in: **last writer wins** per series.
+
+        "Last" is decided by the snapshot-level ``captured_at``
+        timestamp, so merging two snapshots in either order converges on
+        the same value (ties go to the merge applied later, matching
+        in-order heartbeat delivery).
+        """
+        _check_snapshot_kind(self, snap)
+        for row in snap.get("series", ()):
+            labels = _merged_labels(row.get("labels"), extra_labels)
+            key = _label_key(labels)
+            with self._lock:
+                if captured_at >= self._stamps.get(key, float("-inf")):
+                    self._values[key] = float(row.get("value", 0.0))
+                    self._stamps[key] = captured_at
+
     def reset(self) -> None:
         with self._lock:
             self._values.clear()
+            self._stamps.clear()
 
 
 class _HistSeries:
@@ -242,6 +359,56 @@ class Histogram(Metric):
         with self._lock:
             return [(dict(k), s.sum) for k, s in sorted(self._series.items())]
 
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "buckets": list(self.buckets),
+                "series": [
+                    {
+                        "labels": dict(k),
+                        "bucket_counts": list(s.bucket_counts),
+                        "sum": s.sum,
+                        "count": s.count,
+                    }
+                    for k, s in sorted(self._series.items())
+                ],
+            }
+
+    def merge(self, snap: dict, extra_labels: dict[str, str] | None = None) -> None:
+        """Fold a histogram snapshot in: bucket counts, sum, count **add**.
+
+        Raises :class:`BucketMismatchError` when the snapshot was taken
+        against different bucket boundaries — counts cannot be
+        redistributed across bounds.
+        """
+        _check_snapshot_kind(self, snap)
+        bounds = tuple(float(b) for b in snap.get("buckets", ()))
+        if bounds != self.buckets:
+            raise BucketMismatchError(
+                f"histogram {self.name!r}: snapshot buckets {bounds} do not "
+                f"match registered buckets {self.buckets}"
+            )
+        for row in snap.get("series", ()):
+            counts = row.get("bucket_counts", ())
+            if len(counts) != len(self.buckets) + 1:
+                raise BucketMismatchError(
+                    f"histogram {self.name!r}: snapshot series has "
+                    f"{len(counts)} buckets, expected {len(self.buckets) + 1}"
+                )
+            labels = _merged_labels(row.get("labels"), extra_labels)
+            key = _label_key(labels)
+            with self._lock:
+                series = self._series.get(key)
+                if series is None:
+                    series = self._series[key] = _HistSeries(len(self.buckets))
+                for i, c in enumerate(counts):
+                    series.bucket_counts[i] += int(c)
+                series.sum += float(row.get("sum", 0.0))
+                series.count += int(row.get("count", 0))
+
     def reset(self) -> None:
         with self._lock:
             self._series.clear()
@@ -299,6 +466,155 @@ class MetricsRegistry:
         """Drop every registration and value — a fresh process view."""
         with self._lock:
             self._metrics.clear()
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self, captured_at: float | None = None) -> dict:
+        """Schema-stamped plain-JSON dump of every family.
+
+        ``captured_at`` (wall-clock seconds; defaults to ``time.time()``)
+        orders gauge merges: when two snapshots of the same series meet
+        in one registry, the later capture wins.
+        """
+        return {
+            "schema": METRICS_SNAPSHOT_SCHEMA,
+            "captured_at": time.time() if captured_at is None else float(captured_at),
+            "metrics": [m.snapshot() for m in self.metrics()],
+        }
+
+    def merge_snapshot(
+        self, snap: dict, extra_labels: dict[str, str] | None = None
+    ) -> None:
+        """Fold a :meth:`snapshot` (or :func:`diff_snapshot` delta) in.
+
+        Families are get-or-created by name, so a fresh registry accepts
+        any snapshot; ``extra_labels`` is stamped onto every merged
+        series (the fleet registry adds ``shard``/``incarnation`` here).
+        Raises :class:`SnapshotSchemaError` on malformed records,
+        :class:`MetricTypeError` on a name/kind clash, and
+        :class:`BucketMismatchError` on histogram boundary mismatch.
+        """
+        if not isinstance(snap, dict):
+            raise SnapshotSchemaError(f"snapshot must be a dict, not {type(snap)}")
+        if snap.get("schema") != METRICS_SNAPSHOT_SCHEMA:
+            raise SnapshotSchemaError(
+                f"snapshot schema is {snap.get('schema')!r}, "
+                f"expected {METRICS_SNAPSHOT_SCHEMA!r}"
+            )
+        captured_at = float(snap.get("captured_at", 0.0))
+        for rec in snap.get("metrics", ()):
+            if not isinstance(rec, dict) or not rec.get("name"):
+                raise SnapshotSchemaError(f"malformed metric record: {rec!r}")
+            kind = rec.get("kind")
+            name = rec["name"]
+            help = rec.get("help", "")
+            if kind == "counter":
+                self.counter(name, help).merge(rec, extra_labels)
+            elif kind == "gauge":
+                self.gauge(name, help).merge(rec, extra_labels, captured_at=captured_at)
+            elif kind == "histogram":
+                buckets = rec.get("buckets")
+                if not buckets:
+                    raise SnapshotSchemaError(
+                        f"histogram record {name!r} is missing bucket bounds"
+                    )
+                self.histogram(
+                    name, help, buckets=tuple(float(b) for b in buckets)
+                ).merge(rec, extra_labels)
+            else:
+                raise SnapshotSchemaError(
+                    f"unknown metric kind {kind!r} for {name!r}"
+                )
+
+
+def _series_key(row: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in (row.get("labels") or {}).items()))
+
+
+def _diff_counter_row(row: dict, prev: dict | None) -> dict | None:
+    value = float(row.get("value", 0.0))
+    if prev is not None:
+        delta = value - float(prev.get("value", 0.0))
+        # A shrink means the source series was reset (fresh process);
+        # ship the absolute restart value rather than a negative delta.
+        value = value if delta < 0 else delta
+    if value == 0.0:
+        return None
+    return {"labels": dict(row.get("labels") or {}), "value": value}
+
+
+def _diff_hist_row(row: dict, prev: dict | None) -> dict | None:
+    counts = [int(c) for c in row.get("bucket_counts", ())]
+    total = int(row.get("count", 0))
+    hsum = float(row.get("sum", 0.0))
+    if prev is not None:
+        prev_counts = [int(c) for c in prev.get("bucket_counts", ())]
+        if len(prev_counts) == len(counts):
+            deltas = [c - p for c, p in zip(counts, prev_counts)]
+            dcount = total - int(prev.get("count", 0))
+            if dcount >= 0 and all(d >= 0 for d in deltas):
+                counts = deltas
+                total = dcount
+                hsum = hsum - float(prev.get("sum", 0.0))
+            # else: reset — ship the absolute restart values.
+    if total == 0 and not any(counts):
+        return None
+    return {
+        "labels": dict(row.get("labels") or {}),
+        "bucket_counts": counts,
+        "sum": hsum,
+        "count": total,
+    }
+
+
+def diff_snapshot(current: dict, previous: dict | None) -> dict:
+    """Delta-encode ``current`` against ``previous`` (same schema).
+
+    The result is itself a mergeable snapshot: counters and histogram
+    series carry only what accrued since ``previous`` (a reset — the
+    value shrank — ships the absolute restart value), gauges always ride
+    absolute, and series that contribute nothing are dropped, so an idle
+    worker's heartbeat delta is empty.
+    """
+    if previous is None:
+        return current
+    prev_by_name = {
+        m.get("name"): m for m in previous.get("metrics", ()) if isinstance(m, dict)
+    }
+    out: list[dict] = []
+    for rec in current.get("metrics", ()):
+        kind = rec.get("kind")
+        prev = prev_by_name.get(rec.get("name"))
+        if prev is not None and prev.get("kind") != kind:
+            prev = None
+        if kind == "gauge":
+            if rec.get("series"):
+                out.append(rec)
+            continue
+        if (
+            kind == "histogram"
+            and prev is not None
+            and list(prev.get("buckets", ())) != list(rec.get("buckets", ()))
+        ):
+            prev = None  # bucket change across restarts: ship absolute
+        prev_rows = (
+            {_series_key(r): r for r in prev.get("series", ())}
+            if prev is not None
+            else {}
+        )
+        differ = _diff_hist_row if kind == "histogram" else _diff_counter_row
+        rows = []
+        for row in rec.get("series", ()):
+            d = differ(row, prev_rows.get(_series_key(row)))
+            if d is not None:
+                rows.append(d)
+        if rows:
+            out.append({**rec, "series": rows})
+    return {
+        "schema": current.get("schema", METRICS_SNAPSHOT_SCHEMA),
+        "captured_at": current.get("captured_at", 0.0),
+        "metrics": out,
+    }
 
 
 _GLOBAL_METRICS = MetricsRegistry()

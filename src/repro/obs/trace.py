@@ -29,6 +29,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from .metrics import get_metrics
+
 
 class ManualClock:
     """Deterministic monotonic clock for tests: ``advance`` to move time."""
@@ -127,16 +129,42 @@ class Span:
         return span
 
 
-class SpanBuffer:
-    """Thread-safe in-memory sink of completed spans."""
+#: Default :class:`SpanBuffer` capacity.  At ~1 KiB per serialized span
+#: this bounds an undrained armed tracer near 100 MiB instead of letting
+#: a long shard-bench run grow without limit.
+DEFAULT_MAX_SPANS = 100_000
 
-    def __init__(self) -> None:
+
+class SpanBuffer:
+    """Thread-safe in-memory sink of completed spans, bounded.
+
+    A full buffer drops the *incoming* span (keeping the earliest ones
+    preserves trace roots, so parent resolution of what survives still
+    works), counts it in :attr:`dropped`, and increments the
+    ``repro_obs_spans_dropped_total`` counter.  ``max_spans=None``
+    disables the bound.
+    """
+
+    def __init__(self, max_spans: int | None = DEFAULT_MAX_SPANS) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise ValueError("max_spans must be >= 1 (or None for unbounded)")
+        self.max_spans = max_spans
+        self.dropped = 0
         self._spans: list[Span] = []
         self._lock = threading.Lock()
 
     def add(self, span: Span) -> None:
         with self._lock:
-            self._spans.append(span)
+            if self.max_spans is not None and len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(span)
+                return
+        # Outside the lock: the metrics registry takes its own.
+        get_metrics().counter(
+            "repro_obs_spans_dropped_total",
+            "completed spans dropped because the span buffer was full",
+        ).inc()
 
     def snapshot(self) -> list[Span]:
         with self._lock:

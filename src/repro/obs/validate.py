@@ -12,15 +12,26 @@ every ``parent_id`` resolves to a span of the *same* trace, and no trace
 is an orphan (each has at least one root span).  Events must fall inside
 their span's interval.
 
-Exposition checks: every non-comment line matches the sample grammar,
-``# TYPE`` precedes its samples, histogram buckets are cumulative
-(non-decreasing) and end with a ``+Inf`` bucket equal to ``_count``.
+Exposition checks: every non-comment line matches the sample grammar
+(label values are parsed quote-aware, so escaped newlines and literal
+``}`` inside values are fine — per exposition format 0.0.4 only ``\\``,
+``"`` and line feeds are escaped), ``# TYPE`` precedes its samples,
+histogram buckets are cumulative (non-decreasing) and end with a
+``+Inf`` bucket equal to ``_count``.
 
 Bench checks (``--bench BENCH_serving.json``, produced by ``repro
 sched-bench`` / ``serve-bench --bench-json``): the schema tag matches,
 every scenario carries typed throughput / tail-latency / miss-rate /
 route-mix fields with sane ranges, and the comparison block (when
 present) references real scenarios.
+
+Fleet-snapshot checks (``--fleet-snapshot fleet.json``, produced by
+``repro shard-bench --fleet-snapshot-out``): the snapshot schema tag
+matches, every metric record carries a valid name/kind/series shape,
+and histogram series agree with their bucket bounds.
+
+``--bench-compare BASELINE CURRENT`` runs the perf-regression gate
+(:mod:`repro.obs.benchgate`) and exits nonzero on any regression.
 """
 
 from __future__ import annotations
@@ -34,12 +45,63 @@ from typing import Iterable
 
 _REQUIRED_SPAN_FIELDS = ("trace_id", "span_id", "name", "start_s", "end_s")
 
-_SAMPLE_RE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?P<labels>\{[^}]*\})?"
-    r" (?P<value>-?[0-9.eE+]+|\+Inf|-Inf|NaN)$"
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# Go strconv.ParseFloat grammar (what Prometheus accepts): optional
+# sign, digits with optional fraction, optional signed exponent — tiny
+# histogram sums render like ``1.2e-06``, so the exponent sign matters.
+_SAMPLE_VALUE_RE = re.compile(
+    r"^([+-]?([0-9]+(\.[0-9]*)?|\.[0-9]+)([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$"
 )
 _LABEL_ITEM_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _scan_label_block(line: str, start: int) -> int | None:
+    """Index one past the ``}`` closing the label block at ``start``.
+
+    Quote-aware: per exposition format 0.0.4 only ``\\``, ``"`` and LF
+    are escaped inside label values — a literal ``}`` is legal, so the
+    closing brace is the first one *outside* quotes (a naive
+    ``\\{[^}]*\\}`` regex truncates such values).
+    """
+    i = start + 1
+    in_quotes = False
+    while i < len(line):
+        ch = line[i]
+        if in_quotes:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                in_quotes = False
+        elif ch == '"':
+            in_quotes = True
+        elif ch == "}":
+            return i + 1
+        i += 1
+    return None
+
+
+def _split_sample(line: str) -> tuple[str, str | None, str] | None:
+    """Split a sample line into (name, raw label block, value string)."""
+    m = _METRIC_NAME_RE.match(line)
+    if m is None:
+        return None
+    name = m.group(0)
+    pos = m.end()
+    labels_raw: str | None = None
+    if pos < len(line) and line[pos] == "{":
+        end = _scan_label_block(line, pos)
+        if end is None:
+            return None
+        labels_raw = line[pos:end]
+        pos = end
+    if pos >= len(line) or line[pos] != " ":
+        return None
+    value = line[pos + 1 :]
+    if not _SAMPLE_VALUE_RE.match(value):
+        return None
+    return name, labels_raw, value
 
 
 def validate_span_records(records: Iterable[dict]) -> list[str]:
@@ -155,12 +217,12 @@ def validate_prometheus_text(text: str) -> list[str]:
         if line.startswith("#"):
             errors.append(f"line {lineno}: unknown comment {line!r}")
             continue
-        m = _SAMPLE_RE.match(line)
-        if m is None:
+        sample = _split_sample(line)
+        if sample is None:
             errors.append(f"line {lineno}: malformed sample line {line!r}")
             continue
-        name = m.group("name")
-        labels = _parse_labels(m.group("labels"))
+        name, labels_raw, value_str = sample
+        labels = _parse_labels(labels_raw)
         if labels is None:
             errors.append(f"line {lineno}: malformed label block in {line!r}")
             continue
@@ -179,10 +241,10 @@ def validate_prometheus_text(text: str) -> list[str]:
                 continue
             bound = float("inf") if le == "+Inf" else float(le)
             key = (base, tuple(sorted(labels.items())))
-            hist_buckets.setdefault(key, []).append((bound, float(m.group("value"))))
+            hist_buckets.setdefault(key, []).append((bound, float(value_str)))
         elif types.get(base) == "histogram" and name == f"{base}_count":
             key = (base, tuple(sorted(labels.items())))
-            hist_counts[key] = float(m.group("value"))
+            hist_counts[key] = float(value_str)
     for key, buckets in sorted(hist_buckets.items()):
         name = f"{key[0]}{dict(key[1]) or ''}"
         bounds = [b for b, _ in buckets]
@@ -291,6 +353,112 @@ def validate_bench_serving_text(text: str) -> list[str]:
     return validate_bench_serving(doc)
 
 
+_SNAPSHOT_SCHEMA = "repro.metrics_snapshot/v1"
+_SNAPSHOT_KINDS = ("counter", "gauge", "histogram")
+
+
+def _validate_snapshot_labels(labels, where: str, errors: list[str]) -> None:
+    if not isinstance(labels, dict):
+        errors.append(f"{where}: labels must be an object")
+        return
+    for k, v in labels.items():
+        if not isinstance(k, str) or not _LABEL_NAME_RE.match(k):
+            errors.append(f"{where}: invalid label name {k!r}")
+        if not isinstance(v, str):
+            errors.append(f"{where}: label {k!r} value must be a string")
+
+
+def validate_metrics_snapshot(doc) -> list[str]:
+    """Schema-check a parsed registry snapshot (or snapshot delta)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != _SNAPSHOT_SCHEMA:
+        errors.append(
+            f"schema is {doc.get('schema')!r}, expected {_SNAPSHOT_SCHEMA!r}"
+        )
+    if not _is_num(doc.get("captured_at")):
+        errors.append("captured_at must be a number")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        return errors + ["metrics must be a list"]
+    names: set[str] = set()
+    for i, rec in enumerate(metrics):
+        where = f"metric #{i}"
+        if not isinstance(rec, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        name = rec.get("name")
+        if not isinstance(name, str) or not _METRIC_NAME_RE.fullmatch(name):
+            errors.append(f"{where}: invalid metric name {name!r}")
+            continue
+        where = f"metric {name!r}"
+        if name in names:
+            errors.append(f"{where}: duplicate metric record")
+        names.add(name)
+        kind = rec.get("kind")
+        if kind not in _SNAPSHOT_KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+            continue
+        series = rec.get("series")
+        if not isinstance(series, list):
+            errors.append(f"{where}: series must be a list")
+            continue
+        buckets = None
+        if kind == "histogram":
+            buckets = rec.get("buckets")
+            if (
+                not isinstance(buckets, list)
+                or not buckets
+                or not all(_is_num(b) for b in buckets)
+                or [float(b) for b in buckets] != sorted({float(b) for b in buckets})
+            ):
+                errors.append(
+                    f"{where}: buckets must be a strictly increasing numeric list"
+                )
+                continue
+        for j, row in enumerate(series):
+            rwhere = f"{where} series #{j}"
+            if not isinstance(row, dict):
+                errors.append(f"{rwhere}: not a JSON object")
+                continue
+            _validate_snapshot_labels(row.get("labels", {}), rwhere, errors)
+            if kind in ("counter", "gauge"):
+                if not _is_num(row.get("value")):
+                    errors.append(f"{rwhere}: value must be a number")
+                elif kind == "counter" and row["value"] < 0:
+                    errors.append(f"{rwhere}: counter value must be non-negative")
+            else:
+                counts = row.get("bucket_counts")
+                if (
+                    not isinstance(counts, list)
+                    or not all(isinstance(c, int) and c >= 0 for c in counts)
+                    or len(counts) != len(buckets) + 1
+                ):
+                    errors.append(
+                        f"{rwhere}: bucket_counts must be "
+                        f"{len(buckets) + 1} non-negative integers"
+                    )
+                elif not isinstance(row.get("count"), int) or row["count"] != sum(
+                    counts
+                ):
+                    errors.append(
+                        f"{rwhere}: count must equal the bucket_counts total"
+                    )
+                if not _is_num(row.get("sum")):
+                    errors.append(f"{rwhere}: sum must be a number")
+    return errors
+
+
+def validate_metrics_snapshot_text(text: str) -> list[str]:
+    """Parse + schema-check a JSON registry-snapshot export."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON ({exc.msg})"]
+    return validate_metrics_snapshot(doc)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
@@ -306,9 +474,58 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="BENCH_serving.json bench report (repro sched-bench output)",
     )
+    parser.add_argument(
+        "--fleet-snapshot",
+        type=Path,
+        default=None,
+        help="fleet metrics snapshot JSON (repro shard-bench --fleet-snapshot-out)",
+    )
+    parser.add_argument(
+        "--bench-compare",
+        nargs=2,
+        type=Path,
+        default=None,
+        metavar=("BASELINE", "CURRENT"),
+        help="perf-regression gate: diff two BENCH_serving.json artifacts, "
+        "nonzero exit on regression",
+    )
+    parser.add_argument(
+        "--miss-tol",
+        type=float,
+        default=None,
+        help="bench-compare: tolerated absolute deadline_miss_rate increase",
+    )
+    parser.add_argument(
+        "--dense-tol",
+        type=float,
+        default=None,
+        help="bench-compare: tolerated dense route-mix fraction increase",
+    )
+    parser.add_argument(
+        "--speedup-tol",
+        type=float,
+        default=None,
+        help="bench-compare: tolerated fractional throughput_speedup drop",
+    )
+    parser.add_argument(
+        "--throughput-tol",
+        type=float,
+        default=None,
+        help="bench-compare: tolerated fractional throughput_rps drop "
+        "(absolute wall-clock — off by default, CI machines are noisy)",
+    )
     args = parser.parse_args(argv)
-    if args.spans is None and args.metrics is None and args.bench is None:
-        parser.error("nothing to validate: pass --spans, --metrics, and/or --bench")
+    if (
+        args.spans is None
+        and args.metrics is None
+        and args.bench is None
+        and args.fleet_snapshot is None
+        and args.bench_compare is None
+    ):
+        parser.error(
+            "nothing to validate: pass --spans, --metrics, --bench, "
+            "--fleet-snapshot, and/or --bench-compare"
+        )
     failed = False
     if args.spans is not None:
         errors = validate_spans_jsonl(args.spans.read_text())
@@ -335,6 +552,40 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{args.bench}: {e}", file=sys.stderr)
         else:
             print(f"{args.bench}: bench report ok")
+    if args.fleet_snapshot is not None:
+        errors = validate_metrics_snapshot_text(args.fleet_snapshot.read_text())
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{args.fleet_snapshot}: {e}", file=sys.stderr)
+        else:
+            print(f"{args.fleet_snapshot}: fleet snapshot ok")
+    if args.bench_compare is not None:
+        # Local import: benchgate imports this module for schema checks.
+        from .benchgate import GateThresholds, compare_bench_files
+
+        overrides = {
+            key: value
+            for key, value in (
+                ("miss_tol", args.miss_tol),
+                ("dense_tol", args.dense_tol),
+                ("speedup_tol", args.speedup_tol),
+                ("throughput_tol", args.throughput_tol),
+            )
+            if value is not None
+        }
+        base_path, cur_path = args.bench_compare
+        regressions, notes = compare_bench_files(
+            base_path, cur_path, GateThresholds(**overrides)
+        )
+        for note in notes:
+            print(f"bench-compare: note: {note}")
+        if regressions:
+            failed = True
+            for r in regressions:
+                print(f"bench-compare: REGRESSION: {r}", file=sys.stderr)
+        else:
+            print(f"bench-compare: {cur_path} holds the line against {base_path}")
     return 1 if failed else 0
 
 

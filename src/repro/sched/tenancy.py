@@ -134,6 +134,8 @@ class AdmissionController:
         self._configs: dict[str, TenantConfig] = {}
         self._buckets: dict[str, TokenBucket] = {}
         self._throttled: dict[str, int] = {}
+        self._shed: dict[str, int] = {}
+        self._shedding = False
         self._lock = threading.Lock()
 
     def register(self, config: TenantConfig) -> "AdmissionController":
@@ -154,15 +156,54 @@ class AdmissionController:
     def weight(self, tenant: str) -> int:
         return self.config_for(tenant).weight
 
+    def set_shedding(self, active: bool) -> None:
+        """Flip SLO-driven load shedding for ``best_effort`` traffic.
+
+        While active, scavenger-class tenants are refused at admission
+        (:class:`ThrottledError` with a one-heartbeat retry hint) so the
+        burning budget recovers without touching interactive or batch
+        traffic.  Driven by :class:`~repro.obs.SloTracker`; idempotent,
+        so the tracker can call it on every evaluation.
+        """
+        with self._lock:
+            if self._shedding == active:
+                return
+            self._shedding = active
+        get_metrics().gauge(
+            "repro_sched_shedding", "1 while SLO burn-rate shedding is active"
+        ).set(1.0 if active else 0.0)
+
+    @property
+    def shedding(self) -> bool:
+        with self._lock:
+            return self._shedding
+
     def admit(self, tenant: str, now: float) -> None:
         """Admit one request from ``tenant`` or raise :class:`ThrottledError`."""
         with self._lock:
             cfg = self._configs.get(tenant, self.default)
-            if cfg.rate_per_s is None:
+            shed = self._shedding and cfg.priority == "best_effort"
+            if shed:
+                self._shed[tenant] = self._shed.get(tenant, 0) + 1
+                self._throttled[tenant] = self._throttled.get(tenant, 0) + 1
+            elif cfg.rate_per_s is None:
                 return
-            bucket = self._buckets.get(tenant)
-            if bucket is None:
-                bucket = self._buckets[tenant] = TokenBucket(cfg.rate_per_s, cfg.burst)
+            else:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = self._buckets[tenant] = TokenBucket(
+                        cfg.rate_per_s, cfg.burst
+                    )
+        if shed:
+            get_metrics().counter(
+                "repro_sched_shed_total",
+                "best_effort requests refused while SLO shedding is active",
+            ).inc(tenant=tenant)
+            get_metrics().counter(
+                "repro_sched_throttled_total",
+                "requests shed by per-tenant rate limits",
+            ).inc(tenant=tenant)
+            raise ThrottledError(tenant, retry_after_s=0.1)
         if bucket.try_acquire(now):
             return
         retry_after = bucket.retry_after(now)
@@ -181,3 +222,13 @@ class AdmissionController:
     def throttled_by_tenant(self) -> dict[str, int]:
         with self._lock:
             return dict(self._throttled)
+
+    @property
+    def shed(self) -> int:
+        """Requests refused by SLO shedding (a subset of ``throttled``)."""
+        with self._lock:
+            return sum(self._shed.values())
+
+    def shed_by_tenant(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._shed)

@@ -424,6 +424,13 @@ class _RoutingMixin:
         metrics.counter(
             "repro_kernel_us_total", "simulated kernel microseconds attributed by route"
         ).inc(stats.kernel_us, route=stats.route)
+        metrics.histogram(
+            "repro_kernel_seconds", "per-request attributed kernel latency by route"
+        ).observe(stats.kernel_us / 1e6, route=stats.route)
+        if stats.deadline_expired:
+            metrics.counter(
+                "repro_deadline_missed_total", "requests that missed their deadline"
+            ).inc(route=stats.route)
 
     def _record_batch(
         self, name: str, version: str, route: str, live: list[_Entry], us: float

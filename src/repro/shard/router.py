@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.baselines.cublas import cublas_hgemm
 from repro.gpu.device import A100, DeviceSpec
-from repro.obs import Span, get_tracer
+from repro.obs import FleetMetrics, SloTracker, Span, get_metrics, get_tracer
 from repro.sched import AdmissionController
 from repro.serve import RequestStats, ServeResult, ServeStats, SpmmRequest
 from repro.serve.errors import ExecutorClosedError, ServeError
@@ -125,6 +125,7 @@ class ShardRouter:
         device: DeviceSpec = A100,
         clock: Callable[[], float] = perf_counter,
         on_control: Callable[[dict], None] | None = None,
+        slo: SloTracker | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -135,6 +136,11 @@ class ShardRouter:
         self.max_redeliveries = max_redeliveries
         self.device = device
         self.on_control = on_control
+        self.slo = slo
+        #: Fleet-wide fold of worker metrics deltas (shard/incarnation
+        #: labeled); defaults into the process-global registry so a
+        #: ``--metrics-out`` export carries the whole fleet.
+        self.fleet = FleetMetrics()
         self._clock = clock
         self._ring_points, self._ring_shards = _ring_points(num_shards)
         self._lock = threading.RLock()
@@ -414,6 +420,7 @@ class ShardRouter:
                 self.poison_served += 1
                 self._request_stats.append(stats)
                 self._inflight.pop(entry.rid, None)
+            self._record_served(stats, stats.queue_wait_s)
             self._finish_span(entry, route="dense", poisoned=True)
             try:
                 entry.future.set_result(ServeResult(c=c, stats=stats))
@@ -428,6 +435,22 @@ class ShardRouter:
                     entry.future.set_exception(exc)
                 except InvalidStateError:
                     pass
+
+    def _record_served(self, stats: RequestStats, latency_s: float) -> None:
+        """End-to-end latency + SLO feed for one answered request.
+
+        Runs in the router process (reader threads / dense pool), so the
+        fleet's tail-latency view includes wire and redelivery time the
+        workers cannot see.
+        """
+        get_metrics().histogram(
+            "repro_shard_request_seconds",
+            "end-to-end request latency at the shard router by route",
+        ).observe(latency_s, route=stats.route)
+        if self.slo is not None:
+            self.slo.record(
+                stats.tenant, latency_s, stats.deadline_expired, now=self._clock()
+            )
 
     def _finish_span(self, entry, route, poisoned=False, error=False) -> None:
         if entry.span is None:
@@ -457,6 +480,11 @@ class ShardRouter:
                 self._on_error(header)
             elif mtype in ("heartbeat", "bye"):
                 self._ingest_spans(header.get("spans") or [])
+                self.fleet.ingest(
+                    header.get("metrics"),
+                    int(header.get("shard", -1)),
+                    int(header.get("incarnation", 0)),
+                )
                 self._note_reorder_runs(header)
                 if self.on_control is not None:
                     self.on_control(header)
@@ -506,6 +534,7 @@ class ShardRouter:
         )
         with self._lock:
             self._request_stats.append(stats)
+        self._record_served(stats, self._clock() - entry.submit_t)
         self._finish_span(entry, route=stats.route)
         try:
             entry.future.set_result(ServeResult(c=arrays["c"], stats=stats))

@@ -22,14 +22,23 @@ The :class:`Supervisor` owns the process-level half of the shard tier
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
+import os
 import socket
 import threading
 import time
 from pathlib import Path
 
 from repro.gpu.device import A100, DeviceSpec
-from repro.obs import get_tracer
+from repro.obs import (
+    FLEET_STATUS_SCHEMA,
+    SloTracker,
+    counter_by,
+    counter_total,
+    get_tracer,
+    histogram_percentiles,
+)
 from repro.sched import AdmissionController
 
 from . import wire
@@ -109,6 +118,9 @@ class Supervisor:
         explore_every: int | None = None,
         drain_timeout_s: float = 10.0,
         device: DeviceSpec = A100,
+        slo: SloTracker | None = None,
+        status_path: str | Path | None = None,
+        status_interval_s: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -134,6 +146,14 @@ class Supervisor:
         }
         self.drain_timeout_s = drain_timeout_s
         self.device = device
+        self.slo = slo
+        self.status_path = Path(status_path) if status_path is not None else None
+        #: How often the monitor refreshes the status file (``repro
+        #: top``'s poll target); defaults to the heartbeat cadence.
+        self.status_interval_s = (
+            heartbeat_interval_s if status_interval_s is None else status_interval_s
+        )
+        self._last_status_write = 0.0
         self.router: ShardRouter | None = None
         self.port: int | None = None
         self.crashes = 0
@@ -165,6 +185,7 @@ class Supervisor:
             max_redeliveries=self.max_redeliveries,
             device=self.device,
             on_control=self._on_control,
+            slo=self.slo,
         )
         self._acceptor = threading.Thread(
             target=self._accept_loop, name="shard-acceptor", daemon=True
@@ -274,9 +295,15 @@ class Supervisor:
         while not self._stopped.wait(self.monitor_interval_s):
             if self._stopping.is_set():
                 continue  # stop() owns the fleet now; no respawns
+            now = time.monotonic()
+            if (
+                self.status_path is not None
+                and now - self._last_status_write >= self.status_interval_s
+            ):
+                self._last_status_write = now
+                self._write_status()
             with self._lock:
                 snapshot = list(self._workers.items())
-            now = time.monotonic()
             for shard, st in snapshot:
                 exitcode = st.proc.exitcode
                 if exitcode is not None:
@@ -297,6 +324,9 @@ class Supervisor:
                 return  # already handled (respawn raced the next tick)
             self.crashes += 1
         assert self.router is not None
+        # The incarnation died between heartbeats: whatever accrued
+        # since its last shipped delta (metrics *and* spans) is gone.
+        self.router.fleet.note_crash(shard, st.incarnation)
         self.router.detach(shard)
         st.proc.join(timeout=5.0)
         st.proc.close()
@@ -304,6 +334,106 @@ class Supervisor:
             self._spawn(shard, incarnation=st.incarnation + 1)
             with self._lock:
                 self.respawns += 1
+
+    # -- fleet status ----------------------------------------------------------
+
+    def fleet_status(self) -> dict:
+        """One schema-stamped JSON document describing the whole tier.
+
+        This is what ``repro top`` renders and ``repro fleet-status``
+        prints: per-shard liveness + merged worker metrics (route mix,
+        kernel percentiles), router counters, fleet-wide aggregates, and
+        the SLO alert feed.  Worker-derived numbers come from the fleet
+        registry, so they survive crashes and trail truth by at most one
+        heartbeat.
+        """
+        assert self.router is not None
+        router = self.router
+        reg = router.fleet.registry
+        now = time.monotonic()
+        live = set(router.live_shards())
+        with self._lock:
+            workers = sorted(self._workers.items())
+        shards = []
+        for shard, st in workers:
+            try:
+                alive = st.proc.exitcode is None
+            except ValueError:  # process object already closed
+                alive = False
+            where = {"shard": str(shard)}
+            route_mix = counter_by(
+                reg, "repro_requests_total", "route", where, require=("shard",)
+            )
+            shards.append(
+                {
+                    "shard": shard,
+                    "incarnation": st.incarnation,
+                    "alive": alive,
+                    "attached": shard in live,
+                    "beat_age_s": now - st.last_beat,
+                    "requests_total": sum(route_mix.values()),
+                    "route_mix": route_mix,
+                    "kernel_seconds": histogram_percentiles(
+                        reg, "repro_kernel_seconds", where, require=("shard",)
+                    ),
+                    "queue_wait_seconds": histogram_percentiles(
+                        reg, "repro_queue_wait_seconds", where, require=("shard",)
+                    ),
+                    "breaker_transitions": counter_total(
+                        reg,
+                        "repro_breaker_transitions_total",
+                        where,
+                        require=("shard",),
+                    ),
+                }
+            )
+        fleet_route_mix = counter_by(
+            reg, "repro_requests_total", "route", require=("shard",)
+        )
+        doc = {
+            "schema": FLEET_STATUS_SCHEMA,
+            "generated_at": time.time(),
+            "workers": self.num_workers,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+            "shards": shards,
+            "router": {
+                "inflight": router.inflight,
+                "redeliveries": router.redeliveries,
+                "poison_served": router.poison_served,
+                "poisoned": sorted(router.poisoned_matrices),
+                "worker_errors": router.worker_errors,
+                "send_failures": router.send_failures,
+                "requests_total": len(router.request_stats()),
+                "request_seconds": histogram_percentiles(
+                    reg, "repro_shard_request_seconds"
+                ),
+            },
+            "fleet": {
+                "requests_total": sum(fleet_route_mix.values()),
+                "route_mix": fleet_route_mix,
+                "kernel_seconds": histogram_percentiles(
+                    reg, "repro_kernel_seconds", require=("shard",)
+                ),
+                "snapshots_ingested": router.fleet.snapshots_ingested,
+                "ingest_errors": router.fleet.ingest_errors,
+                "dropped_on_crash": router.fleet.dropped_on_crash,
+            },
+            "alerts": self.slo.to_status() if self.slo is not None else None,
+        }
+        return doc
+
+    def _write_status(self) -> None:
+        """Atomically refresh the status file (replace, never truncate)."""
+        if self.status_path is None:
+            return
+        try:
+            doc = self.fleet_status()
+            tmp = self.status_path.with_name(self.status_path.name + ".tmp")
+            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, self.status_path)
+        except OSError:
+            pass  # status is best-effort telemetry, never a crash source
 
     # -- shutdown --------------------------------------------------------------
 
@@ -329,8 +459,10 @@ class Supervisor:
             if st.proc.exitcode not in (0, None):
                 # Died *during* drain (e.g. an injected kill on the drain
                 # frame): counted, never respawned — the tier is closing.
+                # Its bye (and final metrics delta) never arrived.
                 with self._lock:
                     self.crashes += 1
+                self.router.fleet.note_crash(shard, st.incarnation)
             st.proc.close()
         self._stopped.set()
         if self._listener is not None:
@@ -342,3 +474,6 @@ class Supervisor:
         self.router.close()
         # All readers are joined: no more span batches can arrive.
         self.spans_pruned = _prune_crash_orphan_spans()
+        # Final snapshot: bye-flushed deltas are folded in by now, so
+        # this is the most complete fleet view the run will ever have.
+        self._write_status()

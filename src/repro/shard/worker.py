@@ -17,12 +17,17 @@ multiprocessing context.  A worker
   liveness signal: a *slow batch* keeps beating (the executor pool,
   not the heartbeat thread, is busy), while a genuine hang stops the
   beats and gets the worker killed;
+* piggybacks a delta-encoded **metrics snapshot** on every heartbeat
+  (:class:`~repro.obs.SnapshotShipper` over the process registry), so
+  the router's fleet registry trails the worker's truth by at most one
+  heartbeat interval even across a hard kill;
 * evaluates the process-level fault sites (``shard.kill``,
   ``shard.kill.<matrix>``, ``shard.hang``, ``shard.slow_heartbeat``)
   deterministically, seeded per incarnation;
 * drains on a ``drain`` frame or ``SIGTERM``: stops accepting, flushes
   pending groups through the executor, checkpoints the cost model, and
-  says ``bye`` with its final counters and unshipped spans.
+  says ``bye`` with its final counters, unshipped spans, and the final
+  metrics delta — a clean drain loses no telemetry at all.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ import threading
 import time
 
 from repro.faults import FaultInjectedError, FaultPlan, maybe_inject
-from repro.obs import Tracer, attach_span, remote_parent, set_tracer
+from repro.obs import SnapshotShipper, Tracer, attach_span, remote_parent, set_tracer
 from repro.sched import CostModel, Scheduler
 from repro.serve import BatchExecutor, PlanRegistry, SpmmRequest
 
@@ -93,6 +98,7 @@ def _heartbeat_loop(
     plan: FaultPlan,
     registry: PlanRegistry,
     tracer: Tracer | None,
+    shipper: SnapshotShipper,
 ) -> None:
     """Beat every interval until stopped, hung, or the link dies.
 
@@ -125,6 +131,9 @@ def _heartbeat_loop(
                 "served": state.served,
                 "reorder_runs": registry.reorder_runs,
                 "spans": spans,
+                # Delta since the previous beat: the fleet registry's
+                # view trails worker truth by at most one interval.
+                "metrics": shipper.delta(),
             },
         )
         if not ok:
@@ -244,9 +253,10 @@ def worker_main(cfg: dict) -> None:
             "cost_estimators_restored": restored,
         },
     )
+    shipper = SnapshotShipper()
     beat = threading.Thread(
         target=_heartbeat_loop,
-        args=(state, sock, cfg, plan, registry, tracer),
+        args=(state, sock, cfg, plan, registry, tracer, shipper),
         name=f"shard{cfg['shard']}-heartbeat",
         daemon=True,
     )
@@ -358,6 +368,9 @@ def worker_main(cfg: dict) -> None:
                         if tracer is not None
                         else []
                     ),
+                    # Final delta after the executor flushed: a clean
+                    # drain ships every last increment home.
+                    "metrics": shipper.delta(),
                 },
             )
         state.stop_heartbeat.set()

@@ -1,0 +1,117 @@
+"""``render_fleet_top``: the pure renderer behind ``repro top``."""
+
+from repro.analysis import render_fleet_top
+
+SAMPLE_STATUS = {
+    "schema": "repro.fleet_status/v1",
+    "workers": 2,
+    "crashes": 1,
+    "respawns": 1,
+    "shards": [
+        {
+            "shard": 0,
+            "incarnation": 2,
+            "alive": True,
+            "attached": True,
+            "beat_age_s": 0.12,
+            "requests_total": 7,
+            "route_mix": {"jigsaw": 5, "dense": 2},
+            "kernel_seconds": {"p50": 0.0004, "p99": 0.0009},
+            "breaker_transitions": 0,
+        },
+        {
+            "shard": 1,
+            "incarnation": 1,
+            "alive": False,
+            "attached": False,
+            "beat_age_s": 3.5,
+            "requests_total": 3,
+            "route_mix": {},
+            "kernel_seconds": None,
+            "breaker_transitions": 2,
+        },
+    ],
+    "router": {
+        "inflight": 1,
+        "redeliveries": 2,
+        "poison_served": 0,
+        "poisoned": [],
+        "worker_errors": 0,
+        "send_failures": 0,
+        "requests_total": 10,
+        "request_seconds": {"p50": 0.002, "p99": 0.008},
+    },
+    "fleet": {
+        "requests_total": 10,
+        "route_mix": {"dense": 2, "jigsaw": 8},
+        "kernel_seconds": {"p50": 0.0004, "p99": 0.0009},
+        "snapshots_ingested": 12,
+        "ingest_errors": 0,
+        "dropped_on_crash": 1,
+    },
+    "alerts": {
+        "policies": ["serving"],
+        "fired_total": 2,
+        "active": [
+            {
+                "policy": "serving",
+                "rule": "fast_burn",
+                "burn_rate": 20.0,
+                "threshold": 14.4,
+                "value": 1.0,
+                "window_s": 5.0,
+                "samples": 6,
+                "resolved_at": None,
+            }
+        ],
+        "recent": [
+            {
+                "policy": "serving",
+                "rule": "p99",
+                "value": 0.012,
+                "threshold": 0.010,
+                "resolved_at": 42.0,
+            }
+        ],
+    },
+}
+
+
+class TestRenderFleetTop:
+    def test_sample_renders_every_block(self):
+        out = render_fleet_top(SAMPLE_STATUS)
+        assert "2 workers, 1 crashes, 1 respawns" in out
+        # Shard table: live shard with stable route order, dead shard flagged.
+        assert "live" in out and "DEAD" in out
+        assert "jigsaw:5 dense:2" in out
+        # Sub-ms latencies render in microseconds.
+        assert "400/900us" in out
+        assert "2.0/8.0ms" in out
+        # Router / fleet / delta summary lines.
+        assert "redeliveries 2" in out
+        assert "requests 10" in out
+        assert "dropped-on-crash 1" in out
+
+    def test_alert_feed(self):
+        out = render_fleet_top(SAMPLE_STATUS)
+        assert "alerts: 1 active / 2 fired" in out
+        assert "[ACTIVE] serving/fast_burn burn=20.0x >= 14.4x" in out
+        assert "(miss rate 100.0%)" in out
+        assert "[resolved] serving/p99 p99=12.0ms > 10.0ms" in out
+
+    def test_empty_document_is_tolerated(self):
+        out = render_fleet_top({})
+        assert "(no shards attached yet)" in out
+        assert "alerts: no SLO policies attached" in out
+
+    def test_unknown_routes_sort_after_known(self):
+        doc = {
+            "shards": [
+                {
+                    "shard": 0,
+                    "route_mix": {"zeta": 1, "dense": 3, "jigsaw": 2},
+                }
+            ]
+        }
+        out = render_fleet_top(doc)
+        assert "jigsaw:2 dense:3 zeta:1" in out

@@ -1,0 +1,173 @@
+"""The CI perf-regression gate over BENCH_serving.json artifacts."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import GateThresholds, compare_bench, compare_bench_files
+from repro.obs.validate import main as obs_main
+
+
+def _scenario(name, miss=0.0, rps=10.0, mix=None, requests=16) -> dict:
+    mix = mix or {"jigsaw": requests}
+    return {
+        "name": name,
+        "requests": requests,
+        "throughput_rps": rps,
+        "latency_s": {"p50": 0.001, "p99": 0.01},
+        "deadline_miss_rate": miss,
+        "route_mix": mix,
+        "throttled": 0,
+        "promoted": 0,
+    }
+
+
+def _doc(scenarios, comparison=None) -> dict:
+    doc = {"schema": "repro.bench_serving/v1", "scenarios": scenarios}
+    if comparison is not None:
+        doc["comparison"] = comparison
+    return doc
+
+
+def _baseline() -> dict:
+    return _doc(
+        [
+            _scenario("rigid", miss=0.0, rps=1.5),
+            _scenario(
+                "format_cost", miss=0.0, rps=15.0, mix={"jigsaw@vnm": 12, "dense": 4}
+            ),
+        ],
+        comparison={
+            "baseline": "rigid",
+            "contender": "format_cost",
+            "baseline_miss_rate": 0.0,
+            "contender_miss_rate": 0.0,
+            "miss_rate_improvement": 0.0,
+            "throughput_speedup": 10.0,
+        },
+    )
+
+
+class TestCompareBench:
+    def test_identical_reports_pass(self):
+        base = _baseline()
+        regressions, notes = compare_bench(base, copy.deepcopy(base))
+        assert regressions == []
+        assert notes == []
+
+    def test_miss_rate_regression(self):
+        cur = _baseline()
+        cur["scenarios"][0]["deadline_miss_rate"] = 0.5
+        regressions, _ = compare_bench(_baseline(), cur)
+        assert any("deadline_miss_rate" in r and "rigid" in r for r in regressions)
+
+    def test_miss_rate_within_tolerance_passes(self):
+        cur = _baseline()
+        cur["scenarios"][0]["deadline_miss_rate"] = 0.2
+        regressions, _ = compare_bench(
+            _baseline(), cur, GateThresholds(miss_tol=0.25)
+        )
+        assert regressions == []
+
+    def test_dense_fraction_regression(self):
+        cur = _baseline()
+        cur["scenarios"][1]["route_mix"] = {"jigsaw@vnm": 4, "dense": 12}
+        regressions, _ = compare_bench(_baseline(), cur)
+        assert any("dense route fraction" in r for r in regressions)
+
+    def test_speedup_floor_regression(self):
+        cur = _baseline()
+        cur["comparison"]["throughput_speedup"] = 2.0  # floor is 10 * 0.5
+        regressions, _ = compare_bench(_baseline(), cur)
+        assert any("throughput_speedup" in r for r in regressions)
+
+    def test_speedup_improvement_is_a_note(self):
+        cur = _baseline()
+        cur["comparison"]["throughput_speedup"] = 30.0
+        regressions, notes = compare_bench(_baseline(), cur)
+        assert regressions == []
+        assert any("throughput_speedup" in n for n in notes)
+
+    def test_missing_scenario_is_a_regression_new_is_a_note(self):
+        cur = _doc(
+            [_scenario("rigid"), _scenario("shiny_new")],
+        )
+        base = _doc([_scenario("rigid"), _scenario("format_cost")])
+        regressions, notes = compare_bench(base, cur)
+        assert any("missing from current" in r for r in regressions)
+        assert any("shiny_new" in n for n in notes)
+
+    def test_absolute_throughput_check_is_opt_in(self):
+        cur = _baseline()
+        cur["scenarios"][1]["throughput_rps"] = 1.0  # 15 -> 1
+        regressions, _ = compare_bench(_baseline(), cur)
+        assert regressions == []  # wall-clock is machine-dependent: off by default
+        regressions, _ = compare_bench(
+            _baseline(), cur, GateThresholds(throughput_tol=0.5)
+        )
+        assert any("throughput_rps" in r for r in regressions)
+
+    def test_invalid_documents_are_regressions(self):
+        regressions, _ = compare_bench({"schema": "nope"}, _baseline())
+        assert any(r.startswith("baseline:") for r in regressions)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GateThresholds(miss_tol=-0.1)
+        with pytest.raises(ValueError):
+            GateThresholds(speedup_tol=1.5)
+
+
+class TestCompareBenchFiles:
+    def test_unreadable_current_is_a_regression(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_baseline()))
+        regressions, _ = compare_bench_files(base, tmp_path / "missing.json")
+        assert regressions
+
+    def test_file_pair_passes(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_baseline()))
+        regressions, notes = compare_bench_files(base, base)
+        assert regressions == []
+
+
+class TestCliGate:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_clean_pair_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _baseline())
+        assert obs_main(["--bench-compare", base, base]) == 0
+        assert "holds the line" in capsys.readouterr().out
+
+    def test_degraded_current_exits_nonzero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _baseline())
+        bad = _baseline()
+        bad["scenarios"][0]["deadline_miss_rate"] = 1.0
+        bad["comparison"]["baseline_miss_rate"] = 1.0
+        cur = self._write(tmp_path, "cur.json", bad)
+        assert obs_main(["--bench-compare", base, cur]) != 0
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_tolerance_flags_are_forwarded(self, tmp_path):
+        base = self._write(tmp_path, "base.json", _baseline())
+        drift = _baseline()
+        drift["scenarios"][0]["deadline_miss_rate"] = 0.2
+        cur = self._write(tmp_path, "cur.json", drift)
+        assert obs_main(["--bench-compare", base, cur]) != 0
+        assert (
+            obs_main(["--bench-compare", base, cur, "--miss-tol", "0.25"]) == 0
+        )
+
+    def test_gate_accepts_the_committed_artifact(self, capsys):
+        # The real committed baseline must be self-consistent under the
+        # gate (this is exactly what CI runs before the live comparison).
+        assert (
+            obs_main(["--bench-compare", "BENCH_serving.json", "BENCH_serving.json"])
+            == 0
+        )
+        capsys.readouterr()

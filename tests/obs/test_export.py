@@ -94,10 +94,36 @@ class TestLabelEscaping:
             ('back\\slash', 'back\\\\slash'),
             ('quo"te', 'quo\\"te'),
             ('new\nline', 'new\\nline'),
+            # Braces and = are legal inside quoted values per exposition
+            # format 0.0.4 — they must pass through unescaped.
+            ('x}y', 'x}y'),
+            ('a{b=c', 'a{b=c'),
         ],
     )
     def test_escape_label_value(self, raw, escaped):
         assert escape_label_value(raw) == escaped
+
+    def test_hostile_label_values_roundtrip(self):
+        """Values with newlines and braces render to validator-clean text."""
+        reg = MetricsRegistry()
+        c = reg.counter("repro_requests_total", help="requests served")
+        c.inc(matrix="a\nb", route="x}y")
+        c.inc(2, matrix='q="v"', route="a{b")
+        text = render_prometheus(reg)
+        assert 'matrix="a\\nb",route="x}y"' in text
+        assert 'matrix="q=\\"v\\"",route="a{b"' in text
+        assert "\na\n" not in text  # the newline never splits a sample line
+        assert validate_prometheus_text(text) == []
+
+    def test_scientific_notation_values_validate(self):
+        """Tiny histogram sums render like ``1.2e-06`` — legal values."""
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_kernel_seconds", buckets=(0.001,))
+        h.observe(1.2260727349011003e-06, route="dense")
+        reg.gauge("repro_drift").set(-3e8)
+        text = render_prometheus(reg)
+        assert "e-06" in text
+        assert validate_prometheus_text(text) == []
 
 
 class TestSpanJsonl:

@@ -1,0 +1,170 @@
+"""Burn-rate alerting: window math, re-arm, shedding nudge, export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SLO_ALERTS_SCHEMA,
+    MetricsRegistry,
+    SloPolicy,
+    SloTracker,
+    alerts_to_jsonl,
+    export_alerts_jsonl,
+)
+
+
+def _policy(**kw) -> SloPolicy:
+    defaults = dict(
+        name="serving",
+        deadline_miss_budget=0.1,
+        window_s=60.0,
+        fast_window_s=5.0,
+        fast_burn=5.0,
+        slow_burn=2.0,
+        min_requests=4,
+    )
+    defaults.update(kw)
+    return SloPolicy(**defaults)
+
+
+def _tracker(policy=None, **kw) -> SloTracker:
+    return SloTracker(
+        [policy or _policy()], registry=MetricsRegistry(), **kw
+    )
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"name": ""},
+            {"deadline_miss_budget": 0.0},
+            {"deadline_miss_budget": 1.5},
+            {"p99_target_s": 0.0},
+            {"fast_window_s": 10.0, "window_s": 5.0},
+            {"fast_burn": 0.0},
+            {"min_requests": 0},
+        ],
+    )
+    def test_rejects_bad_policies(self, kw):
+        with pytest.raises(ValueError):
+            _policy(**kw)
+
+
+class TestBurnRules:
+    def test_quiet_traffic_never_alarms(self):
+        tr = _tracker()
+        for i in range(20):
+            assert tr.record("t", 0.01, False, now=float(i)) == []
+        assert tr.active_alerts() == []
+
+    def test_fast_burn_fires_on_a_storm(self):
+        tr = _tracker()
+        fired = []
+        for i in range(4):
+            fired += tr.record("t", 0.01, True, now=10.0 + i * 0.1)
+        rules = {a.rule for a in fired}
+        # miss rate 1.0 / budget 0.1 = burn 10 >= both thresholds.
+        assert rules == {"fast_burn", "slow_burn"}
+        alert = next(a for a in fired if a.rule == "fast_burn")
+        assert alert.burn_rate == pytest.approx(10.0)
+        assert alert.samples == 4
+        assert alert.resolved_at is None
+
+    def test_below_min_requests_never_fires(self):
+        tr = _tracker()
+        for i in range(3):  # min_requests=4
+            assert tr.record("t", 0.01, True, now=10.0 + i * 0.1) == []
+
+    def test_one_alert_per_episode_then_rearm(self):
+        tr = _tracker()
+        for i in range(6):
+            tr.record("t", 0.01, True, now=10.0 + i * 0.1)
+        fast = [a for a in tr.alerts if a.rule == "fast_burn"]
+        assert len(fast) == 1  # active alert does not refire
+        # Clean traffic outside the fast window resolves the fast rule...
+        for i in range(20):
+            tr.record("t", 0.01, False, now=20.0 + i * 0.1)
+        assert fast[0].resolved_at is not None
+        # ...and a second storm fires a fresh alert.
+        for i in range(6):
+            tr.record("t", 0.01, True, now=200.0 + i * 0.1)
+        assert len([a for a in tr.alerts if a.rule == "fast_burn"]) == 2
+
+    def test_burn_gauge_exported(self):
+        reg = MetricsRegistry()
+        tr = SloTracker([_policy()], registry=reg)
+        for i in range(4):
+            tr.record("t", 0.01, True, now=10.0 + i * 0.1)
+        g = reg.gauge("repro_slo_burn_rate")
+        assert g.value(policy="serving", window="fast") == pytest.approx(10.0)
+        c = reg.counter("repro_slo_alerts_total")
+        assert c.value(policy="serving", rule="fast_burn") == 1
+
+    def test_tenant_scoped_policy_ignores_other_tenants(self):
+        tr = _tracker(_policy(tenant="svc"))
+        for i in range(10):
+            tr.record("bulk", 0.01, True, now=10.0 + i * 0.1)
+        assert tr.alerts == []
+        for i in range(4):
+            tr.record("svc", 0.01, True, now=20.0 + i * 0.1)
+        assert len(tr.alerts) > 0
+
+
+class TestP99Rule:
+    def test_p99_target_fires_and_resolves(self):
+        tr = _tracker(_policy(p99_target_s=0.05))
+        for i in range(10):
+            tr.record("t", 0.2, False, now=10.0 + i * 0.1)
+        p99 = [a for a in tr.alerts if a.rule == "p99"]
+        assert len(p99) == 1
+        assert p99[0].value == pytest.approx(0.2)
+        assert p99[0].threshold == 0.05
+        for i in range(100):
+            tr.record("t", 0.001, False, now=80.0 + i * 0.1)
+        assert p99[0].resolved_at is not None
+
+
+class TestSheddingNudge:
+    class _FakeAdmission:
+        def __init__(self):
+            self.calls = []
+
+        def set_shedding(self, active):
+            self.calls.append(bool(active))
+
+    def test_nudges_on_fire_and_recovery(self):
+        adm = self._FakeAdmission()
+        tr = SloTracker([_policy()], registry=MetricsRegistry(), admission=adm)
+        for i in range(4):
+            tr.record("t", 0.01, True, now=10.0 + i * 0.1)
+        assert adm.calls[-1] is True
+        for i in range(30):
+            tr.record("t", 0.01, False, now=100.0 + i * 0.1)
+        # Both windows eventually drain the storm samples.
+        tr.evaluate(now=300.0)
+        assert adm.calls[-1] is False
+
+
+class TestStatusAndExport:
+    def test_to_status_shape(self):
+        tr = _tracker()
+        for i in range(4):
+            tr.record("t", 0.01, True, now=10.0 + i * 0.1)
+        status = tr.to_status(recent=2)
+        assert status["policies"] == ["serving"]
+        assert status["fired_total"] == 2
+        assert len(status["active"]) == 2
+        assert all(a["schema"] == SLO_ALERTS_SCHEMA for a in status["recent"])
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tr = _tracker()
+        for i in range(4):
+            tr.record("t", 0.01, True, now=10.0 + i * 0.1)
+        out = export_alerts_jsonl(tr.alerts, tmp_path / "alerts.jsonl")
+        lines = out.read_text().splitlines()
+        assert len(lines) == len(tr.alerts) == 2
+        recs = [json.loads(ln) for ln in lines]
+        assert all(r["schema"] == SLO_ALERTS_SCHEMA for r in recs)
+        assert alerts_to_jsonl([]) == ""

@@ -8,11 +8,13 @@ from repro.obs import (
     NULL_SPAN,
     NULL_TRACER,
     ManualClock,
+    MetricsRegistry,
     NullTracer,
     Span,
     SpanBuffer,
     Tracer,
     get_tracer,
+    set_metrics,
     set_tracer,
     use_tracer,
 )
@@ -154,6 +156,54 @@ class TestBuffer:
         snap = buf.snapshot()
         buf.clear()
         assert len(snap) == 1
+
+
+class TestBoundedBuffer:
+    def _span(self, name):
+        return Span("t1", name, None, name, 0.0, end_s=1.0)
+
+    def test_full_buffer_drops_the_incoming_span(self):
+        reg = MetricsRegistry()
+        prev = set_metrics(reg)
+        try:
+            buf = SpanBuffer(max_spans=2)
+            for name in ("a", "b", "c", "d"):
+                buf.add(self._span(name))
+            # Earliest spans win: roots outlive their children in a drop.
+            assert [s.name for s in buf.snapshot()] == ["a", "b"]
+            assert buf.dropped == 2
+            c = reg.counter("repro_obs_spans_dropped_total")
+            assert c.value() == 2
+        finally:
+            set_metrics(prev)
+
+    def test_drain_reopens_the_buffer(self):
+        buf = SpanBuffer(max_spans=1)
+        buf.add(self._span("a"))
+        buf.add(self._span("b"))
+        assert buf.dropped == 1
+        buf.drain()
+        buf.add(self._span("c"))
+        assert [s.name for s in buf.snapshot()] == ["c"]
+
+    def test_none_means_unbounded(self):
+        buf = SpanBuffer(max_spans=None)
+        for i in range(1000):
+            buf.add(self._span(f"s{i}"))
+        assert len(buf) == 1000
+        assert buf.dropped == 0
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_bound(self, bad):
+        with pytest.raises(ValueError):
+            SpanBuffer(max_spans=bad)
+
+    def test_tracer_honors_a_bounded_buffer(self):
+        t = Tracer(buffer=SpanBuffer(max_spans=3))
+        for i in range(5):
+            t.add_span(f"s{i}", 0.0, 1.0)
+        assert len(t.buffer) == 3
+        assert t.buffer.dropped == 2
 
 
 class TestArming:

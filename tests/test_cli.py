@@ -94,3 +94,44 @@ class TestCommands:
         assert "chaos drill" in out
         assert "artifacts quarantined" in out
         assert "breakers all re-closed" in out
+
+
+class TestFleetStatusCli:
+    def _write_status(self, tmp_path):
+        import json
+
+        from tests.analysis.test_fleet_top import SAMPLE_STATUS
+
+        p = tmp_path / "status.json"
+        p.write_text(json.dumps(SAMPLE_STATUS))
+        return str(p)
+
+    def test_fleet_status_dumps_json(self, capsys, tmp_path):
+        import json
+
+        path = self._write_status(tmp_path)
+        assert main(["fleet-status", "--status-file", path]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.fleet_status/v1"
+
+    def test_fleet_status_missing_file_exits_2(self, capsys, tmp_path):
+        rc = main(["fleet-status", "--status-file", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "no fleet status" in capsys.readouterr().err
+
+    def test_top_once_renders_a_frame(self, capsys, tmp_path):
+        path = self._write_status(tmp_path)
+        assert main(["top", "--status-file", path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "fast_burn" in out
+
+    def test_top_once_missing_file_exits_2(self, capsys, tmp_path):
+        rc = main(["top", "--status-file", str(tmp_path / "nope.json"), "--once"])
+        assert rc == 2
+        assert "waiting for fleet status" in capsys.readouterr().out
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top", "--status-file", "s.json"])
+        assert args.interval == 1.0
+        assert args.once is False
