@@ -749,6 +749,215 @@ def _sched_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_graph_bench(args: argparse.Namespace) -> int:
+    """Model-graph drill: pipelined vs sequential DAG execution.
+
+    Runs an encoder-style stack of vector-sparse layers through
+    :class:`~repro.graph.GraphExecutor` twice — once strictly
+    sequentially (each request completes before the next starts), once
+    pipelined (layer k+1 of request i overlaps layer k of request i+1)
+    — applying a dynamic-sparsity update
+    (:meth:`~repro.serve.PlanRegistry.apply_update`) every
+    ``--update-every`` requests mid-stream, and writes the
+    machine-readable ``graph`` block CI schema-checks.
+    """
+    with _observability(args):
+        return _graph_bench(args)
+
+
+def _graph_bench(args: argparse.Namespace) -> int:
+    import tempfile
+    from time import perf_counter
+
+    from repro.analysis import (
+        build_bench_serving,
+        render_table,
+        scenario_record,
+        write_bench_serving,
+    )
+    from repro.core import JigsawPlan, roundtrip_equal
+    from repro.graph import INPUT, GraphExecutor, ModelGraph
+    from repro.serve import BatchExecutor, PlanRegistry
+
+    rng = np.random.default_rng(args.seed)
+    cache_dir = args.plan_cache or tempfile.mkdtemp(prefix="jigsaw-graph-")
+
+    # Encoder-style chain of square vector-sparse layers.  The default
+    # sparsity keeps the reorder succeeding, so every layer serves on
+    # the jigsaw route — the exact code path direct API calls take.
+    weights = [
+        _make_matrix(args.size, args.size, args.sparsity, args.v, args.seed + i)
+        for i in range(args.layers)
+    ]
+    graph = ModelGraph(input_cast="float16")
+    prev = INPUT
+    for i, w in enumerate(weights):
+        node = graph.add_layer(
+            f"enc{i}",
+            weight=w,
+            inputs=(prev,),
+            activation="relu" if i < args.layers - 1 else "none",
+            cast="float16",
+        )
+        prev = node.name
+    panels = [
+        rng.standard_normal((args.size, args.n)).astype(np.float16)
+        for _ in range(args.requests)
+    ]
+
+    # Dynamic-sparsity updates: rewrite a handful of already-nonzero
+    # entries in the first layer's leading MMA tile (one dirty slab for
+    # any BLOCK_TILE), with one deterministic value batch per update
+    # point so both scenarios replay the identical version history.
+    upd_r, upd_c = (idx[: args.update_nnz] for idx in np.nonzero(weights[0][:16]))
+    n_updates = (args.requests - 1) // args.update_every if args.update_every else 0
+    upd_values = [
+        rng.standard_normal(len(upd_r)).astype(np.float16) for _ in range(n_updates)
+    ]
+
+    def run_scenario(name: str, pipelined: bool):
+        registry = PlanRegistry(cache_dir=cache_dir, workers=args.workers)
+        graph.register(registry)
+        registry.warm()
+        # Both scenarios share the executor config: the sequential run
+        # only ever has one request in flight, so it forms singleton
+        # groups, while the pipelined run fills per-layer groups to
+        # max_batch.  Batched launches compute each request's columns
+        # independently and this workload's uniform panel width keeps
+        # v4's autotuned BLOCK_TILE stable, so grouping cannot change
+        # outputs — which the caller asserts (nonzero exit otherwise).
+        with BatchExecutor(
+            registry,
+            max_batch=args.max_batch,
+            batch_window_s=args.window_ms / 1e3,
+            max_workers=args.pool_workers,
+        ) as executor:
+            gx = GraphExecutor(graph, executor)
+            updates = iter(upd_values)
+            results = []
+            pending = []
+
+            def drain() -> None:
+                executor.flush()
+                while pending:
+                    results.append(pending.pop(0).result(timeout=180))
+                    executor.flush()
+
+            wall_t0 = perf_counter()
+            for i, panel in enumerate(panels):
+                if args.update_every and i and i % args.update_every == 0:
+                    # Quiesce before the version bump so every request's
+                    # layer chain runs against one content version — the
+                    # sequential reference then sees the same plan
+                    # versions at the same request indices.
+                    drain()
+                    registry.apply_update("enc0", upd_r, upd_c, next(updates))
+                pending.append(gx.submit(panel))
+                if not pipelined:
+                    drain()
+            drain()
+            wall_s = perf_counter() - wall_t0
+            stats = executor.stats()
+        latencies = [r.duration_s for r in results]
+        return scenario_record(name, stats, latencies, wall_s, 0), results
+
+    seq_record, seq_results = run_scenario("graph_sequential", pipelined=False)
+    pip_record, pip_results = run_scenario("graph_pipelined", pipelined=True)
+    identical = all(
+        np.array_equal(a.output, b.output)
+        for a, b in zip(seq_results, pip_results)
+    )
+    speedup = (
+        pip_record["throughput_rps"] / seq_record["throughput_rps"]
+        if seq_record["throughput_rps"] > 0
+        else 0.0
+    )
+
+    # Repair-vs-rebuild drill: apply one update batch to a standalone
+    # plan (incremental slab repair) and compare against preprocessing
+    # the updated matrix from scratch at the same content version.
+    values = upd_values[0] if upd_values else rng.standard_normal(
+        len(upd_r)
+    ).astype(np.float16)
+    base_plan = JigsawPlan(weights[0], workers=args.workers)
+    base_plan.format_for(JigsawPlan.FIXED_BLOCK_TILE)
+    t0 = perf_counter()
+    repaired_plan = base_plan.updated(upd_r, upd_c, values)
+    repair_s = perf_counter() - t0
+    rjm = repaired_plan.format_for(JigsawPlan.FIXED_BLOCK_TILE)
+    a_new = weights[0].copy()
+    a_new[upd_r, upd_c] = values.astype(np.float16)
+    t0 = perf_counter()
+    rebuilt_plan = JigsawPlan(
+        a_new, workers=args.workers, content_version=repaired_plan.content_version
+    )
+    bjm = rebuilt_plan.format_for(JigsawPlan.FIXED_BLOCK_TILE)
+    rebuild_s = perf_counter() - t0
+    repair_stats = repaired_plan.stats.runs[-1]
+
+    doc = build_bench_serving(
+        [seq_record, pip_record],
+        baseline="graph_sequential",
+        contender="graph_pipelined",
+    )
+    doc["comparison"].update(
+        {
+            "baseline_throughput_rps": seq_record["throughput_rps"],
+            "contender_throughput_rps": pip_record["throughput_rps"],
+            "throughput_speedup": speedup,
+        }
+    )
+    doc["graph"] = {
+        "layers": args.layers,
+        "concurrency": args.pool_workers,
+        "requests": args.requests,
+        "update_every": args.update_every,
+        "sequential_rps": seq_record["throughput_rps"],
+        "pipelined_rps": pip_record["throughput_rps"],
+        "pipelined_speedup": speedup,
+        "bit_identical": identical,
+        "repair": {
+            "repair_seconds": repair_s,
+            "rebuild_seconds": rebuild_s,
+            "repaired_slabs": repair_stats.repaired_slabs,
+            "total_slabs": repair_stats.slabs,
+            "bit_identical": roundtrip_equal(rjm, bjm),
+        },
+    }
+    path = write_bench_serving(doc, args.bench_json)
+    print(f"bench report written to {path}")
+    print()
+    print(
+        render_table(
+            ["graph", "sequential", "pipelined"],
+            [
+                [
+                    "throughput",
+                    f"{seq_record['throughput_rps']:.2f} req/s",
+                    f"{pip_record['throughput_rps']:.2f} req/s ({speedup:.2f}x)",
+                ],
+                [
+                    "p99 latency",
+                    f"{seq_record['latency_s']['p99'] * 1e3:.1f} ms",
+                    f"{pip_record['latency_s']['p99'] * 1e3:.1f} ms",
+                ],
+                [
+                    "outputs bit-identical",
+                    "-",
+                    "yes" if identical else "NO",
+                ],
+            ],
+        )
+    )
+    print()
+    print(
+        f"repair: {repair_stats.repaired_slabs}/{repair_stats.slabs} slabs in "
+        f"{repair_s * 1e3:.1f} ms vs full rebuild {rebuild_s * 1e3:.1f} ms "
+        f"(bit-identical: {doc['graph']['repair']['bit_identical']})"
+    )
+    return 0 if identical else 1
+
+
 def cmd_chaos_bench(args: argparse.Namespace) -> int:
     """Chaos drill: inject kernel faults + one corrupt artifact, then heal.
 
@@ -1443,6 +1652,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preprocessing_flags(p)
     _add_observability_flags(p)
     p.set_defaults(func=cmd_sched_bench)
+
+    p = sub.add_parser(
+        "graph-bench",
+        help="model-graph drill: pipelined vs sequential DAG execution "
+        "with dynamic-sparsity updates mid-stream",
+    )
+    p.add_argument("--layers", type=int, default=4, help="encoder stack depth")
+    p.add_argument("--requests", type=int, default=16, help="graph requests")
+    p.add_argument(
+        "--size", type=int, default=256, help="square layer dimension (m = k)"
+    )
+    p.add_argument("--n", type=int, default=64, help="B-panel width per request")
+    p.add_argument(
+        "--sparsity",
+        type=float,
+        default=0.9,
+        help="vector sparsity; the default keeps the reorder succeeding so "
+        "every layer serves on the jigsaw route",
+    )
+    p.add_argument("--v", type=int, default=4, choices=(2, 4, 8))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="per-(matrix, version) group cap; the pipelined run batches "
+        "concurrent requests' same-layer SpMMs together, the sequential "
+        "reference only ever forms singleton groups",
+    )
+    p.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="batch linger window before a partial group dispatches",
+    )
+    p.add_argument(
+        "--update-every",
+        type=int,
+        default=8,
+        help="apply a registry update (incremental plan repair + version "
+        "bump) every N requests; 0 disables updates",
+    )
+    p.add_argument(
+        "--update-nnz",
+        type=int,
+        default=8,
+        help="nonzero entries rewritten per update (all within one slab)",
+    )
+    p.add_argument(
+        "--pool-workers",
+        type=int,
+        default=4,
+        help="executor pool width — the pipelined run's concurrency",
+    )
+    p.add_argument(
+        "--bench-json",
+        metavar="FILE",
+        default="BENCH_serving.json",
+        help="machine-readable repro.bench_serving/v1 report with a graph block",
+    )
+    _add_preprocessing_flags(p)
+    _add_observability_flags(p)
+    p.set_defaults(func=cmd_graph_bench)
 
     p = sub.add_parser(
         "chaos-bench",

@@ -6,6 +6,7 @@ from .compiled import (
     compile_plan,
     compiled_output,
     expand_tile,
+    repair_compiled,
     run_compiled_kernel,
 )
 from .compatibility import (
@@ -72,6 +73,7 @@ __all__ = [
     "compile_plan",
     "compiled_output",
     "expand_tile",
+    "repair_compiled",
     "run_compiled_kernel",
     "CoverCacheStats",
     "CoverSolution",

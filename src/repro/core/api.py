@@ -93,6 +93,7 @@ class JigsawPlan:
         format_spec: FormatSpec | str | None = None,
         quarantine_max_bytes: int | None = None,
         quarantine_max_files: int | None = None,
+        content_version: int = 0,
     ) -> None:
         if a.ndim != 2:
             raise ValueError("A must be a 2-D matrix")
@@ -125,6 +126,10 @@ class JigsawPlan:
             if quarantine_max_files is None
             else quarantine_max_files
         )
+        #: Monotonic dynamic-sparsity version (see :meth:`updated`);
+        #: folded into every artifact cache key so repaired plans persist
+        #: under version-qualified keys next to their ancestors.
+        self.content_version = int(content_version)
         self.stats = PlanStats()
         self._formats: dict[tuple[int, bool], JigsawMatrix] = {}
         self._format_lock = threading.Lock()
@@ -150,12 +155,22 @@ class JigsawPlan:
 
     # -- preprocessing ---------------------------------------------------------
 
+    def _jigsaw_artifact_path(self, config: TileConfig, avoid: bool) -> Path:
+        assert self.cache_dir is not None
+        key = plan_cache_key(
+            self._a,
+            config,
+            avoid,
+            format_spec=self.format_spec,
+            content_version=self.content_version,
+        )
+        return self.cache_dir / f"jigsaw-{key}.npz"
+
     def _load_or_build(self, block_tile: int, avoid: bool) -> JigsawMatrix:
         config = TileConfig(block_tile=block_tile)
         path: Path | None = None
         if self.cache_dir is not None:
-            key = plan_cache_key(self._a, config, avoid, format_spec=self.format_spec)
-            path = self.cache_dir / f"jigsaw-{key}.npz"
+            path = self._jigsaw_artifact_path(config, avoid)
             jm = self._try_load(path, config, avoid)
             if jm is not None:
                 return jm
@@ -163,6 +178,7 @@ class JigsawPlan:
             self._a, config, avoid_bank_conflicts=avoid, workers=self.workers
         )
         jm.format_spec = self.format_spec
+        jm.content_version = self.content_version
         self.stats.reorder_runs += 1
         if path is not None:
             pstats.plan_cache = "miss"
@@ -206,6 +222,7 @@ class JigsawPlan:
             or jm.config != config
             or jm.avoid_bank_conflicts != avoid
             or jm.format_spec != self.format_spec
+            or jm.content_version != self.content_version
         ):
             return None
         t1 = time.perf_counter()
@@ -341,7 +358,11 @@ class JigsawPlan:
             path: Path | None = None
             if self.cache_dir is not None:
                 key = plan_cache_key(
-                    self._a, TileConfig(), self.avoid_bank_conflicts, format_spec=spec
+                    self._a,
+                    TileConfig(),
+                    self.avoid_bank_conflicts,
+                    format_spec=spec,
+                    content_version=self.content_version,
                 )
                 path = self.cache_dir / f"vnm-{key}.npz"
                 vp = self._try_load_vnm(path, spec)
@@ -428,6 +449,112 @@ class JigsawPlan:
                 "matrix satisfies no V:N:M spec; the vnm route does not apply"
             )
         return run_vnm_kernel(vp, np.asarray(b), device, want_output=want_output)
+
+    # -- dynamic sparsity ------------------------------------------------------
+
+    def updated(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+    ) -> "JigsawPlan":
+        """Dynamic-sparsity update ``A[rows, cols] = values`` with
+        incremental plan repair.
+
+        Returns a **new** plan at ``content_version + 1``; ``self`` is
+        never mutated, so in-flight consumers of the old version keep
+        computing bit-identical results.  Every format already built on
+        this plan is repaired in place of a rebuild: only the BLOCK_TILE
+        slabs containing updated rows are re-reordered/re-compressed
+        (and only their compiled flat-array segments re-lowered — see
+        :func:`~repro.core.compiled.repair_compiled`), which is exact
+        because the per-slab reorder is deterministic and slabs are
+        independent.  Repairs are counted in ``stats.repairs`` and per
+        run as ``PreprocessStats(plan_cache="repair", repaired_slabs=…)``
+        — never in ``reorder_runs``.  With a ``cache_dir``, repaired
+        artifacts persist under the new version-qualified key; the old
+        version's artifacts stay on disk until garbage-collected.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        cols = np.atleast_1d(np.asarray(cols, dtype=np.int64))
+        vals = np.asarray(values, dtype=np.float16).reshape(rows.shape)
+        a_new = self._a.copy()
+        a_new[rows, cols] = vals
+        new = JigsawPlan(
+            a_new,
+            block_tiles=self.block_tiles,
+            avoid_bank_conflicts=self.avoid_bank_conflicts,
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            fault_plan=self.fault_plan,
+            format_spec=self.format_spec,
+            quarantine_max_bytes=self.quarantine_max_bytes,
+            quarantine_max_files=self.quarantine_max_files,
+            content_version=self.content_version + 1,
+        )
+        with self._format_lock:
+            built = dict(self._formats)
+        for (bt, avoid), jm in built.items():
+            dirty = {int(r) // bt for r in rows.tolist()}
+            t0 = time.perf_counter()
+            rjm = jm.repaired(a_new, dirty)
+            t1 = time.perf_counter()
+            new._formats[(bt, avoid)] = rjm
+            new.stats.repairs += 1
+            new.stats.runs.append(
+                PreprocessStats(
+                    shape=rjm.shape,
+                    block_tile=bt,
+                    reorder_seconds=t1 - t0,
+                    slabs=len(rjm.slabs),
+                    repaired_slabs=len(dirty),
+                    plan_cache="repair",
+                )
+            )
+            get_metrics().counter(
+                "repro_plan_repairs_total",
+                "incremental plan repairs (dynamic-sparsity updates)",
+            ).inc()
+            get_metrics().counter(
+                "repro_plan_repaired_slabs_total",
+                "BLOCK_TILE slabs re-reordered by incremental repair",
+            ).inc(len(dirty))
+            if new.cache_dir is not None:
+                path = new._jigsaw_artifact_path(TileConfig(block_tile=bt), avoid)
+                try:
+                    new._store(rjm, path)
+                except Exception:
+                    new.stats.store_failures += 1
+        return new
+
+    def artifact_paths(self) -> list[Path]:
+        """On-disk artifact paths of this plan's built formats.
+
+        The version-qualified cache files this plan version owns (jigsaw
+        formats plus a resolved V:N:M sibling) — what a versioned
+        registry garbage-collects once the version is retired.  Empty
+        without a ``cache_dir``.
+        """
+        if self.cache_dir is None:
+            return []
+        with self._format_lock:
+            keys = list(self._formats)
+        paths = [
+            self._jigsaw_artifact_path(TileConfig(block_tile=bt), avoid)
+            for bt, avoid in keys
+        ]
+        with self._vnm_lock:
+            vp = self._vnm
+        if vp is not _VNM_UNRESOLVED and vp is not None:
+            key = plan_cache_key(
+                self._a,
+                TileConfig(),
+                self.avoid_bank_conflicts,
+                format_spec=vp.spec,  # type: ignore[union-attr]
+                content_version=self.content_version,
+            )
+            paths.append(self.cache_dir / f"vnm-{key}.npz")
+        return paths
 
     # -- execution -------------------------------------------------------------
 

@@ -242,6 +242,102 @@ def compile_plan(jm: "JigsawMatrix") -> CompiledPlan:
     )
 
 
+def repair_compiled(
+    old: CompiledPlan, jm: "JigsawMatrix", dirty_slabs: "set[int]"
+) -> CompiledPlan:
+    """Recompile only the flat-array segments owned by dirty slabs.
+
+    ``jm`` is the already-repaired format and ``old`` the compiled plan
+    of its pre-update ancestor.  Tiles of clean slabs reuse their
+    expanded operands and gather rows verbatim from ``old``'s arrays
+    (the expensive :func:`expand_tile` / column-id lowering is skipped);
+    dirty slabs are re-lowered from the repaired format.  The rebuilt
+    arrays are bit-identical to a from-scratch :func:`compile_plan` of
+    ``jm`` — the (group, strip) sort and accounting run over the merged
+    tile set exactly as a full compile would.
+    """
+    dirty = {int(s) for s in dirty_slabs}
+    m, k = jm.shape
+    h = jm.config.block_tile
+
+    # Recover each old tile's group ordinal from g_starts; with the
+    # stored strip ids this keys every clean (group, strip) tile.
+    old_groups = (
+        np.searchsorted(old.g_starts, np.arange(old.n_tiles), side="right") - 1
+    )
+    old_tile = {
+        (int(old_groups[t]), int(old.strip_idx[t])): t for t in range(old.n_tiles)
+    }
+
+    out_rows_list: list[np.ndarray] = []
+    tiles: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+    slab_strips: list[int] = []
+    slab_ops: list[int] = []
+    slab_gather: list[int] = []
+    row_range = np.arange(MMA_TILE, dtype=np.int64)
+
+    for slab in jm.slabs:
+        si = slab.reorder.slab_index
+        r0 = si * h
+        slab_strips.append(slab.n_strips)
+        slab_ops.append(slab.n_ops if slab.n_groups else 0)
+        slab_gather.append(int((slab.reorder.col_ids >= 0).sum()))
+        for s in range(slab.n_strips):
+            sr0 = r0 + s * MMA_TILE
+            if sr0 >= m:
+                break
+            strip_id = len(out_rows_list)
+            rows = sr0 + row_range
+            out_rows_list.append(np.where(rows < m, rows, m))
+            for g in range(slab.n_groups):
+                if si in dirty:
+                    ordered = slab.reorder.reordered_group_col_ids(s, g).astype(
+                        np.int64
+                    )
+                    b = np.where(ordered >= 0, ordered, k)
+                    e = expand_tile(slab.values[s, g], slab.positions[s, g])
+                else:
+                    t = old_tile[(g, strip_id)]
+                    e = old.w[t]
+                    b = old.b_rows[t]
+                tiles.append((g, strip_id, e, b))
+
+    tiles.sort(key=lambda t: (t[0], t[1]))
+    n_tiles = len(tiles)
+    w = np.zeros((n_tiles, MMA_TILE, MMA_TILE), dtype=np.float32)
+    b_rows = np.full((n_tiles, MMA_TILE), k, dtype=np.int64)
+    strip_idx = np.zeros(n_tiles, dtype=np.int64)
+    groups = np.zeros(n_tiles, dtype=np.int64)
+    for t, (g, sid, e, rows) in enumerate(tiles):
+        groups[t] = g
+        strip_idx[t] = sid
+        w[t] = e
+        b_rows[t] = rows
+    max_g = int(groups.max()) + 1 if n_tiles else 0
+    g_starts = np.searchsorted(groups, np.arange(max_g + 1, dtype=np.int64))
+    out_rows = (
+        np.stack(out_rows_list)
+        if out_rows_list
+        else np.zeros((0, MMA_TILE), dtype=np.int64)
+    )
+    return CompiledPlan(
+        m=m,
+        k=k,
+        w=w,
+        b_rows=b_rows,
+        strip_idx=strip_idx,
+        g_starts=g_starts.astype(np.int64),
+        out_rows=out_rows,
+        block_tile=h,
+        block_tile_n=jm.config.block_tile_n,
+        threads_per_block=jm.config.threads_per_block,
+        smem_bytes_per_block=jm.config.smem_bytes,
+        slab_strips=np.asarray(slab_strips, dtype=np.int64),
+        slab_ops=np.asarray(slab_ops, dtype=np.int64),
+        slab_gather=np.asarray(slab_gather, dtype=np.int64),
+    )
+
+
 def restore_compiled(
     m: int, k: int, arrays: dict[str, np.ndarray], jm: "JigsawMatrix"
 ) -> CompiledPlan:
@@ -420,6 +516,7 @@ def run_compiled_kernel(
 __all__ = [
     "CompiledPlan",
     "compile_plan",
+    "repair_compiled",
     "restore_compiled",
     "compiled_output",
     "compiled_profile",

@@ -45,8 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 #: tracks the checksummed artifact layout; v5 tracks the compiled
 #: whole-plan arrays appended to the artifact; v6 folds the plan's
 #: storage-format spec into the key (pre-v6 keys assumed rigid 2:4, so
-#: a V:N:M plan would have aliased the 2:4 cache entry).
-PLAN_CACHE_KEY_VERSION = 6
+#: a V:N:M plan would have aliased the 2:4 cache entry); v7 folds the
+#: plan's monotonic ``content_version`` into the key, so an
+#: incrementally-repaired plan persists under a version-qualified key
+#: and the pre-update artifact stays on disk until garbage-collected.
+PLAN_CACHE_KEY_VERSION = 7
 
 
 @dataclass
@@ -64,7 +67,12 @@ class PreprocessStats:
     split_groups: int = 0
     cover_cache_hits: int = 0
     cover_cache_misses: int = 0
-    #: "off" (no plan cache), "miss" (built then stored), "hit" (loaded).
+    #: Slabs re-reordered by an incremental repair (zero for full builds
+    #: and cache loads).  ``repaired_slabs / slabs`` is the fraction of
+    #: a full rebuild's reorder work the repair actually performed.
+    repaired_slabs: int = 0
+    #: "off" (no plan cache), "miss" (built then stored), "hit" (loaded),
+    #: "repair" (incrementally repaired from a previous version).
     plan_cache: str = "off"
 
     @property
@@ -97,6 +105,10 @@ class PlanStats:
     #: Artifact stores that failed (IO/injected faults); the in-memory
     #: format still serves, so a store failure is a counter, not a crash.
     store_failures: int = 0
+    #: Incremental repairs applied (``JigsawPlan.updated``).  Counted
+    #: separately from ``reorder_runs`` so the zero-reorder-on-cache-hit
+    #: guarantee stays meaningful for freshly constructed plans.
+    repairs: int = 0
     runs: list[PreprocessStats] = field(default_factory=list)
 
     @property
@@ -124,6 +136,10 @@ class PlanStats:
         hits = sum(r.cover_cache_hits for r in self.runs)
         lookups = hits + sum(r.cover_cache_misses for r in self.runs)
         return hits / lookups if lookups else 0.0
+
+    @property
+    def repaired_slabs(self) -> int:
+        return sum(r.repaired_slabs for r in self.runs)
 
 
 def preprocess(
@@ -216,15 +232,17 @@ def plan_cache_key(
     config: TileConfig,
     avoid_bank_conflicts: bool,
     format_spec: "FormatSpec | None" = None,
+    content_version: int = 0,
 ) -> str:
     """Content hash identifying one preprocessing outcome.
 
     Covers everything the result depends on: the matrix bytes (and
     dtype/shape), the full tile geometry (``block_tile``,
     ``block_tile_n``, ``mma_tile``), the bank-conflict preference, the
-    plan's storage-format spec (None means the default ``2:4``), and
-    the artifact format version.  Two matrices with equal hashes build
-    byte-identical artifacts; differing settings can never alias.
+    plan's storage-format spec (None means the default ``2:4``), the
+    plan's dynamic-update ``content_version``, and the artifact format
+    version.  Two matrices with equal hashes build byte-identical
+    artifacts; differing settings can never alias.
     """
     from .formatspec import FormatSpec
 
@@ -241,6 +259,7 @@ def plan_cache_key(
                 config.mma_tile,
                 int(avoid_bank_conflicts),
                 *spec.header_fields(),
+                int(content_version),
             ],
             dtype=np.int64,
         ).tobytes()

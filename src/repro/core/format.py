@@ -27,7 +27,7 @@ import numpy as np
 from repro.formats.nm import compress_nm
 from .formatspec import FormatSpec
 from .metadata import interleave_metadata, tile_metadata_words
-from .reorder import ReorderResult, SlabReorder, reorder_matrix
+from .reorder import ReorderResult, SlabReorder, reorder_matrix, reorder_slab
 from .swizzle import swizzle_block, unswizzle_block
 from .tiles import MMA_TILE, TileConfig
 
@@ -83,6 +83,11 @@ class JigsawMatrix:
     #: so artifacts from different format dimensions never alias (pre-v6
     #: artifacts load with the 2:4 default they implicitly were).
     format_spec: FormatSpec = field(default_factory=FormatSpec)
+    #: Monotonic dynamic-sparsity version: 0 for a fresh build, bumped by
+    #: every :meth:`apply_update`/:meth:`repaired`.  Folded into the plan
+    #: cache key and persisted by serialization v7, so repaired artifacts
+    #: never alias their pre-update ancestors on disk.
+    content_version: int = 0
     #: Lazily-built whole-plan lowering (see :mod:`repro.core.compiled`);
     #: v5 artifacts persist its arrays, older ones recompile on demand.
     _compiled: object | None = field(default=None, repr=False, compare=False)
@@ -146,6 +151,103 @@ class JigsawMatrix:
                 slab = np.vstack([slab, np.zeros((pad, k), dtype=a.dtype)])
             mat.slabs.append(_compress_slab(slab, slab_r))
         return mat
+
+    # -- dynamic sparsity -------------------------------------------------------
+
+    def repaired(
+        self, a_new: np.ndarray, dirty_slabs: "set[int] | list[int]"
+    ) -> "JigsawMatrix":
+        """Incrementally repaired copy against updated matrix content.
+
+        ``a_new`` is the post-update dense matrix (same shape/dtype
+        semantics as the original build input); ``dirty_slabs`` names the
+        BLOCK_TILE row slabs whose content changed.  Only dirty slabs are
+        re-reordered and re-compressed — clean :class:`JigsawSlab`
+        objects are *shared* with ``self`` (zero-copy), which is exact
+        because :func:`~repro.core.reorder.reorder_slab` is deterministic
+        and slabs are independent: the result is bit-identical to a full
+        ``JigsawMatrix.build(a_new, ...)`` rebuild.
+
+        ``self`` is never mutated, so in-flight consumers of the old
+        version keep computing bit-identical results.  The copy's
+        :attr:`content_version` is ``self.content_version + 1``; if a
+        compiled plan exists it is repaired segment-wise as well (see
+        :func:`~repro.core.compiled.repair_compiled`).
+        """
+        m, k = self.shape
+        if a_new.shape != self.shape:
+            raise ValueError(
+                f"update shape {a_new.shape} != matrix shape {self.shape}"
+            )
+        dirty = {int(s) for s in dirty_slabs}
+        if any(s < 0 or s >= len(self.slabs) for s in dirty):
+            raise ValueError(f"dirty slab index out of range: {sorted(dirty)}")
+        h = self.config.block_tile
+        new_slabs: list[JigsawSlab] = []
+        slab_reorders: list[SlabReorder] = []
+        for si, old_slab in enumerate(self.slabs):
+            if si not in dirty:
+                new_slabs.append(old_slab)
+                slab_reorders.append(old_slab.reorder)
+                continue
+            r0 = si * h
+            slab = a_new[r0 : min(r0 + h, m)]
+            if slab.shape[0] % MMA_TILE:
+                pad = MMA_TILE - slab.shape[0] % MMA_TILE
+                slab = np.vstack([slab, np.zeros((pad, k), dtype=a_new.dtype)])
+            slab_r = reorder_slab(
+                slab, si, avoid_bank_conflicts=self.avoid_bank_conflicts
+            )
+            new_slabs.append(_compress_slab(slab, slab_r))
+            slab_reorders.append(slab_r)
+        reorder = ReorderResult(
+            shape=self.shape,
+            config=self.config,
+            slabs=slab_reorders,
+            workers_used=1,
+        )
+        new = JigsawMatrix(
+            shape=self.shape,
+            config=self.config,
+            reorder=reorder,
+            slabs=new_slabs,
+            avoid_bank_conflicts=self.avoid_bank_conflicts,
+            format_spec=self.format_spec,
+            content_version=self.content_version + 1,
+        )
+        if self._compiled is not None:
+            from .compiled import repair_compiled
+
+            new._compiled = repair_compiled(self._compiled, new, dirty)
+        return new
+
+    def apply_update(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+    ) -> list[int]:
+        """In-place dynamic-sparsity update: set ``A[rows, cols] = values``.
+
+        Reconstructs the current dense content, applies the nonzero
+        updates, and adopts an incrementally :meth:`repaired` format —
+        only the BLOCK_TILE slabs containing updated rows are
+        re-reordered.  Bumps :attr:`content_version` and returns the
+        sorted dirty slab indices.  Prefer
+        :meth:`repro.core.api.JigsawPlan.updated` in plan-managed code —
+        it keeps the dense content around and repairs every built format.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        cols = np.atleast_1d(np.asarray(cols, dtype=np.int64))
+        a = self.to_dense()
+        a[rows, cols] = np.asarray(values, dtype=a.dtype).reshape(rows.shape)
+        dirty = {int(r) // self.config.block_tile for r in rows.tolist()}
+        new = self.repaired(a, dirty)
+        self.reorder = new.reorder
+        self.slabs = new.slabs
+        self._compiled = new._compiled
+        self.content_version = new.content_version
+        return sorted(dirty)
 
     # -- reconstruction -----------------------------------------------------------
 

@@ -41,12 +41,16 @@ from .vnm import VnmPlan
 #: v6 appends the plan's storage-format spec to the header (four fields:
 #: kind code, V, N, M — see :mod:`repro.core.formatspec`), covered by
 #: the checksum like the rest of the header.
-#: v1–v5 artifacts are still readable: pre-v4 ones load unverified with
+#: v7 appends the dynamic-sparsity ``content_version`` (header[12]) so a
+#: repaired plan round-trips with its monotonic version intact.
+#: v1–v6 artifacts are still readable: pre-v4 ones load unverified with
 #: the documented era defaults (:data:`V1_AVOID_BANK_CONFLICTS_DEFAULT`,
 #: :data:`PRE_V3_MMA_TILE_DEFAULT`); pre-v5 ones lazily recompile the
 #: whole-plan arrays on first compiled-route use; pre-v6 ones load with
-#: the default ``2:4`` format spec, which is what they implicitly were.
-FORMAT_VERSION = 6
+#: the default ``2:4`` format spec, which is what they implicitly were;
+#: pre-v7 ones load with ``content_version`` 0, which every pre-dynamic
+#: writer implicitly was.
+FORMAT_VERSION = 7
 
 #: First version whose artifacts carry the ``checksum`` array.
 CHECKSUM_MIN_VERSION = 4
@@ -56,6 +60,9 @@ COMPILED_MIN_VERSION = 5
 
 #: First version whose headers carry the four format-spec fields.
 FORMAT_SPEC_MIN_VERSION = 6
+
+#: First version whose headers carry the dynamic ``content_version``.
+CONTENT_VERSION_MIN_VERSION = 7
 
 #: ``avoid_bank_conflicts`` value assumed for version-1 artifacts, which
 #: predate the flag being persisted.  v1 writers only ever built formats
@@ -108,6 +115,8 @@ def save_jigsaw(jm: JigsawMatrix, path: str | Path | io.BytesIO) -> None:
                 jm.config.mma_tile,
                 # v6: the plan's storage-format spec (kind, V, N, M).
                 *jm.format_spec.header_fields(),
+                # v7: the dynamic-sparsity content version.
+                jm.content_version,
             ],
             dtype=np.int64,
         )
@@ -179,7 +188,7 @@ def load_jigsaw(
     elif version == 2:
         avoid_bank_conflicts = bool(header[6])
         mma_tile = PRE_V3_MMA_TILE_DEFAULT
-    elif version in (3, 4, 5, FORMAT_VERSION):
+    elif 3 <= version <= FORMAT_VERSION:
         avoid_bank_conflicts = bool(header[6])
         mma_tile = int(header[7])
     else:
@@ -209,6 +218,16 @@ def load_jigsaw(
     else:
         # Pre-v6 writers only ever built rigid 2:4 plans.
         format_spec = FormatSpec()
+    if version >= CONTENT_VERSION_MIN_VERSION:
+        try:
+            content_version = int(header[12])
+        except (IndexError, ValueError) as exc:
+            raise ArtifactError(
+                f"version-{version} artifact is missing its content version: {exc}"
+            ) from exc
+    else:
+        # Pre-v7 writers predate dynamic updates: version 0 by definition.
+        content_version = 0
     try:
         shape = (int(header[1]), int(header[2]))
         config = TileConfig(
@@ -225,6 +244,7 @@ def load_jigsaw(
             reorder=reorder,
             avoid_bank_conflicts=avoid_bank_conflicts,
             format_spec=format_spec,
+            content_version=content_version,
         )
         for i in range(n_slabs):
             meta = arrays[f"s{i}_meta"]
@@ -357,6 +377,8 @@ def roundtrip_equal(a: JigsawMatrix, b: JigsawMatrix) -> bool:
     if a.avoid_bank_conflicts != b.avoid_bank_conflicts:
         return False
     if a.format_spec != b.format_spec:
+        return False
+    if a.content_version != b.content_version:
         return False
     if len(a.slabs) != len(b.slabs):
         return False

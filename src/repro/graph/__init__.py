@@ -1,0 +1,16 @@
+"""Model-graph execution tier: DAGs of SpMM ops over the serving stack.
+
+The paper's motivating workload is not one SpMM but a *chain* of pruned
+layers executed end to end (Mishra et al., arxiv 2104.08378; VENOM,
+arxiv 2310.02065).  :class:`ModelGraph` describes a DAG of sparse
+layers whose weights live in a serving
+:class:`~repro.serve.PlanRegistry`; :class:`GraphExecutor` drives the
+DAG through a :class:`~repro.serve.BatchExecutor` with pipelined
+dispatch — layer k+1 of request i overlaps layer k of request i+1 —
+and zero-copy inter-layer panel hand-off.  See docs/model_graphs.md.
+"""
+
+from .graph import INPUT, LayerNode, ModelGraph
+from .executor import GraphExecutor, GraphResult
+
+__all__ = ["INPUT", "LayerNode", "ModelGraph", "GraphExecutor", "GraphResult"]

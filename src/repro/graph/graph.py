@@ -1,0 +1,234 @@
+"""Model-graph description: a DAG of sparse layers over serving matrices.
+
+A :class:`ModelGraph` is the static description; execution lives in
+:mod:`repro.graph.executor`.  Each :class:`LayerNode` names its input
+edges (the special :data:`INPUT` edge is the request's activation
+panel) and, optionally, a registered serving matrix — the node then
+computes ``C = W @ B`` through the serving tier, with the node's cast /
+activation / transform applied to the result.  Matrix-less nodes are
+compute-only (combine + transform), which is how residual joins and
+dense projections express themselves.
+
+Edges carry activation panels ``(features, batch)`` column-major, the
+same shape :class:`~repro.core.model.SparseModel` uses; a node's output
+panel is handed to its consumers as-is (zero-copy — consumers gather
+from the same array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+#: Name of the implicit source edge carrying the request's input panel.
+INPUT = "input"
+
+_ACTIVATIONS = ("none", "relu")
+_CASTS = (None, "float16", "float32")
+_COMBINES = ("sum", "concat")
+
+
+@dataclass
+class LayerNode:
+    """One node of a :class:`ModelGraph`.
+
+    Post-SpMM (or post-combine, for matrix-less nodes) the node applies,
+    in order: ``cast`` (dtype of the output panel), ``activation``
+    (elementwise, in the cast dtype), ``transform`` (an arbitrary
+    ``panel -> panel`` callable, e.g. a dense feature projection for a
+    GCN layer).  This is exactly
+    :class:`~repro.core.model.SparseLinear`'s dataflow — ``cast=
+    "float16"`` + ``activation="relu"`` reproduces it bit-identically.
+
+    Multi-input nodes combine their input panels first: ``"sum"`` adds
+    them in declaration order (deterministic float addition order),
+    ``"concat"`` stacks features row-wise.
+    """
+
+    name: str
+    matrix: str | None = None
+    inputs: tuple[str, ...] = (INPUT,)
+    activation: str = "none"
+    cast: str | None = None
+    combine: str = "sum"
+    transform: Callable[[np.ndarray], np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError(f"node {self.name!r} has no inputs")
+        if self.activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {self.activation!r}")
+        if self.cast not in _CASTS:
+            raise ValueError(f"unknown cast {self.cast!r}")
+        if self.combine not in _COMBINES:
+            raise ValueError(f"unknown combine {self.combine!r}")
+        self.inputs = tuple(self.inputs)
+
+    def apply_post(self, panel: np.ndarray) -> np.ndarray:
+        """Cast -> activation -> transform, the node's post-op chain."""
+        out = panel
+        if self.cast is not None:
+            out = out.astype(self.cast)
+        if self.activation == "relu":
+            out = np.maximum(out, out.dtype.type(0))
+        if self.transform is not None:
+            out = self.transform(out)
+        return out
+
+    def combined(self, panels: list[np.ndarray]) -> np.ndarray:
+        """Combine the input panels (single input: zero-copy pass-through)."""
+        if len(panels) == 1:
+            return panels[0]
+        if self.combine == "concat":
+            return np.concatenate(panels, axis=0)
+        out = panels[0] + panels[1]
+        for p in panels[2:]:
+            out = out + p
+        return out
+
+
+class ModelGraph:
+    """A DAG of :class:`LayerNode` over registered serving matrices.
+
+    ``input_cast`` is applied to the request panel once at entry
+    (default ``"float16"``, matching
+    :meth:`~repro.core.model.SparseModel.forward`).  Weights added via
+    :meth:`add_layer` are registered with a serving registry through
+    :meth:`register`; the executor then resolves them by name, so the
+    same graph serves across registry version bumps
+    (:meth:`~repro.serve.PlanRegistry.apply_update`).
+    """
+
+    def __init__(self, input_cast: str | None = "float16") -> None:
+        if input_cast not in _CASTS:
+            raise ValueError(f"unknown cast {input_cast!r}")
+        self.input_cast = input_cast
+        self.nodes: dict[str, LayerNode] = {}
+        self._weights: dict[str, np.ndarray] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_layer(
+        self,
+        name: str,
+        weight: np.ndarray | None = None,
+        matrix: str | None = None,
+        inputs: tuple[str, ...] | str = (INPUT,),
+        activation: str = "none",
+        cast: str | None = "float16",
+        combine: str = "sum",
+        transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> LayerNode:
+        """Add one node.
+
+        Pass ``weight`` to carry the matrix with the graph (registered
+        under ``matrix`` or, by default, the node's name), or just
+        ``matrix`` to reference an already-registered name, or neither
+        for a compute-only node.
+        """
+        if name == INPUT or name in self.nodes:
+            raise ValueError(f"node name {name!r} already taken")
+        if isinstance(inputs, str):
+            inputs = (inputs,)
+        if weight is not None:
+            matrix = matrix or name
+            self._weights[matrix] = np.ascontiguousarray(weight, dtype=np.float16)
+        node = LayerNode(
+            name=name,
+            matrix=matrix,
+            inputs=tuple(inputs),
+            activation=activation,
+            cast=cast,
+            combine=combine,
+            transform=transform,
+        )
+        self.nodes[name] = node
+        self._validate_edges(node)
+        return node
+
+    def _validate_edges(self, node: LayerNode) -> None:
+        for inp in node.inputs:
+            if inp != INPUT and inp not in self.nodes:
+                raise ValueError(
+                    f"node {node.name!r} consumes unknown input {inp!r} "
+                    f"(declare nodes in topological order)"
+                )
+
+    @classmethod
+    def from_model(cls, model, prefix: str = "") -> "ModelGraph":
+        """Lower a :class:`~repro.core.model.SparseModel` chain.
+
+        Node/matrix names are the layers' own (``fc0``, ``fc1``, ... for
+        :meth:`~repro.core.model.SparseModel.from_pruned_mlp` models),
+        optionally prefixed; the relu-between-hidden-layers dataflow is
+        reproduced exactly, so graph execution is bit-identical to
+        ``model.forward``.
+        """
+        g = cls(input_cast="float16")
+        prev = INPUT
+        n = len(model.layers)
+        for i, layer in enumerate(model.layers):
+            relu = model.activation == "relu" and i < n - 1
+            node = g.add_layer(
+                f"{prefix}{layer.name}",
+                weight=layer.weight,
+                inputs=(prev,),
+                activation="relu" if relu else "none",
+                cast="float16",
+            )
+            prev = node.name
+        return g
+
+    # -- registry --------------------------------------------------------------
+
+    def register(self, registry) -> None:
+        """Register every carried weight with a serving registry."""
+        for name, w in self._weights.items():
+            registry.register(name, w)
+
+    def weights(self) -> dict[str, np.ndarray]:
+        return dict(self._weights)
+
+    # -- structure -------------------------------------------------------------
+
+    def topo_order(self) -> list[LayerNode]:
+        """Nodes in a deterministic topological order (declaration order
+        is already topological — :meth:`add_layer` enforces it)."""
+        if not self.nodes:
+            raise ValueError("graph has no nodes")
+        return list(self.nodes.values())
+
+    def consumers(self) -> dict[str, list[str]]:
+        """``edge name -> consuming node names`` adjacency."""
+        out: dict[str, list[str]] = {INPUT: []}
+        for node in self.nodes.values():
+            out.setdefault(node.name, [])
+        for node in self.nodes.values():
+            for inp in node.inputs:
+                out[inp].append(node.name)
+        return out
+
+    def sinks(self) -> list[str]:
+        """Nodes no other node consumes (the graph's outputs)."""
+        cons = self.consumers()
+        return [n for n in self.nodes if not cons[n]]
+
+    def output_node(self) -> str:
+        """The single sink; raises if the graph has several."""
+        sinks = self.sinks()
+        if len(sinks) != 1:
+            raise ValueError(f"graph has {len(sinks)} sinks: {sinks}")
+        return sinks[0]
+
+    def matrices(self) -> list[str]:
+        """Every serving-matrix name the graph references, in node order."""
+        seen: list[str] = []
+        for node in self.nodes.values():
+            if node.matrix is not None and node.matrix not in seen:
+                seen.append(node.matrix)
+        return seen
+
+
+__all__ = ["INPUT", "LayerNode", "ModelGraph"]

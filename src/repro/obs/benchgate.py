@@ -73,11 +73,19 @@ def compare_bench(
     baseline: dict,
     current: dict,
     thresholds: GateThresholds = GateThresholds(),
+    only: set[str] | None = None,
 ) -> tuple[list[str], list[str]]:
     """Diff two parsed bench reports; returns ``(regressions, notes)``.
 
     ``regressions`` non-empty means the gate fails; ``notes`` are
     informational (new scenarios, improvements worth logging).
+
+    ``only`` restricts the gate to the named scenarios — CI jobs that
+    regenerate a *subset* of a multi-drill baseline (the format-zoo job
+    doesn't rerun the graph drill, and vice versa) gate their own
+    scenarios without failing on the siblings they didn't produce.  The
+    comparison-block speedup check only applies when the baseline
+    comparison's scenarios are inside the restriction.
     """
     regressions: list[str] = []
     notes: list[str] = []
@@ -90,6 +98,12 @@ def compare_bench(
 
     base_by_name = {s["name"]: s for s in baseline["scenarios"]}
     cur_by_name = {s["name"]: s for s in current["scenarios"]}
+    if only is not None:
+        unknown = sorted(only - set(base_by_name) - set(cur_by_name))
+        if unknown:
+            return [f"--only names unknown scenarios: {unknown}"], notes
+        base_by_name = {n: s for n, s in base_by_name.items() if n in only}
+        cur_by_name = {n: s for n, s in cur_by_name.items() if n in only}
     for name in sorted(set(cur_by_name) - set(base_by_name)):
         notes.append(f"scenario {name!r}: new (not in baseline)")
     for name, base in sorted(base_by_name.items()):
@@ -124,6 +138,12 @@ def compare_bench(
 
     base_comp = baseline.get("comparison") or {}
     cur_comp = current.get("comparison") or {}
+    if only is not None and not (
+        base_comp.get("baseline") in only and base_comp.get("contender") in only
+    ):
+        # The restricted job didn't rerun the drill the baseline's
+        # comparison came from; its speedup gate belongs to the sibling.
+        base_comp = {}
     base_speedup = base_comp.get("throughput_speedup")
     cur_speedup = cur_comp.get("throughput_speedup")
     if isinstance(base_speedup, (int, float)) and base_speedup > 0:
@@ -152,6 +172,7 @@ def compare_bench_files(
     baseline_path: str | Path,
     current_path: str | Path,
     thresholds: GateThresholds = GateThresholds(),
+    only: set[str] | None = None,
 ) -> tuple[list[str], list[str]]:
     """File-level wrapper; unreadable/invalid JSON is a regression."""
     docs = []
@@ -162,4 +183,4 @@ def compare_bench_files(
             return [f"{role} {path}: unreadable ({exc})"], []
         except json.JSONDecodeError as exc:
             return [f"{role} {path}: invalid JSON ({exc.msg})"], []
-    return compare_bench(docs[0], docs[1], thresholds)
+    return compare_bench(docs[0], docs[1], thresholds, only=only)

@@ -22,8 +22,9 @@ histogram buckets are cumulative (non-decreasing) and end with a
 Bench checks (``--bench BENCH_serving.json``, produced by ``repro
 sched-bench`` / ``serve-bench --bench-json``): the schema tag matches,
 every scenario carries typed throughput / tail-latency / miss-rate /
-route-mix fields with sane ranges, and the comparison block (when
-present) references real scenarios.
+route-mix fields with sane ranges, the comparison block (when present)
+references real scenarios, and the ``graph`` block (``repro
+graph-bench``) carries typed pipelining and plan-repair fields.
 
 Fleet-snapshot checks (``--fleet-snapshot fleet.json``, produced by
 ``repro shard-bench --fleet-snapshot-out``): the snapshot schema tag
@@ -341,6 +342,47 @@ def validate_bench_serving(doc) -> list[str]:
             ):
                 if not _is_num(comp.get(field)):
                     errors.append(f"comparison: {field} must be a number")
+    graph = doc.get("graph")
+    if graph is not None:
+        errors.extend(_validate_graph_block(graph))
+    return errors
+
+
+def _validate_graph_block(graph) -> list[str]:
+    """Check the optional ``graph`` block ``repro graph-bench`` emits."""
+    if not isinstance(graph, dict):
+        return ["graph: must be an object"]
+    errors: list[str] = []
+    for field in ("layers", "concurrency", "requests"):
+        if not isinstance(graph.get(field), int) or graph.get(field, 0) <= 0:
+            errors.append(f"graph: {field} must be a positive integer")
+    if not isinstance(graph.get("update_every"), int) or graph["update_every"] < 0:
+        errors.append("graph: update_every must be a non-negative integer")
+    for field in ("sequential_rps", "pipelined_rps", "pipelined_speedup"):
+        if not _is_num(graph.get(field)) or graph[field] < 0:
+            errors.append(f"graph: {field} must be a non-negative number")
+    if not isinstance(graph.get("bit_identical"), bool):
+        errors.append("graph: bit_identical must be a boolean")
+    repair = graph.get("repair")
+    if not isinstance(repair, dict):
+        return errors + ["graph: repair must be an object"]
+    for field in ("repair_seconds", "rebuild_seconds"):
+        if not _is_num(repair.get(field)) or repair[field] < 0:
+            errors.append(f"graph: repair.{field} must be a non-negative number")
+    if (
+        not isinstance(repair.get("repaired_slabs"), int)
+        or repair["repaired_slabs"] < 0
+    ):
+        errors.append("graph: repair.repaired_slabs must be a non-negative integer")
+    if not isinstance(repair.get("total_slabs"), int) or repair["total_slabs"] <= 0:
+        errors.append("graph: repair.total_slabs must be a positive integer")
+    elif (
+        isinstance(repair.get("repaired_slabs"), int)
+        and repair["repaired_slabs"] > repair["total_slabs"]
+    ):
+        errors.append("graph: repair.repaired_slabs exceeds total_slabs")
+    if not isinstance(repair.get("bit_identical"), bool):
+        errors.append("graph: repair.bit_identical must be a boolean")
     return errors
 
 
@@ -490,6 +532,13 @@ def main(argv: list[str] | None = None) -> int:
         "nonzero exit on regression",
     )
     parser.add_argument(
+        "--compare-only",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="bench-compare: gate only these scenarios (CI jobs that "
+        "regenerate a subset of a multi-drill baseline)",
+    )
+    parser.add_argument(
         "--miss-tol",
         type=float,
         default=None,
@@ -574,9 +623,14 @@ def main(argv: list[str] | None = None) -> int:
             )
             if value is not None
         }
+        only = (
+            {n.strip() for n in args.compare_only.split(",") if n.strip()}
+            if args.compare_only
+            else None
+        )
         base_path, cur_path = args.bench_compare
         regressions, notes = compare_bench_files(
-            base_path, cur_path, GateThresholds(**overrides)
+            base_path, cur_path, GateThresholds(**overrides), only=only
         )
         for note in notes:
             print(f"bench-compare: note: {note}")

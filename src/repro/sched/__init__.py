@@ -15,7 +15,7 @@ when constructed with a :class:`Scheduler` (see docs/scheduling.md):
   net underneath.
 """
 
-from .cost import MIN_OBSERVED_US, CostModel, EwmaEstimator
+from .cost import MIN_OBSERVED_US, CostModel, EwmaEstimator, base_matrix
 from .errors import SchedError, ThrottledError
 from .scheduler import DEFAULT_WEIGHT, Scheduler, group_sort_key
 from .tenancy import (
@@ -28,6 +28,7 @@ from .tenancy import (
 
 __all__ = [
     "MIN_OBSERVED_US",
+    "base_matrix",
     "CostModel",
     "EwmaEstimator",
     "SchedError",

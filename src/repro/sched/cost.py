@@ -27,10 +27,24 @@ fallback chain in the executor remain the safety net underneath, and
 from __future__ import annotations
 
 import math
+import re
 import threading
 from typing import Iterable, Sequence
 
 from repro.core.formatspec import base_route
+
+#: Dynamic-sparsity version qualifier some callers append to matrix
+#: names (``"ffn1@v3"``).  Cost state must be keyed on the *base* name:
+#: an ``apply_update`` repairs only a few BLOCK_TILE slabs, so kernel
+#: cost is dominated by structure the repair preserves — discarding the
+#: learned EWMAs on every version bump would re-probe every route from
+#: scratch after each update.
+_VERSION_SUFFIX = re.compile(r"@v\d+$")
+
+
+def base_matrix(matrix: str) -> str:
+    """Matrix name with any ``@v<N>`` version qualifier stripped."""
+    return _VERSION_SUFFIX.sub("", matrix)
 
 #: Floor applied to observed kernel times before they enter the EWMA.
 #: A clock-granularity ``us == 0`` sample used to pass the guard below
@@ -129,7 +143,7 @@ class CostModel:
         if cols <= 0 or us < 0 or not math.isfinite(us):
             return
         us = max(us, MIN_OBSERVED_US)
-        key = (matrix, route)
+        key = (base_matrix(matrix), route)
         with self._lock:
             est = self._est.get(key)
             if est is None:
@@ -140,13 +154,13 @@ class CostModel:
 
     def samples(self, matrix: str, route: str) -> int:
         with self._lock:
-            est = self._est.get((matrix, route))
+            est = self._est.get((base_matrix(matrix), route))
             return est.count if est else 0
 
     def estimate_us(self, matrix: str, route: str, cols: int) -> float | None:
         """Estimated launch cost for ``cols`` columns; None if unmeasured."""
         with self._lock:
-            est = self._est.get((matrix, route))
+            est = self._est.get((base_matrix(matrix), route))
             if est is None or est.count < self.min_samples or est.value is None:
                 return None
             return est.value * cols
@@ -193,7 +207,7 @@ class CostModel:
                 for route, rec in routes.items():
                     est = EwmaEstimator(self.alpha)
                     est.seed(float(rec["us_per_col"]), int(rec["count"]))
-                    self._est[(str(matrix), str(route))] = est
+                    self._est[(base_matrix(str(matrix)), str(route))] = est
                     restored += 1
         return restored
 
@@ -224,6 +238,7 @@ class CostModel:
         cands = list(candidates)
         if not cands:
             return cands
+        matrix = base_matrix(matrix)
         with self._lock:
             n = self._decisions.get(matrix, 0)
             self._decisions[matrix] = n + 1

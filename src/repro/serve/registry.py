@@ -92,9 +92,17 @@ class PlanRegistry:
         #: per iteration (the eviction loop used to be O(n^2)).
         self._entry_bytes: dict[str, int] = {}
         self._resident_total = 0
+        #: Monotonic dynamic-sparsity version per matrix name (absent =
+        #: 0).  Bumped by :meth:`apply_update`; admission passes it to
+        #: the plan so artifact cache keys are version-qualified.
+        self._versions: dict[str, int] = {}
+        #: Version-qualified artifact paths of retired plan versions,
+        #: kept on disk (both versions coexist) until :meth:`gc_stale`.
+        self._stale_artifacts: dict[str, list[Path]] = {}
         self._lock = threading.RLock()
         #: reorder work done by plans that have since been evicted.
         self._retired_reorder_runs = 0
+        self._retired_repairs = 0
         self._retired_cache_hits = 0
         self._retired_cache_misses = 0
         self._retired_quarantined = 0
@@ -170,6 +178,7 @@ class PlanRegistry:
                     fault_plan=self.fault_plan,
                     quarantine_max_bytes=self.quarantine_max_bytes,
                     quarantine_max_files=self.quarantine_max_files,
+                    content_version=self._versions.get(name, 0),
                 )
                 self._plans[name] = plan
                 self._charge_locked(name, plan)
@@ -210,6 +219,97 @@ class PlanRegistry:
         with self._lock:
             for name in list(self._plans):
                 self.evict(name)
+
+    # -- dynamic sparsity ------------------------------------------------------
+
+    def version(self, name: str) -> int:
+        """Current dynamic-sparsity version of ``name`` (0 = never updated)."""
+        with self._lock:
+            return self._versions.get(name, 0)
+
+    def apply_update(
+        self,
+        name: str,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Dynamic-sparsity update of a registered matrix; returns the new
+        version.
+
+        Sets ``A[rows, cols] = values`` on the stored weight matrix and
+        bumps the name's monotonic version.  If the plan is resident, a
+        repaired successor (:meth:`JigsawPlan.updated` — only dirty
+        BLOCK_TILE slabs re-reordered) is swapped in under the new
+        version: the old version's residency charge is released exactly
+        once (counted as an eviction), its version-qualified disk
+        artifacts are kept and tracked for :meth:`gc_stale`, and the old
+        plan *object* is never mutated — in-flight batches that captured
+        it complete bit-identically on the old version.
+        """
+        with self._lock:
+            mat = self.matrix(name).copy()
+            r = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+            c = np.atleast_1d(np.asarray(cols, dtype=np.int64))
+            mat[r, c] = np.asarray(values, dtype=np.float16).reshape(r.shape)
+            self._matrices[name] = mat
+            new_version = self._versions.get(name, 0) + 1
+            self._versions[name] = new_version
+            old = self._plans.pop(name, None)
+            if old is not None:
+                self._stale_artifacts.setdefault(name, []).extend(
+                    old.artifact_paths()
+                )
+                # Release the retired version's charge exactly once; the
+                # successor is charged fresh below.
+                self._resident_total -= self._entry_bytes.pop(name, 0)
+                self._retire(old)
+                self.stats.evictions += 1
+                get_metrics().counter(
+                    "repro_registry_evictions_total", "plans evicted from residency"
+                ).inc()
+                new_plan = old.updated(rows, cols, values)
+                self._plans[name] = new_plan
+                self._charge_locked(name, new_plan)
+                self._evict_over_budget(keep=name)
+            get_metrics().counter(
+                "repro_registry_updates_total",
+                "dynamic-sparsity updates applied to registered matrices",
+            ).inc()
+            get_tracer().event(
+                "registry.update", attrs={"matrix": name, "version": new_version}
+            )
+            self._update_gauges_locked()
+            return new_version
+
+    def stale_artifacts(self, name: str) -> list[Path]:
+        """Retired versions' artifact paths still on disk for ``name``."""
+        with self._lock:
+            return list(self._stale_artifacts.get(name, []))
+
+    def gc_stale(self, name: str | None = None) -> int:
+        """Delete retired versions' disk artifacts; returns files removed.
+
+        Until called, the disk cache holds the artifacts of both the
+        current and the retired versions (their cache keys are
+        version-qualified, so they never collide).
+        """
+        removed = 0
+        with self._lock:
+            names = [name] if name is not None else list(self._stale_artifacts)
+            for n in names:
+                for path in self._stale_artifacts.pop(n, []):
+                    try:
+                        path.unlink(missing_ok=True)
+                        removed += 1
+                    except OSError:
+                        continue
+        if removed:
+            get_metrics().counter(
+                "repro_registry_stale_artifacts_removed_total",
+                "retired-version plan artifacts garbage-collected from disk",
+            ).inc(removed)
+        return removed
 
     # -- budget ----------------------------------------------------------------
 
@@ -287,6 +387,7 @@ class PlanRegistry:
 
     def _retire(self, plan: JigsawPlan) -> None:
         self._retired_reorder_runs += plan.stats.reorder_runs
+        self._retired_repairs += plan.stats.repairs
         self._retired_cache_hits += plan.stats.plan_cache_hits
         self._retired_cache_misses += plan.stats.plan_cache_misses
         self._retired_quarantined += plan.stats.quarantined
@@ -305,6 +406,14 @@ class PlanRegistry:
         with self._lock:
             return self._retired_reorder_runs + sum(
                 p.stats.reorder_runs for p in self._plans.values()
+            )
+
+    @property
+    def repairs(self) -> int:
+        """Incremental plan repairs across resident *and* retired plans."""
+        with self._lock:
+            return self._retired_repairs + sum(
+                p.stats.repairs for p in self._plans.values()
             )
 
     @property

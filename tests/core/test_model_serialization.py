@@ -104,7 +104,7 @@ class TestSerialization:
         back.avoid_bank_conflicts = not back.avoid_bank_conflicts
         assert not roundtrip_equal(jm, back)
 
-    def test_v6_header_carries_flag_mma_tile_format_and_checksum(self, jm):
+    def test_v7_header_carries_flag_mma_tile_format_and_checksum(self, jm):
         from repro.core.serialization import FORMAT_VERSION
 
         buf = io.BytesIO()
@@ -112,12 +112,14 @@ class TestSerialization:
         buf.seek(0)
         data = np.load(buf)
         header = data["header"]
-        assert header[0] == FORMAT_VERSION == 6
-        assert len(header) == 12
+        assert header[0] == FORMAT_VERSION == 7
+        assert len(header) == 13
         assert header[6] == int(jm.avoid_bank_conflicts)
         assert header[7] == jm.config.mma_tile
-        # v6: the last four fields are the FormatSpec (kind, V, N, M).
+        # v6: fields 8..11 are the FormatSpec (kind, V, N, M).
         assert tuple(int(x) for x in header[8:12]) == jm.format_spec.header_fields()
+        # v7: the last field is the dynamic-sparsity content version.
+        assert header[12] == jm.content_version == 0
         assert data["checksum"].shape == (32,)  # sha256 digest
         # v5+ also persists the compiled whole-plan payload.
         for key in ("c_w", "c_b_rows", "c_strip_idx", "c_g_starts", "c_out_rows"):
@@ -179,7 +181,7 @@ class TestSerializationVersionMatrix:
         save_jigsaw(jm, buf)
         buf.seek(0)
         data = dict(np.load(buf))
-        fields = {1: 6, 2: 7, 3: 8, 4: 8, 5: 8}[version]
+        fields = {1: 6, 2: 7, 3: 8, 4: 8, 5: 8, 6: 12}[version]
         data["header"] = np.array(
             [version, *data["header"][1:fields]], dtype=np.int64
         )
@@ -222,6 +224,27 @@ class TestSerializationVersionMatrix:
         assert roundtrip_equal(jm, back)
         np.testing.assert_array_equal(back.to_dense(), jm.to_dense())
 
+    @pytest.mark.parametrize("version", [3, 4, 5, 6])
+    def test_pre_v7_artifacts_load_with_content_version_zero(self, jm, version):
+        # Pre-v7 writers predate dynamic updates entirely, so their
+        # artifacts must load at content version 0 (the pristine state).
+        back = load_jigsaw(self._downgrade(jm, version))
+        assert back.content_version == 0
+        assert roundtrip_equal(jm, back)
+        np.testing.assert_array_equal(back.to_dense(), jm.to_dense())
+
+    def test_v7_roundtrips_content_version(self, jm):
+        jm.content_version = 5
+        buf = io.BytesIO()
+        save_jigsaw(jm, buf)
+        buf.seek(0)
+        back = load_jigsaw(buf)
+        assert back.content_version == 5
+        assert roundtrip_equal(jm, back)
+        # roundtrip_equal distinguishes plans by content version alone.
+        back.content_version = 0
+        assert not roundtrip_equal(jm, back)
+
     def test_v5_downgrade_recomputed_checksum_is_verified(self, jm):
         # The downgrade helper really produces checksum-verified v5
         # artifacts: tampering with one still fails integrity.
@@ -239,7 +262,7 @@ class TestSerializationVersionMatrix:
         with pytest.raises(ArtifactIntegrityError, match="checksum"):
             load_jigsaw(out)
 
-    @pytest.mark.parametrize("version", [0, 7, 99])
+    @pytest.mark.parametrize("version", [0, 8, 99])
     def test_unknown_versions_fail_loudly(self, jm, version):
         buf = io.BytesIO()
         save_jigsaw(jm, buf)

@@ -1,0 +1,145 @@
+"""ModelGraph structure: node validation, topology, lowering, registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseModel
+from repro.graph import INPUT, LayerNode, ModelGraph
+
+
+class TestLayerNode:
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            LayerNode("n", activation="swish")
+
+    def test_rejects_unknown_cast(self):
+        with pytest.raises(ValueError, match="cast"):
+            LayerNode("n", cast="bfloat16")
+
+    def test_rejects_unknown_combine(self):
+        with pytest.raises(ValueError, match="combine"):
+            LayerNode("n", combine="max")
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError, match="inputs"):
+            LayerNode("n", inputs=())
+
+    def test_apply_post_order_is_cast_relu_transform(self):
+        # The transform sees the *post-relu* panel: shifting by -1 after
+        # relu leaves negatives only if relu already ran, and the relu
+        # ran in the cast dtype.
+        node = LayerNode(
+            "n",
+            cast="float16",
+            activation="relu",
+            transform=lambda p: p - np.float16(1),
+        )
+        out = node.apply_post(np.array([[-2.0, 3.0]], dtype=np.float32))
+        assert out.dtype == np.float16
+        np.testing.assert_array_equal(out, np.array([[-1.0, 2.0]], np.float16))
+
+    def test_single_input_combine_is_zero_copy(self):
+        node = LayerNode("n")
+        p = np.ones((4, 2), np.float16)
+        assert node.combined([p]) is p
+
+    def test_sum_combines_in_declaration_order(self):
+        node = LayerNode("n", inputs=("a", "b", "c"))
+        panels = [np.full((2, 2), v, np.float16) for v in (1, 2, 4)]
+        np.testing.assert_array_equal(
+            node.combined(panels), np.full((2, 2), 7, np.float16)
+        )
+
+    def test_concat_stacks_features_rowwise(self):
+        node = LayerNode("n", inputs=("a", "b"), combine="concat")
+        a = np.zeros((3, 2), np.float16)
+        b = np.ones((5, 2), np.float16)
+        out = node.combined([a, b])
+        assert out.shape == (8, 2)
+        np.testing.assert_array_equal(out[:3], a)
+        np.testing.assert_array_equal(out[3:], b)
+
+
+class TestModelGraph:
+    def test_rejects_duplicate_node_name(self):
+        g = ModelGraph()
+        g.add_layer("a")
+        with pytest.raises(ValueError, match="taken"):
+            g.add_layer("a")
+
+    def test_rejects_node_named_input(self):
+        with pytest.raises(ValueError, match="taken"):
+            ModelGraph().add_layer(INPUT)
+
+    def test_rejects_unknown_input_edge(self):
+        g = ModelGraph()
+        with pytest.raises(ValueError, match="unknown input"):
+            g.add_layer("a", inputs="nope")
+
+    def test_rejects_unknown_input_cast(self):
+        with pytest.raises(ValueError, match="cast"):
+            ModelGraph(input_cast="int8")
+
+    def test_topo_order_is_declaration_order(self):
+        g = ModelGraph()
+        g.add_layer("a")
+        g.add_layer("b", inputs="a")
+        g.add_layer("c", inputs=("a", "b"))
+        assert [n.name for n in g.topo_order()] == ["a", "b", "c"]
+
+    def test_topo_order_empty_graph_raises(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            ModelGraph().topo_order()
+
+    def test_consumers_and_sinks(self):
+        g = ModelGraph()
+        g.add_layer("a")
+        g.add_layer("b", inputs="a")
+        g.add_layer("c", inputs="a")
+        cons = g.consumers()
+        assert cons[INPUT] == ["a"]
+        assert cons["a"] == ["b", "c"]
+        assert sorted(g.sinks()) == ["b", "c"]
+        with pytest.raises(ValueError, match="sinks"):
+            g.output_node()
+        g.add_layer("d", inputs=("b", "c"))
+        assert g.output_node() == "d"
+
+    def test_weight_registers_under_matrix_or_node_name(self):
+        g = ModelGraph()
+        w = np.zeros((16, 32), np.float32)
+        g.add_layer("a", weight=w)
+        g.add_layer("b", weight=w, matrix="shared")
+        g.add_layer("c", matrix="shared", inputs="b")
+        assert g.matrices() == ["a", "shared"]
+        weights = g.weights()
+        assert set(weights) == {"a", "shared"}
+        # Carried weights are canonicalized to contiguous fp16.
+        assert weights["a"].dtype == np.float16
+
+    def test_register_registers_every_weight(self, rng):
+        from repro.serve import PlanRegistry
+        from tests.conftest import random_vector_sparse
+
+        g = ModelGraph()
+        g.add_layer("a", weight=random_vector_sparse(64, 128, 4, 0.9, rng))
+        g.add_layer(
+            "b", weight=random_vector_sparse(64, 64, 4, 0.9, rng), inputs="a"
+        )
+        reg = PlanRegistry()
+        g.register(reg)
+        for name in ("a", "b"):
+            assert reg.matrix(name) is not None
+
+    def test_from_model_reproduces_relu_placement(self, rng):
+        model = SparseModel.from_pruned_mlp((64, 64, 64), v=4, sparsity=0.8, rng=rng)
+        g = ModelGraph.from_model(model, prefix="m.")
+        names = [n.name for n in g.topo_order()]
+        assert names == [f"m.{layer.name}" for layer in model.layers]
+        # relu between hidden layers, none after the last — the
+        # SparseModel.forward dataflow.
+        acts = [n.activation for n in g.topo_order()]
+        assert acts == ["relu", "none"]
+        assert all(n.cast == "float16" for n in g.topo_order())
+        assert g.topo_order()[0].inputs == (INPUT,)
+        assert g.topo_order()[1].inputs == (names[0],)

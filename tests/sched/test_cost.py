@@ -188,3 +188,44 @@ class TestCostModelRegressions:
         for _ in range(10):
             first = cm.plan("w", cands, cols=4)[0]
             assert first not in ("dense", "dense@alt")
+
+
+class TestVersionQualifiedMatrices:
+    """Learned costs survive dynamic-sparsity version bumps: estimators
+    key on the base matrix name, with any ``@v<N>`` qualifier stripped."""
+
+    def test_base_matrix_strips_version_qualifier(self):
+        from repro.sched import base_matrix
+
+        assert base_matrix("w@v1") == "w"
+        assert base_matrix("w@v12") == "w"
+        assert base_matrix("w") == "w"
+        # Only a trailing @v<digits> is a version qualifier.
+        assert base_matrix("jigsaw@vnm") == "jigsaw@vnm"
+        assert base_matrix("w@v1x") == "w@v1x"
+
+    def test_ewma_survives_version_bumps(self):
+        cm = CostModel()
+        cm.observe("w@v1", "jigsaw", us=100.0, cols=10)
+        for name in ("w", "w@v1", "w@v2", "w@v37"):
+            assert cm.samples(name, "jigsaw") == 1
+            assert cm.estimate_us(name, "jigsaw", cols=5) == pytest.approx(50.0)
+
+    def test_plan_ranks_by_base_name_across_versions(self):
+        chain = ["jigsaw", "hybrid", "dense"]
+        cm = CostModel(chain=chain)
+        for _ in range(5):
+            cm.observe("w@v1", "hybrid", us=5.0, cols=8)
+            cm.observe("w@v1", "jigsaw", us=50.0, cols=8)
+        # A post-update lookup under the new version reuses the history
+        # instead of re-probing from the static chain order.
+        assert cm.plan("w@v2", chain, cols=8)[0] == "hybrid"
+
+    def test_state_roundtrip_normalizes_versioned_keys(self):
+        cm = CostModel()
+        cm.observe("w@v3", "jigsaw", us=40.0, cols=4)
+        state = cm.export_state()
+        assert "w" in state and not any("@v" in k for k in state)
+        other = CostModel()
+        assert other.import_state(state) == 1
+        assert other.estimate_us("w@v9", "jigsaw", cols=4) == pytest.approx(40.0)
